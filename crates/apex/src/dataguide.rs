@@ -1,0 +1,241 @@
+//! Strong DataGuides (Goldman & Widom, VLDB 1997 — [9] in the FliX paper).
+//!
+//! A DataGuide is the deterministic automaton of all label paths of a
+//! collection: every root-to-element label path occurs exactly once, and
+//! each guide node stores the extent of elements reachable over its path.
+//! On tree-shaped data the strong DataGuide is linear in the data and
+//! answers label-path lookups in one automaton walk; on graphs it can blow
+//! up exponentially, which is why FliX would only select it for tree meta
+//! documents. The paper reviews DataGuides among the existing path indexes
+//! (§2.2); this implementation doubles as a demonstration that the
+//! framework's strategy set is extensible.
+
+use graphcore::{Digraph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A strong DataGuide over a forest (or graph, with the usual blow-up
+/// caveat — construction is target-set determinised, so it terminates on
+/// any input).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DataGuide {
+    /// `label[g]` = edge label leading into guide node `g` (the root guide
+    /// node has label `u32::MAX` and an empty extent path).
+    labels: Vec<u32>,
+    /// Child guide nodes per guide node, as `(label, guide)` sorted.
+    children: Vec<Vec<(u32, u32)>>,
+    /// Extent: data elements reachable over this guide node's path.
+    extents: Vec<Vec<NodeId>>,
+}
+
+impl DataGuide {
+    /// Builds the strong DataGuide of `g` (labels per node, roots =
+    /// in-degree-0 nodes).
+    pub fn build(g: &Digraph, node_labels: &[u32]) -> Self {
+        assert_eq!(node_labels.len(), g.node_count(), "one label per node");
+        let mut labels = vec![u32::MAX];
+        let mut children: Vec<Vec<(u32, u32)>> = vec![Vec::new()];
+        let mut extents: Vec<Vec<NodeId>> = vec![Vec::new()];
+        // Determinisation over target sets: guide node <-> set of data
+        // nodes (sorted). Classic subset construction seeded by roots
+        // grouped by label.
+        let mut memo: HashMap<Vec<NodeId>, u32> = HashMap::new();
+        let roots: Vec<NodeId> = g.nodes().filter(|&u| g.in_degree(u) == 0).collect();
+        let mut work: Vec<(u32, Vec<NodeId>)> = Vec::new();
+        let mut by_label: HashMap<u32, Vec<NodeId>> = HashMap::new();
+        for &r in &roots {
+            by_label
+                .entry(node_labels[r as usize])
+                .or_default()
+                .push(r);
+        }
+        let mut sorted: Vec<(u32, Vec<NodeId>)> = by_label.drain().collect();
+        sorted.sort_unstable();
+        for (label, mut set) in sorted {
+            set.sort_unstable();
+            let gid = labels.len() as u32;
+            labels.push(label);
+            children.push(Vec::new());
+            extents.push(set.clone());
+            children[0].push((label, gid));
+            memo.insert(set.clone(), gid);
+            work.push((gid, set));
+        }
+        while let Some((gid, set)) = work.pop() {
+            let mut next: HashMap<u32, Vec<NodeId>> = HashMap::new();
+            for &u in &set {
+                for &v in g.successors(u) {
+                    next.entry(node_labels[v as usize]).or_default().push(v);
+                }
+            }
+            let mut sorted: Vec<(u32, Vec<NodeId>)> = next.drain().collect();
+            sorted.sort_unstable();
+            for (label, mut target) in sorted {
+                target.sort_unstable();
+                target.dedup();
+                let child_gid = match memo.get(&target) {
+                    Some(&existing) => existing,
+                    None => {
+                        let new_gid = labels.len() as u32;
+                        labels.push(label);
+                        children.push(Vec::new());
+                        extents.push(target.clone());
+                        memo.insert(target.clone(), new_gid);
+                        work.push((new_gid, target));
+                        new_gid
+                    }
+                };
+                children[gid as usize].push((label, child_gid));
+            }
+            children[gid as usize].sort_unstable();
+            children[gid as usize].dedup();
+        }
+        Self {
+            labels,
+            children,
+            extents,
+        }
+    }
+
+    /// Number of guide nodes (including the synthetic root).
+    pub fn guide_size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Elements reached by the absolute label path `path`, or an empty
+    /// slice if the path does not occur in the collection.
+    pub fn elements_with_path(&self, path: &[u32]) -> &[NodeId] {
+        let mut g = 0u32; // synthetic root
+        for &label in path {
+            match self.children[g as usize]
+                .binary_search_by_key(&label, |&(l, _)| l)
+            {
+                Ok(i) => g = self.children[g as usize][i].1,
+                Err(_) => return &[],
+            }
+        }
+        &self.extents[g as usize]
+    }
+
+    /// All label paths of the collection, depth-first, as `(path, extent
+    /// size)` pairs — the "query formulation" use DataGuides were invented
+    /// for (a schema summary users can browse).
+    pub fn enumerate_paths(&self, max_depth: usize) -> Vec<(Vec<u32>, usize)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<(u32, Vec<u32>)> = vec![(0, Vec::new())];
+        while let Some((g, path)) = stack.pop() {
+            if g != 0 {
+                out.push((path.clone(), self.extents[g as usize].len()));
+            }
+            if path.len() >= max_depth {
+                continue;
+            }
+            for &(label, child) in self.children[g as usize].iter().rev() {
+                let mut p = path.clone();
+                p.push(label);
+                stack.push((child, p));
+            }
+        }
+        out
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let edges: usize = self.children.iter().map(Vec::len).sum();
+        let extent_entries: usize = self.extents.iter().map(Vec::len).sum();
+        self.labels.len() * 4 + edges * 8 + extent_entries * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two documents with overlapping structure:
+    /// doc1: a(0) -> b(1) -> c(2), a(0) -> b(3)
+    /// doc2: a(4) -> b(5) -> d(6)
+    fn sample() -> (Digraph, Vec<u32>) {
+        let g = Digraph::from_edges(7, [(0, 1), (1, 2), (0, 3), (4, 5), (5, 6)]);
+        // labels: a=0 b=1 c=2 d=3
+        (g, vec![0, 1, 2, 1, 0, 1, 3])
+    }
+
+    #[test]
+    fn path_lookup_merges_documents() {
+        let (g, labels) = sample();
+        let dg = DataGuide::build(&g, &labels);
+        assert_eq!(dg.elements_with_path(&[0]), &[0, 4]);
+        assert_eq!(dg.elements_with_path(&[0, 1]), &[1, 3, 5]);
+        assert_eq!(dg.elements_with_path(&[0, 1, 2]), &[2]);
+        assert_eq!(dg.elements_with_path(&[0, 1, 3]), &[6]);
+        assert!(dg.elements_with_path(&[1]).is_empty());
+        assert!(dg.elements_with_path(&[0, 1, 2, 3]).is_empty());
+    }
+
+    #[test]
+    fn empty_path_is_synthetic_root() {
+        let (g, labels) = sample();
+        let dg = DataGuide::build(&g, &labels);
+        assert!(dg.elements_with_path(&[]).is_empty());
+    }
+
+    #[test]
+    fn guide_is_linear_on_trees() {
+        // a deep comb tree: guide nodes = distinct label paths
+        let n = 60u32;
+        let g = Digraph::from_edges(n as usize, (0..n - 1).map(|i| (i, i + 1)));
+        let labels: Vec<u32> = (0..n).map(|i| i % 3).collect();
+        let dg = DataGuide::build(&g, &labels);
+        assert_eq!(dg.guide_size() as u32, n + 1, "one guide node per path");
+    }
+
+    #[test]
+    fn dag_determinisation_groups_target_sets() {
+        // diamond: a -> b, a -> c, b -> d, c -> d with labels a,b,b,d:
+        // path a/b leads to {1,2}; a/b/d to {3}
+        let g = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let dg = DataGuide::build(&g, &[0, 1, 1, 2]);
+        assert_eq!(dg.elements_with_path(&[0, 1]), &[1, 2]);
+        assert_eq!(dg.elements_with_path(&[0, 1, 2]), &[3]);
+    }
+
+    #[test]
+    fn enumerate_paths_lists_schema() {
+        let (g, labels) = sample();
+        let dg = DataGuide::build(&g, &labels);
+        let mut paths = dg.enumerate_paths(5);
+        paths.sort();
+        assert_eq!(
+            paths,
+            vec![
+                (vec![0], 2),
+                (vec![0, 1], 3),
+                (vec![0, 1, 2], 1),
+                (vec![0, 1, 3], 1),
+            ]
+        );
+        // depth cap respected
+        assert_eq!(dg.enumerate_paths(1).len(), 1);
+    }
+
+    #[test]
+    fn agrees_with_apex_path_lookup() {
+        let (g, labels) = sample();
+        let dg = DataGuide::build(&g, &labels);
+        let apex = crate::ApexIndex::build(&g, &labels, 2);
+        for path in [vec![0], vec![0, 1], vec![0, 1, 2], vec![0, 1, 3], vec![2]] {
+            assert_eq!(
+                dg.elements_with_path(&path),
+                apex.elements_with_path(&path),
+                "path {path:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn size_accounting() {
+        let (g, labels) = sample();
+        let dg = DataGuide::build(&g, &labels);
+        assert!(dg.size_bytes() > 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! APEX-style adaptive path index ([4] in the FliX paper).
+//!
+//! APEX maintains a *structural summary*: elements are grouped into summary
+//! nodes by their incoming label paths, each summary node stores its extent
+//! (the element set), and summary edges mirror element edges. The base
+//! summary (APEX-0) groups by tag alone; refinement splits summary nodes by
+//! the summary classes of their parents, either uniformly to depth `k`
+//! (A(k)-style backward bisimulation) or adaptively along the label paths a
+//! query workload actually uses — that is the "adaptive" in APEX.
+//!
+//! Simple label-path lookups (`/a/b/c`) run entirely on the summary. The
+//! descendants-or-self axis, which FliX cares about, has no direct support:
+//! it falls back to a summary-pruned traversal of the element graph. That
+//! asymmetry is exactly why APEX loses against the connection indexes in
+//! the paper's Figure 5.
+//!
+//! * [`summary`]: partition refinement and the summary graph.
+//! * [`index::ApexIndex`]: the queryable index.
+//! * [`dataguide::DataGuide`]: the strong-DataGuide summary the paper
+//!   reviews alongside APEX ([9]) — linear on trees, exact label-path
+//!   lookups, included to demonstrate that FliX's strategy set extends
+//!   beyond the three built-in indexes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataguide;
+pub mod index;
+pub mod summary;
+
+pub use dataguide::DataGuide;
+pub use index::ApexIndex;
+pub use summary::StructuralSummary;

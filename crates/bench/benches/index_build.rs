@@ -1,0 +1,49 @@
+//! Index-construction benchmarks: each path index alone, then the full
+//! FliX build phase per configuration (Table-1 companion).
+
+use bench::{paper_configs, paper_corpus};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flix::Flix;
+
+fn bench_single_indexes(c: &mut Criterion) {
+    let cg = paper_corpus(0.05);
+    let labels: Vec<u32> = (0..cg.node_count() as u32)
+        .map(|u| cg.tag_of(u))
+        .collect();
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("ppo_extended", |b| {
+        b.iter(|| ppo::ExtendedPpo::build(&cg.graph, &labels))
+    });
+    group.bench_function("hopi_labels", |b| {
+        b.iter(|| hopi::HopiIndex::build(&cg.graph, &labels))
+    });
+    group.bench_function("apex_refine1", |b| {
+        b.iter(|| apex::ApexIndex::build(&cg.graph, &labels, 1))
+    });
+    group.finish();
+}
+
+fn bench_flix_build(c: &mut Criterion) {
+    let cg = paper_corpus(0.05);
+    let mut group = c.benchmark_group("flix_build");
+    group.sample_size(10);
+    for config in paper_configs() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(config.to_string()),
+            &config,
+            |b, &config| b.iter(|| Flix::build(cg.clone(), config)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // short windows keep `cargo bench --workspace` to a few minutes
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_single_indexes, bench_flix_build
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Per-index query microbenchmarks: reachability probes, distance lookups,
+//! and descendants-by-tag enumeration on the same subgraph, across the
+//! three path-indexing strategies FliX composes.
+
+use bench::paper_corpus;
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphcore::NodeId;
+
+fn bench_probe_and_enumerate(c: &mut Criterion) {
+    let cg = paper_corpus(0.05);
+    let labels: Vec<u32> = (0..cg.node_count() as u32)
+        .map(|u| cg.tag_of(u))
+        .collect();
+    let g = &cg.graph;
+    let hopi = hopi::HopiIndex::build(g, &labels);
+    let apex = apex::ApexIndex::build(g, &labels, 1);
+    let xppo = ppo::ExtendedPpo::build(g, &labels);
+
+    // A probe workload: pairs spread over the graph, half within reach.
+    let pairs: Vec<(NodeId, NodeId)> = (0..64u32)
+        .map(|i| {
+            let u = (i * 2654435761 % cg.node_count() as u32) as NodeId;
+            let v = (i * 40503 % cg.node_count() as u32) as NodeId;
+            (u, v)
+        })
+        .collect();
+    let title = cg.collection.tags.get("title").unwrap();
+    let starts: Vec<NodeId> = (0..32)
+        .map(|d| cg.doc_root(d * (cg.collection.doc_count() as u32 / 32).max(1)))
+        .collect();
+
+    let mut group = c.benchmark_group("reachability_probe");
+    group.bench_function("hopi", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(u, v)| hopi.is_reachable(u, v))
+                .count()
+        })
+    });
+    group.bench_function("apex", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(u, v)| apex.is_reachable(u, v))
+                .count()
+        })
+    });
+    group.bench_function("ppo_forest", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .filter(|&&(u, v)| xppo.is_descendant_or_self(u, v))
+                .count()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("descendants_by_tag");
+    group.sample_size(20);
+    group.bench_function("hopi", |b| {
+        b.iter(|| {
+            starts
+                .iter()
+                .map(|&s| hopi.descendants_by_label(s, title, false).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("apex", |b| {
+        b.iter(|| {
+            starts
+                .iter()
+                .map(|&s| apex.descendants_by_label(s, title, false).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("ppo_forest", |b| {
+        b.iter(|| {
+            starts
+                .iter()
+                .map(|&s| xppo.descendants_by_label(s, title, false).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // short windows keep `cargo bench --workspace` to a few minutes
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_probe_and_enumerate
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Substrate microbenchmarks: XML parse/serialise throughput, the binary
+//! codec, and the storage engine — the layers under every experiment.
+
+use bench::paper_corpus;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pagestore::{BlobStore, BufferPool, HeapTable, MemDisk};
+use std::sync::Arc;
+use xmlgraph::{parse_document, write_document, LinkSpec, TagInterner};
+
+fn bench_xml(c: &mut Criterion) {
+    let cg = paper_corpus(0.02);
+    // serialise the whole corpus once; reparse it per iteration
+    let texts: Vec<String> = cg
+        .collection
+        .docs()
+        .map(|(_, d)| write_document(d, &cg.collection.tags))
+        .collect();
+    let bytes: usize = texts.iter().map(String::len).sum();
+
+    let mut group = c.benchmark_group("xml");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("parse_corpus", |b| {
+        b.iter(|| {
+            let mut tags = TagInterner::new();
+            let spec = LinkSpec::default();
+            texts
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    parse_document(format!("d{i}.xml"), t, &mut tags, &spec)
+                        .expect("well-formed")
+                        .len()
+                })
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("write_corpus", |b| {
+        b.iter(|| {
+            cg.collection
+                .docs()
+                .map(|(_, d)| write_document(d, &cg.collection.tags).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_codec_and_store(c: &mut Criterion) {
+    let cg = paper_corpus(0.02);
+    let labels: Vec<u32> = (0..cg.node_count() as u32).map(|u| cg.tag_of(u)).collect();
+    let idx = hopi::HopiIndex::build(&cg.graph, &labels);
+    let image = pagestore::to_bytes(&idx).expect("encodes");
+
+    let mut group = c.benchmark_group("codec");
+    group.throughput(Throughput::Bytes(image.len() as u64));
+    group.bench_function("encode_hopi_image", |b| {
+        b.iter(|| pagestore::to_bytes(&idx).unwrap().len())
+    });
+    group.bench_function("decode_hopi_image", |b| {
+        b.iter(|| {
+            let back: hopi::HopiIndex = pagestore::from_bytes(&image).unwrap();
+            back.node_count()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("pagestore");
+    group.bench_function("heap_insert_1k", |b| {
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 64));
+            let mut t = HeapTable::create(pool);
+            for i in 0..1000u32 {
+                t.insert(&i.to_le_bytes()).unwrap();
+            }
+            t.pages().len()
+        })
+    });
+    group.bench_function("blob_round_trip_1mb", |b| {
+        let data = vec![7u8; 1 << 20];
+        b.iter(|| {
+            let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 256));
+            let mut s = BlobStore::new(pool);
+            s.put("x", &data);
+            s.get("x").unwrap().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    // short windows keep `cargo bench --workspace` to a few minutes
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_xml, bench_codec_and_store
+}
+criterion_main!(benches);

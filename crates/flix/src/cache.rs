@@ -1,0 +1,213 @@
+//! Result caching for frequent (sub-)queries — the paper's §7 sketch
+//! "caching results of frequent (sub-)queries".
+//!
+//! [`CachedFlix`] wraps a framework with an LRU cache keyed on the full
+//! query (start element, target tag, options). Cached result vectors are
+//! shared (`Arc`), so repeated hot queries cost one map lookup and no
+//! allocation. The cache is latch-protected and safe to share across the
+//! client threads of the paper's multithreaded architecture.
+
+use crate::framework::Flix;
+use crate::pee::{QueryOptions, QueryResult};
+use graphcore::{Distance, NodeId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use xmlgraph::TagId;
+
+/// Hashable image of [`QueryOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct OptsKey {
+    max_distance: Option<Distance>,
+    max_results: Option<usize>,
+    include_start: bool,
+    exact_order: bool,
+}
+
+impl From<&QueryOptions> for OptsKey {
+    fn from(o: &QueryOptions) -> Self {
+        Self {
+            max_distance: o.max_distance,
+            max_results: o.max_results,
+            include_start: o.include_start,
+            exact_order: o.exact_order,
+        }
+    }
+}
+
+type Key = (NodeId, TagId, OptsKey);
+
+struct CacheInner {
+    map: HashMap<Key, (Arc<Vec<QueryResult>>, u64)>,
+    tick: u64,
+}
+
+/// A FliX framework with an LRU descendants-query cache.
+pub struct CachedFlix {
+    flix: Arc<Flix>,
+    capacity: usize,
+    inner: Mutex<CacheInner>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl CachedFlix {
+    /// Wraps `flix` with a cache of at most `capacity` query results.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(flix: Arc<Flix>, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache needs capacity");
+        Self {
+            flix,
+            capacity,
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped framework.
+    pub fn framework(&self) -> &Arc<Flix> {
+        &self.flix
+    }
+
+    /// Cached `a//B` evaluation.
+    pub fn find_descendants(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+    ) -> Arc<Vec<QueryResult>> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let key: Key = (start, target, OptsKey::from(opts));
+        {
+            let mut inner = self.inner.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some((cached, stamp)) = inner.map.get_mut(&key) {
+                *stamp = tick;
+                self.hits.fetch_add(1, Relaxed);
+                return Arc::clone(cached);
+            }
+        }
+        self.misses.fetch_add(1, Relaxed);
+        let fresh = Arc::new(self.flix.find_descendants(start, target, opts));
+        let mut inner = self.inner.lock();
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        let tick = inner.tick;
+        inner.map.insert(key, (Arc::clone(&fresh), tick));
+        fresh
+    }
+
+    /// Drops every cached result (call after a rebuild).
+    pub fn invalidate(&self) {
+        self.inner.lock().map.clear();
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+
+    /// Number of cached queries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlixConfig;
+    use xmlgraph::{Collection, Document, LinkTarget};
+
+    fn small() -> (Arc<Flix>, TagId) {
+        let mut c = Collection::new();
+        let t = c.tags.intern("t");
+        let mut d0 = Document::new("a.xml");
+        let r = d0.add_element(t, None);
+        let k = d0.add_element(t, Some(r));
+        d0.add_link(
+            k,
+            LinkTarget {
+                document: Some("b.xml".into()),
+                fragment: None,
+            },
+        );
+        let mut d1 = Document::new("b.xml");
+        d1.add_element(t, None);
+        c.add_document(d0).unwrap();
+        c.add_document(d1).unwrap();
+        let cg = Arc::new(c.seal());
+        (Arc::new(Flix::build(cg, FlixConfig::Naive)), t)
+    }
+
+    #[test]
+    fn repeat_query_hits_cache_with_same_answer() {
+        let (flix, t) = small();
+        let cached = CachedFlix::new(flix.clone(), 8);
+        let a = cached.find_descendants(0, t, &QueryOptions::default());
+        let b = cached.find_descendants(0, t, &QueryOptions::default());
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cached.stats(), (1, 1));
+        assert_eq!(
+            *a,
+            flix.find_descendants(0, t, &QueryOptions::default())
+        );
+    }
+
+    #[test]
+    fn different_options_are_different_entries() {
+        let (flix, t) = small();
+        let cached = CachedFlix::new(flix, 8);
+        cached.find_descendants(0, t, &QueryOptions::default());
+        cached.find_descendants(0, t, &QueryOptions::top_k(1));
+        assert_eq!(cached.len(), 2);
+        assert_eq!(cached.stats(), (0, 2));
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let (flix, t) = small();
+        let cached = CachedFlix::new(flix, 2);
+        cached.find_descendants(0, t, &QueryOptions::default()); // A
+        cached.find_descendants(1, t, &QueryOptions::default()); // B
+        cached.find_descendants(0, t, &QueryOptions::default()); // touch A
+        cached.find_descendants(2, t, &QueryOptions::default()); // evicts B
+        assert_eq!(cached.len(), 2);
+        let (h0, _) = cached.stats();
+        cached.find_descendants(0, t, &QueryOptions::default()); // A still hot
+        assert_eq!(cached.stats().0, h0 + 1);
+        cached.find_descendants(1, t, &QueryOptions::default()); // B gone: miss
+        assert_eq!(cached.stats().1, 4);
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let (flix, t) = small();
+        let cached = CachedFlix::new(flix, 4);
+        cached.find_descendants(0, t, &QueryOptions::default());
+        assert!(!cached.is_empty());
+        cached.invalidate();
+        assert!(cached.is_empty());
+    }
+}

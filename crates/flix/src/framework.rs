@@ -1,0 +1,525 @@
+//! The build phase: from a sealed collection to a queryable framework.
+
+use crate::config::{BuildOptions, FlixConfig, StrategyKind};
+use crate::mdb::build_meta_documents;
+use crate::meta::{MetaDocument, MetaIndex};
+use graphcore::NodeId;
+use std::sync::Arc;
+use std::time::Duration;
+use xmlgraph::CollectionGraph;
+
+/// A built FliX framework: meta documents, their indexes, and the runtime
+/// link table the query evaluator chases.
+#[derive(Debug)]
+pub struct Flix {
+    graph: Arc<CollectionGraph>,
+    config: FlixConfig,
+    metas: Vec<Arc<MetaDocument>>,
+    /// Meta document of each global node.
+    meta_of: Vec<u32>,
+    /// Local id of each global node within its meta document.
+    local_of: Vec<u32>,
+    /// Links no index covers, `(source, target)` sorted by source:
+    /// cross-meta edges plus PPO-removed in-meta edges.
+    runtime_links: Vec<(NodeId, NodeId)>,
+    /// The same links as `(target, source)`, sorted by target.
+    runtime_links_rev: Vec<(NodeId, NodeId)>,
+    build_time: Duration,
+}
+
+impl Flix {
+    /// Builds the framework with default [`BuildOptions`].
+    pub fn build(graph: Arc<CollectionGraph>, config: FlixConfig) -> Self {
+        Self::build_with(graph, config, &BuildOptions::default())
+    }
+
+    /// Builds the framework: plans meta documents, selects strategies,
+    /// builds per-meta indexes, and wires the runtime link table.
+    pub fn build_with(
+        graph: Arc<CollectionGraph>,
+        config: FlixConfig,
+        opts: &BuildOptions,
+    ) -> Self {
+        let started = std::time::Instant::now();
+        let n = graph.node_count();
+        let plans = build_meta_documents(&graph, config);
+        let mut meta_of = vec![u32::MAX; n];
+        let mut local_of = vec![u32::MAX; n];
+        let mut metas = Vec::with_capacity(plans.len());
+        let mut runtime_links: Vec<(NodeId, NodeId)> = Vec::new();
+
+        for (mi, plan) in plans.into_iter().enumerate() {
+            let (sub, mapping) = graph.graph.induced_subgraph(&plan.nodes);
+            for (local, &global) in mapping.iter().enumerate() {
+                meta_of[global as usize] = mi as u32;
+                local_of[global as usize] = local as u32;
+            }
+            let labels: Vec<u32> = mapping
+                .iter()
+                .map(|&g| graph.tag_of(g))
+                .collect();
+            let kind = plan
+                .strategy
+                .unwrap_or_else(|| opts.selector.select(&sub));
+            let (index, extra) = MetaIndex::build(kind, &sub, &labels, opts.apex_refine_rounds);
+            // PPO-removed edges become runtime links, in global ids.
+            for (lu, lv) in extra {
+                runtime_links.push((mapping[lu as usize], mapping[lv as usize]));
+            }
+            metas.push(MetaDocument {
+                nodes: mapping,
+                index,
+                link_sources: Vec::new(),
+                link_targets: Vec::new(),
+            });
+            // Arcs are applied after link wiring below.
+        }
+
+        // Every edge crossing meta documents is a runtime link.
+        for (u, v) in graph.graph.edges() {
+            if meta_of[u as usize] != meta_of[v as usize] {
+                runtime_links.push((u, v));
+            }
+        }
+        runtime_links.sort_unstable();
+        runtime_links.dedup();
+        let mut runtime_links_rev: Vec<(NodeId, NodeId)> =
+            runtime_links.iter().map(|&(u, v)| (v, u)).collect();
+        runtime_links_rev.sort_unstable();
+
+        // The per-meta L_i sets (§4.2) and their ancestor-query mirrors.
+        for &(u, v) in &runtime_links {
+            let (mu, mv) = (meta_of[u as usize], meta_of[v as usize]);
+            metas[mu as usize].link_sources.push(local_of[u as usize]);
+            metas[mv as usize].link_targets.push(local_of[v as usize]);
+        }
+        for m in &mut metas {
+            m.link_sources.sort_unstable();
+            m.link_sources.dedup();
+            m.link_targets.sort_unstable();
+            m.link_targets.dedup();
+        }
+
+        Self {
+            graph,
+            config,
+            metas: metas.into_iter().map(Arc::new).collect(),
+            meta_of,
+            local_of,
+            runtime_links,
+            runtime_links_rev,
+            build_time: started.elapsed(),
+        }
+    }
+
+    /// Reassembles a framework from persisted parts (see [`crate::persist`]).
+    pub(crate) fn from_raw_parts(
+        graph: Arc<CollectionGraph>,
+        config: FlixConfig,
+        metas: Vec<MetaDocument>,
+        meta_of: Vec<u32>,
+        local_of: Vec<u32>,
+        runtime_links: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        let mut runtime_links_rev: Vec<(NodeId, NodeId)> =
+            runtime_links.iter().map(|&(u, v)| (v, u)).collect();
+        runtime_links_rev.sort_unstable();
+        Self {
+            graph,
+            config,
+            metas: metas.into_iter().map(Arc::new).collect(),
+            meta_of,
+            local_of,
+            runtime_links,
+            runtime_links_rev,
+            build_time: Duration::ZERO,
+        }
+    }
+
+    /// Incrementally extends the framework to a grown collection (built
+    /// with [`CollectionGraph::extend`]): every *new* document becomes its
+    /// own meta document with a selector-chosen index, existing meta
+    /// documents keep their indexes untouched (only their runtime-link
+    /// anchor sets are refreshed, including links from new documents into
+    /// old ones and previously dangling links the new documents resolve).
+    ///
+    /// Grouping configurations (Maximal PPO, Unconnected HOPI) are *not*
+    /// re-planned for the new documents — the paper's §7 self-tuning loop
+    /// is the mechanism that decides when a full rebuild pays off; see
+    /// [`crate::tuning`].
+    ///
+    /// # Errors
+    /// If `new_graph` is not an extension of this framework's collection.
+    pub fn extend(
+        &self,
+        new_graph: Arc<CollectionGraph>,
+        opts: &BuildOptions,
+    ) -> Result<Flix, String> {
+        let old_n = self.graph.node_count();
+        let new_n = new_graph.node_count();
+        if new_n < old_n
+            || new_graph.node_base[..self.graph.node_base.len()] != self.graph.node_base[..]
+        {
+            return Err("new graph is not an extension of the indexed collection".into());
+        }
+        let started = std::time::Instant::now();
+        let mut meta_of = self.meta_of.clone();
+        let mut local_of = self.local_of.clone();
+        meta_of.resize(new_n, u32::MAX);
+        local_of.resize(new_n, u32::MAX);
+        let mut metas: Vec<MetaDocument> =
+            self.metas.iter().map(|m| (**m).clone()).collect();
+        // PPO-removed edges of existing metas stay runtime links; the rest
+        // of the table is recomputed from the extended graph below.
+        let mut runtime_links: Vec<(NodeId, NodeId)> = self
+            .runtime_links
+            .iter()
+            .copied()
+            .filter(|&(u, v)| meta_of[u as usize] == meta_of[v as usize])
+            .collect();
+
+        let old_docs = self.graph.collection.doc_count() as u32;
+        for d in old_docs..new_graph.collection.doc_count() as u32 {
+            let nodes: Vec<NodeId> =
+                (new_graph.node_base[d as usize]..new_graph.node_base[d as usize + 1]).collect();
+            let (sub, mapping) = new_graph.graph.induced_subgraph(&nodes);
+            let mi = metas.len() as u32;
+            for (local, &global) in mapping.iter().enumerate() {
+                meta_of[global as usize] = mi;
+                local_of[global as usize] = local as u32;
+            }
+            let labels: Vec<u32> = mapping.iter().map(|&g| new_graph.tag_of(g)).collect();
+            let kind = opts.selector.select(&sub);
+            let (index, extra) = MetaIndex::build(kind, &sub, &labels, opts.apex_refine_rounds);
+            for (lu, lv) in extra {
+                runtime_links.push((mapping[lu as usize], mapping[lv as usize]));
+            }
+            metas.push(MetaDocument {
+                nodes: mapping,
+                index,
+                link_sources: Vec::new(),
+                link_targets: Vec::new(),
+            });
+        }
+
+        for (u, v) in new_graph.graph.edges() {
+            if meta_of[u as usize] != meta_of[v as usize] {
+                runtime_links.push((u, v));
+            }
+        }
+        runtime_links.sort_unstable();
+        runtime_links.dedup();
+        let mut runtime_links_rev: Vec<(NodeId, NodeId)> =
+            runtime_links.iter().map(|&(u, v)| (v, u)).collect();
+        runtime_links_rev.sort_unstable();
+
+        for m in &mut metas {
+            m.link_sources.clear();
+            m.link_targets.clear();
+        }
+        for &(u, v) in &runtime_links {
+            let (mu, mv) = (meta_of[u as usize], meta_of[v as usize]);
+            metas[mu as usize].link_sources.push(local_of[u as usize]);
+            metas[mv as usize].link_targets.push(local_of[v as usize]);
+        }
+        let mut arcs = Vec::with_capacity(metas.len());
+        for (i, mut m) in metas.into_iter().enumerate() {
+            m.link_sources.sort_unstable();
+            m.link_sources.dedup();
+            m.link_targets.sort_unstable();
+            m.link_targets.dedup();
+            // Reuse the existing Arc when nothing about the meta changed
+            // (the common case: untouched region of the collection).
+            if let Some(old) = self.metas.get(i) {
+                if old.link_sources == m.link_sources && old.link_targets == m.link_targets {
+                    arcs.push(Arc::clone(old));
+                    continue;
+                }
+                // anchor sets changed: keep the old (expensive) index, swap
+                // the cheap lists
+                let mut refreshed = (**old).clone();
+                refreshed.link_sources = m.link_sources;
+                refreshed.link_targets = m.link_targets;
+                arcs.push(Arc::new(refreshed));
+                continue;
+            }
+            arcs.push(Arc::new(m));
+        }
+
+        Ok(Flix {
+            graph: new_graph,
+            config: self.config,
+            metas: arcs,
+            meta_of,
+            local_of,
+            runtime_links,
+            runtime_links_rev,
+            build_time: started.elapsed(),
+        })
+    }
+
+    /// The underlying collection graph.
+    pub fn collection(&self) -> &CollectionGraph {
+        &self.graph
+    }
+
+    /// Shared handle to the underlying collection graph.
+    pub fn collection_arc(&self) -> Arc<CollectionGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// The configuration this framework was built with.
+    pub fn config(&self) -> FlixConfig {
+        self.config
+    }
+
+    /// Number of meta documents.
+    pub fn meta_count(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Meta document accessor.
+    pub fn meta(&self, id: u32) -> &MetaDocument {
+        &self.metas[id as usize]
+    }
+
+    /// Shared handle to a meta document (used by the generic evaluator).
+    pub fn meta_arc(&self, id: u32) -> Arc<MetaDocument> {
+        Arc::clone(&self.metas[id as usize])
+    }
+
+    /// Meta document containing a global node.
+    pub fn meta_of(&self, node: NodeId) -> u32 {
+        self.meta_of[node as usize]
+    }
+
+    /// Local id of a global node within its meta document.
+    pub fn local_of(&self, node: NodeId) -> u32 {
+        self.local_of[node as usize]
+    }
+
+    /// Global id of `(meta, local)`.
+    pub fn global_of(&self, meta: u32, local: u32) -> NodeId {
+        self.metas[meta as usize].nodes[local as usize]
+    }
+
+    /// Runtime links out of `u` (global ids).
+    pub fn links_out_of(&self, u: NodeId) -> &[(NodeId, NodeId)] {
+        let start = self.runtime_links.partition_point(|&(s, _)| s < u);
+        let end = self.runtime_links.partition_point(|&(s, _)| s <= u);
+        &self.runtime_links[start..end]
+    }
+
+    /// Runtime links into `v`, as `(target, source)` pairs.
+    pub fn links_into(&self, v: NodeId) -> &[(NodeId, NodeId)] {
+        let start = self.runtime_links_rev.partition_point(|&(t, _)| t < v);
+        let end = self.runtime_links_rev.partition_point(|&(t, _)| t <= v);
+        &self.runtime_links_rev[start..end]
+    }
+
+    /// All runtime links, sorted by source.
+    pub fn runtime_links(&self) -> &[(NodeId, NodeId)] {
+        &self.runtime_links
+    }
+
+    /// Build statistics for reporting (Table-1 style).
+    pub fn stats(&self) -> FlixStats {
+        let per_meta: Vec<MetaDocStats> = self
+            .metas
+            .iter()
+            .map(|m| MetaDocStats {
+                elements: m.len(),
+                strategy: m.index.kind(),
+                index_bytes: m.index.size_bytes(),
+                link_sources: m.link_sources.len(),
+            })
+            .collect();
+        let mut ppo = 0;
+        let mut hopi = 0;
+        let mut apex = 0;
+        for m in &per_meta {
+            match m.strategy {
+                StrategyKind::Ppo => ppo += 1,
+                StrategyKind::Hopi => hopi += 1,
+                StrategyKind::Apex => apex += 1,
+            }
+        }
+        FlixStats {
+            config: self.config,
+            meta_docs: self.metas.len(),
+            ppo_metas: ppo,
+            hopi_metas: hopi,
+            apex_metas: apex,
+            index_bytes: per_meta.iter().map(|m| m.index_bytes).sum::<usize>()
+                + self.runtime_links.len() * 16,
+            runtime_links: self.runtime_links.len(),
+            build_time: self.build_time,
+            per_meta,
+        }
+    }
+}
+
+/// Aggregate build statistics.
+#[derive(Debug, Clone)]
+pub struct FlixStats {
+    /// The configuration.
+    pub config: FlixConfig,
+    /// Number of meta documents.
+    pub meta_docs: usize,
+    /// Meta documents indexed with PPO.
+    pub ppo_metas: usize,
+    /// Meta documents indexed with HOPI.
+    pub hopi_metas: usize,
+    /// Meta documents indexed with APEX.
+    pub apex_metas: usize,
+    /// Total index footprint (all meta indexes + the runtime link table).
+    pub index_bytes: usize,
+    /// Number of runtime links.
+    pub runtime_links: usize,
+    /// Wall-clock build time.
+    pub build_time: Duration,
+    /// Per-meta-document breakdown.
+    pub per_meta: Vec<MetaDocStats>,
+}
+
+/// Statistics for one meta document.
+#[derive(Debug, Clone, Copy)]
+pub struct MetaDocStats {
+    /// Element count.
+    pub elements: usize,
+    /// Strategy used.
+    pub strategy: StrategyKind,
+    /// Index footprint in bytes.
+    pub index_bytes: usize,
+    /// Number of link-source elements (`L_i`).
+    pub link_sources: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xmlgraph::{Collection, Document, LinkTarget};
+
+    /// Two linked tree documents plus one cyclic document.
+    fn sample() -> Arc<CollectionGraph> {
+        let mut c = Collection::new();
+        let a = c.tags.intern("a");
+        let b = c.tags.intern("b");
+
+        let mut d0 = Document::new("d0.xml");
+        let r0 = d0.add_element(a, None);
+        let k0 = d0.add_element(b, Some(r0));
+        d0.add_element(b, Some(k0));
+        d0.add_link(
+            k0,
+            LinkTarget {
+                document: Some("d1.xml".into()),
+                fragment: None,
+            },
+        );
+
+        let mut d1 = Document::new("d1.xml");
+        let r1 = d1.add_element(a, None);
+        d1.add_element(b, Some(r1));
+
+        let mut d2 = Document::new("d2.xml");
+        let r2 = d2.add_element(a, None);
+        let x = d2.add_element(b, Some(r2));
+        let y = d2.add_element(b, Some(x));
+        d2.add_anchor("x", x);
+        d2.add_link(
+            y,
+            LinkTarget {
+                document: None,
+                fragment: Some("x".into()),
+            },
+        );
+        d2.add_link(
+            y,
+            LinkTarget {
+                document: Some("d0.xml".into()),
+                fragment: None,
+            },
+        );
+
+        c.add_document(d0).unwrap();
+        c.add_document(d1).unwrap();
+        c.add_document(d2).unwrap();
+        Arc::new(c.seal())
+    }
+
+    #[test]
+    fn naive_build_wires_links() {
+        let cg = sample();
+        let flix = Flix::build(cg.clone(), FlixConfig::Naive);
+        assert_eq!(flix.meta_count(), 3);
+        // cross-doc links: d0 -> d1 and d2 -> d0 are runtime links
+        assert_eq!(
+            flix.runtime_links().len(),
+            2,
+            "intra link of d2 stays inside its meta index"
+        );
+        let out = flix.links_out_of(cg.global(0, 1));
+        assert_eq!(out, &[(1, 3)]);
+        let into = flix.links_into(3);
+        assert_eq!(into, &[(3, 1)]);
+    }
+
+    #[test]
+    fn node_id_round_trip() {
+        let cg = sample();
+        let flix = Flix::build(cg.clone(), FlixConfig::Naive);
+        for u in 0..cg.node_count() as NodeId {
+            let m = flix.meta_of(u);
+            let l = flix.local_of(u);
+            assert_eq!(flix.global_of(m, l), u);
+        }
+    }
+
+    #[test]
+    fn naive_selector_assigns_ppo_to_trees() {
+        let cg = sample();
+        let flix = Flix::build(cg, FlixConfig::Naive);
+        let stats = flix.stats();
+        // d0 and d1 are trees -> PPO; d2 has an intra link creating a
+        // diamond -> non-forest -> HOPI
+        assert_eq!(stats.ppo_metas, 2);
+        assert_eq!(stats.hopi_metas, 1);
+        assert!(stats.index_bytes > 0);
+        assert!(stats.per_meta.len() == 3);
+    }
+
+    #[test]
+    fn monolithic_has_no_runtime_links() {
+        let cg = sample();
+        let flix = Flix::build(cg, FlixConfig::Monolithic(StrategyKind::Hopi));
+        assert_eq!(flix.meta_count(), 1);
+        assert!(flix.runtime_links().is_empty());
+    }
+
+    #[test]
+    fn maximal_ppo_merges_linked_trees() {
+        let cg = sample();
+        let flix = Flix::build(cg, FlixConfig::MaximalPpo);
+        // d0 + d1 grouped (link targets d1's root), d2 separate
+        assert_eq!(flix.meta_count(), 2);
+        let stats = flix.stats();
+        assert_eq!(stats.ppo_metas, 2, "MaximalPpo pins PPO everywhere");
+    }
+
+    #[test]
+    fn link_sources_and_targets_populated() {
+        let cg = sample();
+        let flix = Flix::build(cg.clone(), FlixConfig::Naive);
+        let m0 = flix.meta_of(cg.global(0, 1));
+        let md = flix.meta(m0);
+        assert!(md
+            .link_sources
+            .contains(&flix.local_of(cg.global(0, 1))));
+        let m1 = flix.meta_of(cg.global(1, 0));
+        assert!(flix
+            .meta(m1)
+            .link_targets
+            .contains(&flix.local_of(cg.global(1, 0))));
+    }
+}

@@ -1,0 +1,290 @@
+//! Meta documents and their per-strategy indexes.
+
+use crate::config::StrategyKind;
+use apex::ApexIndex;
+use graphcore::{Digraph, Distance, NodeId};
+use hopi::HopiIndex;
+use ppo::ExtendedPpo;
+use serde::{Deserialize, Serialize};
+
+/// The index backing one meta document, behind a uniform query surface.
+///
+/// All node ids at this level are *local* to the meta document; the
+/// framework translates between local and global ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum MetaIndex {
+    /// Extended pre/postorder index (forest + runtime links).
+    Ppo(Box<ExtendedPpo>),
+    /// HOPI 2-hop labels.
+    Hopi(Box<HopiIndex>),
+    /// APEX structural summary.
+    Apex(Box<ApexIndex>),
+}
+
+impl MetaIndex {
+    /// Builds the index of `kind` over a meta document's subgraph.
+    ///
+    /// Returns the index plus any *extra runtime links*: edges of the
+    /// subgraph the index cannot answer (PPO's removed edges). The caller
+    /// must register those with the query evaluator.
+    pub fn build(
+        kind: StrategyKind,
+        subgraph: &Digraph,
+        labels: &[u32],
+        apex_refine_rounds: usize,
+    ) -> (Self, Vec<(u32, u32)>) {
+        match kind {
+            StrategyKind::Ppo => {
+                let idx = ExtendedPpo::build(subgraph, labels);
+                let extra = idx.removed_edges().to_vec();
+                (MetaIndex::Ppo(Box::new(idx)), extra)
+            }
+            StrategyKind::Hopi => (
+                MetaIndex::Hopi(Box::new(HopiIndex::build(subgraph, labels))),
+                Vec::new(),
+            ),
+            StrategyKind::Apex => (
+                MetaIndex::Apex(Box::new(ApexIndex::build(
+                    subgraph,
+                    labels,
+                    apex_refine_rounds,
+                ))),
+                Vec::new(),
+            ),
+        }
+    }
+
+    /// Which strategy this is.
+    pub fn kind(&self) -> StrategyKind {
+        match self {
+            MetaIndex::Ppo(_) => StrategyKind::Ppo,
+            MetaIndex::Hopi(_) => StrategyKind::Hopi,
+            MetaIndex::Apex(_) => StrategyKind::Apex,
+        }
+    }
+
+    /// Descendants of `u` with `label`, ascending by distance.
+    pub fn descendants_by_label(
+        &self,
+        u: u32,
+        label: u32,
+        include_self: bool,
+    ) -> Vec<(u32, Distance)> {
+        match self {
+            MetaIndex::Ppo(i) => i.descendants_by_label(u, label, include_self),
+            MetaIndex::Hopi(i) => i.descendants_by_label(u, label, include_self),
+            MetaIndex::Apex(i) => i.descendants_by_label(u, label, include_self),
+        }
+    }
+
+    /// [`Self::descendants_by_label`] plus the number of index rows (or
+    /// traversal steps, for APEX) the lookup touched — what a database-
+    /// backed deployment pays per block.
+    pub fn descendants_by_label_counted(
+        &self,
+        u: u32,
+        label: u32,
+        include_self: bool,
+    ) -> (Vec<(u32, Distance)>, usize) {
+        match self {
+            MetaIndex::Ppo(i) => i.descendants_by_label_counted(u, label, include_self),
+            MetaIndex::Hopi(i) => i.descendants_by_label_counted(u, label, include_self),
+            MetaIndex::Apex(i) => i.descendants_by_label_counted(u, label, include_self),
+        }
+    }
+
+    /// Ancestors of `u` with `label`, ascending by distance.
+    pub fn ancestors_by_label(
+        &self,
+        u: u32,
+        label: u32,
+        include_self: bool,
+    ) -> Vec<(u32, Distance)> {
+        match self {
+            MetaIndex::Ppo(i) => i.forest_index().ancestors_by_label(u, label, include_self),
+            MetaIndex::Hopi(i) => i.ancestors_by_label(u, label, include_self),
+            MetaIndex::Apex(i) => i.ancestors_by_label(u, label, include_self),
+        }
+    }
+
+    /// Distance from `u` to `v` within the meta document, if connected
+    /// through indexed edges.
+    pub fn distance(&self, u: u32, v: u32) -> Option<Distance> {
+        match self {
+            MetaIndex::Ppo(i) => i.distance(u, v),
+            MetaIndex::Hopi(i) => i.distance(u, v),
+            MetaIndex::Apex(i) => i.distance(u, v),
+        }
+    }
+
+    /// Reachability within the meta document.
+    pub fn is_reachable(&self, u: u32, v: u32) -> bool {
+        self.distance(u, v).is_some()
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            MetaIndex::Ppo(i) => i.size_bytes(),
+            MetaIndex::Hopi(i) => i.size_bytes(),
+            MetaIndex::Apex(i) => i.size_bytes(),
+        }
+    }
+}
+
+/// One meta document: a node set, its index, and its runtime-link anchors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetaDocument {
+    /// Local id -> global node id (ascending).
+    pub nodes: Vec<NodeId>,
+    /// The index built for this meta document.
+    pub index: MetaIndex,
+    /// Locals with outgoing runtime links (the set `L_i` of §4.2), sorted.
+    pub link_sources: Vec<u32>,
+    /// Locals that are targets of runtime links (for ancestor queries),
+    /// sorted.
+    pub link_targets: Vec<u32>,
+}
+
+impl MetaDocument {
+    /// Number of elements in this meta document.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the meta document is empty (never happens for built ones).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// `IND.findReachableLinks(e)` from the paper's Fig. 4: descendants of
+    /// local `e` (including `e`) that have outgoing runtime links, with
+    /// their in-meta distances, ascending (conceptually the intersection of
+    /// `e`'s descendants with the set `L_i`, §4.2).
+    ///
+    /// The access path depends on the strategy: PPO answers a distance
+    /// probe in O(1), so probing each link source wins; HOPI and APEX pay
+    /// a label merge / traversal per probe, so enumerating the descendant
+    /// set once and filtering it against `L_i` is far cheaper.
+    pub fn reachable_link_sources(&self, e: u32) -> Vec<(u32, Distance)> {
+        if self.link_sources.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<(u32, Distance)> = match &self.index {
+            MetaIndex::Ppo(i) => self
+                .link_sources
+                .iter()
+                .filter_map(|&s| i.distance(e, s).map(|d| (s, d)))
+                .collect(),
+            MetaIndex::Hopi(i) => i
+                .descendants(e, true)
+                .into_iter()
+                .filter(|(v, _)| self.link_sources.binary_search(v).is_ok())
+                .collect(),
+            MetaIndex::Apex(i) => i
+                .descendants(e, true)
+                .into_iter()
+                .filter(|(v, _)| self.link_sources.binary_search(v).is_ok())
+                .collect(),
+        };
+        out.sort_unstable_by_key(|&(v, d)| (d, v));
+        out
+    }
+
+    /// Mirror of [`Self::reachable_link_sources`] for ancestor queries:
+    /// link *targets* that can reach local `e`, with their distances to
+    /// `e`, ascending.
+    pub fn reaching_link_targets(&self, e: u32) -> Vec<(u32, Distance)> {
+        if self.link_targets.is_empty() {
+            return Vec::new();
+        }
+        let mut out: Vec<(u32, Distance)> = match &self.index {
+            MetaIndex::Ppo(i) => self
+                .link_targets
+                .iter()
+                .filter_map(|&t| i.distance(t, e).map(|d| (t, d)))
+                .collect(),
+            MetaIndex::Hopi(i) => i
+                .ancestors(e, true)
+                .into_iter()
+                .filter(|(v, _)| self.link_targets.binary_search(v).is_ok())
+                .collect(),
+            MetaIndex::Apex(i) => i
+                .ancestors_all(e, true)
+                .into_iter()
+                .filter(|(v, _)| self.link_targets.binary_search(v).is_ok())
+                .collect(),
+        };
+        out.sort_unstable_by_key(|&(v, d)| (d, v));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Digraph, Vec<u32>) {
+        let g = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        (g, vec![0, 1, 1, 2])
+    }
+
+    #[test]
+    fn all_strategies_answer_uniformly() {
+        let (g, labels) = diamond();
+        for kind in [StrategyKind::Hopi, StrategyKind::Apex] {
+            let (idx, extra) = MetaIndex::build(kind, &g, &labels, 1);
+            assert!(extra.is_empty(), "{kind} should not drop edges");
+            assert_eq!(idx.kind(), kind);
+            assert_eq!(idx.distance(0, 3), Some(2), "{kind}");
+            assert!(idx.is_reachable(0, 3));
+            assert!(!idx.is_reachable(3, 0));
+            let d = idx.descendants_by_label(0, 1, false);
+            assert_eq!(d, vec![(1, 1), (2, 1)], "{kind}");
+            let a = idx.ancestors_by_label(3, 1, false);
+            assert_eq!(a, vec![(1, 1), (2, 1)], "{kind}");
+        }
+    }
+
+    #[test]
+    fn ppo_reports_dropped_edges() {
+        let (g, labels) = diamond();
+        let (idx, extra) = MetaIndex::build(StrategyKind::Ppo, &g, &labels, 1);
+        // the diamond has one non-forest edge
+        assert_eq!(extra.len(), 1);
+        assert_eq!(idx.kind(), StrategyKind::Ppo);
+        // forest still answers one side
+        assert!(idx.is_reachable(0, 3));
+    }
+
+    #[test]
+    fn meta_document_link_source_scan() {
+        let (g, labels) = diamond();
+        let (index, extra) = MetaIndex::build(StrategyKind::Ppo, &g, &labels, 1);
+        let link_sources: Vec<u32> = extra.iter().map(|&(u, _)| u).collect();
+        let md = MetaDocument {
+            nodes: vec![10, 11, 12, 13], // globals
+            index,
+            link_sources,
+            link_targets: extra.iter().map(|&(_, v)| v).collect(),
+        };
+        let ls = md.reachable_link_sources(0);
+        assert_eq!(ls.len(), 1, "one dropped edge, one source");
+        let lt = md.reaching_link_targets(3);
+        assert_eq!(lt.len(), 1);
+        assert!(!md.is_empty());
+        assert_eq!(md.len(), 4);
+    }
+
+    #[test]
+    fn sizes_ranked_plausibly() {
+        // On a pure tree PPO must be far smaller than HOPI's label sets.
+        let g = Digraph::from_edges(50, (1..50u32).map(|i| (i / 2, i)));
+        let labels = vec![0u32; 50];
+        let (p, _) = MetaIndex::build(StrategyKind::Ppo, &g, &labels, 1);
+        let (h, _) = MetaIndex::build(StrategyKind::Hopi, &g, &labels, 1);
+        let (a, _) = MetaIndex::build(StrategyKind::Apex, &g, &labels, 1);
+        assert!(p.size_bytes() < h.size_bytes());
+        assert!(a.size_bytes() > 0);
+    }
+}

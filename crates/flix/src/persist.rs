@@ -1,0 +1,167 @@
+//! Persistence of built frameworks into a [`pagestore::BlobStore`].
+//!
+//! The paper's implementation keeps all index structures in database
+//! tables; this module plays that role. A framework is stored as one
+//! manifest blob (configuration, node→meta maps, runtime link table) plus
+//! one blob per meta document (its index image). Loading needs the sealed
+//! collection graph the framework was built over — the store holds indexes,
+//! not documents, exactly like the paper's setup where the XML data and the
+//! index tables live side by side.
+
+use crate::config::FlixConfig;
+use crate::framework::Flix;
+use crate::meta::MetaDocument;
+use graphcore::NodeId;
+use pagestore::BlobStore;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use xmlgraph::CollectionGraph;
+
+#[derive(Serialize, Deserialize)]
+struct Manifest {
+    config: FlixConfig,
+    node_count: usize,
+    meta_count: usize,
+    meta_of: Vec<u32>,
+    local_of: Vec<u32>,
+    runtime_links: Vec<(NodeId, NodeId)>,
+}
+
+/// Saves a built framework under `name`.
+pub fn save_flix(flix: &Flix, store: &mut BlobStore, name: &str) -> Result<(), String> {
+    let manifest = Manifest {
+        config: flix.config(),
+        node_count: flix.collection().node_count(),
+        meta_count: flix.meta_count(),
+        meta_of: (0..flix.collection().node_count())
+            .map(|u| flix.meta_of(u as NodeId))
+            .collect(),
+        local_of: (0..flix.collection().node_count())
+            .map(|u| flix.local_of(u as NodeId))
+            .collect(),
+        runtime_links: flix.runtime_links().to_vec(),
+    };
+    let bytes = pagestore::to_bytes(&manifest).map_err(|e| e.to_string())?;
+    store.put(&format!("{name}/manifest"), &bytes);
+    for mi in 0..flix.meta_count() as u32 {
+        let bytes = pagestore::to_bytes(flix.meta(mi)).map_err(|e| e.to_string())?;
+        store.put(&format!("{name}/meta-{mi}"), &bytes);
+    }
+    Ok(())
+}
+
+/// Loads a framework saved under `name`, reattaching it to `graph`.
+///
+/// # Errors
+/// If blobs are missing or corrupt, or `graph` does not match the one the
+/// framework was built over (node-count check).
+pub fn load_flix(
+    store: &BlobStore,
+    name: &str,
+    graph: Arc<CollectionGraph>,
+) -> Result<Flix, String> {
+    let bytes = store
+        .get(&format!("{name}/manifest"))
+        .ok_or_else(|| format!("no framework named {name:?} in store"))?;
+    let manifest: Manifest = pagestore::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    if manifest.node_count != graph.node_count() {
+        return Err(format!(
+            "collection mismatch: framework built over {} nodes, graph has {}",
+            manifest.node_count,
+            graph.node_count()
+        ));
+    }
+    let mut metas = Vec::with_capacity(manifest.meta_count);
+    for mi in 0..manifest.meta_count {
+        let bytes = store
+            .get(&format!("{name}/meta-{mi}"))
+            .ok_or_else(|| format!("missing blob for meta document {mi}"))?;
+        let md: MetaDocument = pagestore::from_bytes(&bytes).map_err(|e| e.to_string())?;
+        metas.push(md);
+    }
+    Ok(Flix::from_raw_parts(
+        graph,
+        manifest.config,
+        metas,
+        manifest.meta_of,
+        manifest.local_of,
+        manifest.runtime_links,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pee::QueryOptions;
+    use pagestore::{BufferPool, MemDisk};
+    use xmlgraph::{Collection, Document, LinkTarget};
+
+    fn sample() -> Arc<CollectionGraph> {
+        let mut c = Collection::new();
+        let a = c.tags.intern("a");
+        let b = c.tags.intern("b");
+        let mut d0 = Document::new("d0.xml");
+        let r = d0.add_element(a, None);
+        let k = d0.add_element(b, Some(r));
+        d0.add_link(
+            k,
+            LinkTarget {
+                document: Some("d1.xml".into()),
+                fragment: None,
+            },
+        );
+        let mut d1 = Document::new("d1.xml");
+        let r1 = d1.add_element(b, None);
+        d1.add_element(b, Some(r1));
+        c.add_document(d0).unwrap();
+        c.add_document(d1).unwrap();
+        Arc::new(c.seal())
+    }
+
+    fn store() -> BlobStore {
+        BlobStore::new(Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 64)))
+    }
+
+    #[test]
+    fn save_load_round_trip_answers_identically() {
+        let cg = sample();
+        let b = cg.collection.tags.get("b").unwrap();
+        for config in [
+            FlixConfig::Naive,
+            FlixConfig::MaximalPpo,
+            FlixConfig::UnconnectedHopi { partition_size: 3 },
+            FlixConfig::Monolithic(crate::config::StrategyKind::Apex),
+        ] {
+            let flix = Flix::build(cg.clone(), config);
+            let want = flix.find_descendants(0, b, &QueryOptions::default());
+            let mut st = store();
+            save_flix(&flix, &mut st, "fw").unwrap();
+            let loaded = load_flix(&st, "fw", cg.clone()).unwrap();
+            assert_eq!(loaded.config(), config);
+            let got = loaded.find_descendants(0, b, &QueryOptions::default());
+            assert_eq!(want, got, "config {config}");
+        }
+    }
+
+    #[test]
+    fn missing_framework_errors() {
+        let st = store();
+        assert!(load_flix(&st, "nope", sample()).is_err());
+    }
+
+    #[test]
+    fn wrong_collection_rejected() {
+        let cg = sample();
+        let flix = Flix::build(cg, FlixConfig::Naive);
+        let mut st = store();
+        save_flix(&flix, &mut st, "fw").unwrap();
+        // a different (smaller) collection
+        let mut c2 = Collection::new();
+        let t = c2.tags.intern("x");
+        let mut d = Document::new("only.xml");
+        d.add_element(t, None);
+        c2.add_document(d).unwrap();
+        let err = load_flix(&st, "fw", Arc::new(c2.seal())).unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+}

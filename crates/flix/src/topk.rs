@@ -1,0 +1,295 @@
+//! Sequential-read top-k aggregation — Fagin's "no random access"
+//! threshold algorithm ([8] in the paper).
+//!
+//! §3.1: a search engine over FliX "may even stop the execution when it
+//! can determine that it has produced the top k results (e.g., using an
+//! algorithm similar to Fagin's threshold algorithm with only sequential
+//! reads)". This module implements that operator: several result streams,
+//! each yielding `(node, score)` pairs in descending score order (e.g. one
+//! stream per `~tag` expansion of a vague query), are merged into the
+//! guaranteed top-k under a monotonic aggregation, reading every stream
+//! strictly sequentially.
+//!
+//! The classic NRA bookkeeping applies: for every seen node keep a lower
+//! bound (scores seen) and an upper bound (lower bound plus the current
+//! stream frontiers for streams that have not yet mentioned it); stop when
+//! the k-th best lower bound is at least every other candidate's upper
+//! bound and at least the best score any unseen node could still reach.
+
+use graphcore::NodeId;
+use std::collections::HashMap;
+
+/// How scores from different streams combine for one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Sum of per-stream scores (Fagin's classic setting).
+    Sum,
+    /// Maximum per-stream score (vague queries: best-matching expansion).
+    Max,
+}
+
+impl Aggregation {
+    fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            Aggregation::Sum => a + b,
+            Aggregation::Max => a.max(b),
+        }
+    }
+
+    /// Upper-bound contribution of the streams a node has not appeared in,
+    /// given those streams' current frontier scores.
+    fn unseen_bound(self, seen: f64, frontiers: &[f64], seen_mask: u32) -> f64 {
+        let mut bound = seen;
+        for (i, &f) in frontiers.iter().enumerate() {
+            if seen_mask & (1 << i) == 0 {
+                bound = self.combine(bound, f);
+            }
+        }
+        bound
+    }
+}
+
+/// One ranked answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKResult {
+    /// The node.
+    pub node: NodeId,
+    /// Its aggregated score (exact at emission time).
+    pub score: f64,
+}
+
+/// Merges up to 32 descending-score streams into the guaranteed top-k.
+///
+/// Streams **must** be sorted by descending score; this is checked with
+/// debug assertions. Returns the top-k sorted by descending score (ties by
+/// node id ascending). Reads each stream only as far as needed.
+pub fn top_k_nra<I>(streams: Vec<I>, k: usize, agg: Aggregation) -> Vec<TopKResult>
+where
+    I: Iterator<Item = (NodeId, f64)>,
+{
+    assert!(streams.len() <= 32, "at most 32 streams (seen-mask width)");
+    if k == 0 || streams.is_empty() {
+        return Vec::new();
+    }
+    let n_streams = streams.len();
+    let mut streams: Vec<std::iter::Peekable<I>> =
+        streams.into_iter().map(Iterator::peekable).collect();
+    // frontier[i]: the score the next unread entry of stream i may have
+    // (+inf until the first read tells us better; 0 when exhausted).
+    let mut frontiers = vec![f64::INFINITY; n_streams];
+    // node -> (lower bound, bitmask of streams seen in)
+    let mut state: HashMap<NodeId, (f64, u32)> = HashMap::new();
+    let mut last_scores = vec![f64::INFINITY; n_streams];
+
+    loop {
+        // One sequential round over all live streams.
+        let mut progressed = false;
+        for i in 0..n_streams {
+            let Some(&(node, score)) = streams[i].peek() else {
+                frontiers[i] = 0.0;
+                continue;
+            };
+            debug_assert!(
+                score <= last_scores[i],
+                "stream {i} not sorted descending"
+            );
+            last_scores[i] = score;
+            streams[i].next();
+            progressed = true;
+            frontiers[i] = score; // the next entry scores at most this
+            let e = state.entry(node).or_insert((match agg {
+                Aggregation::Sum => 0.0,
+                Aggregation::Max => f64::NEG_INFINITY,
+            }, 0));
+            e.0 = agg.combine(e.0, score);
+            e.1 |= 1 << i;
+        }
+        for i in 0..n_streams {
+            if streams[i].peek().is_none() {
+                frontiers[i] = 0.0;
+            }
+        }
+
+        // Current top-k by lower bound.
+        let mut ranked: Vec<(&NodeId, &(f64, u32))> = state.iter().collect();
+        ranked.sort_by(|a, b| {
+            b.1 .0
+                .partial_cmp(&a.1 .0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(b.0))
+        });
+        let kth_lower = if ranked.len() >= k {
+            ranked[k - 1].1 .0
+        } else {
+            f64::NEG_INFINITY
+        };
+        // Can anything still beat the k-th? Either a seen non-top node's
+        // upper bound, or an entirely unseen node's best possible score.
+        let frontier_ready = frontiers.iter().all(|f| f.is_finite());
+        if frontier_ready && ranked.len() >= k {
+            let unseen_best = frontiers
+                .iter()
+                .fold(match agg {
+                    Aggregation::Sum => 0.0,
+                    Aggregation::Max => f64::NEG_INFINITY,
+                }, |acc, &f| agg.combine(acc, f));
+            let mut blocked = unseen_best > kth_lower;
+            if !blocked {
+                for (_, &(lower, mask)) in ranked.iter().skip(k) {
+                    if agg.unseen_bound(lower, &frontiers, mask) > kth_lower {
+                        blocked = true;
+                        break;
+                    }
+                }
+                // top-k candidates themselves may still be uncertain
+                // relative to each other, but their membership is settled;
+                // their final scores only need the remaining reads if the
+                // caller wants exact scores — NRA emits once membership is
+                // certain, and Sum lower bounds are exact once every stream
+                // either listed the node or ran dry.
+                if !blocked {
+                    for (_, &(lower, mask)) in ranked.iter().take(k) {
+                        let upper = agg.unseen_bound(lower, &frontiers, mask);
+                        if upper > lower && frontiers.iter().any(|&f| f > 0.0) {
+                            blocked = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !blocked {
+                return ranked
+                    .into_iter()
+                    .take(k)
+                    .map(|(&node, &(score, _))| TopKResult { node, score })
+                    .collect();
+            }
+        }
+        if !progressed {
+            // all streams exhausted: lower bounds are final
+            return ranked
+                .into_iter()
+                .take(k)
+                .map(|(&node, &(score, _))| TopKResult { node, score })
+                .collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[allow(clippy::unnecessary_to_owned)] // the owning iterator type is the point
+    fn s(pairs: &[(u32, f64)]) -> std::vec::IntoIter<(u32, f64)> {
+        pairs.to_vec().into_iter()
+    }
+
+    #[test]
+    fn single_stream_is_prefix() {
+        let out = top_k_nra(vec![s(&[(1, 0.9), (2, 0.7), (3, 0.5)])], 2, Aggregation::Max);
+        assert_eq!(
+            out,
+            vec![
+                TopKResult { node: 1, score: 0.9 },
+                TopKResult { node: 2, score: 0.7 }
+            ]
+        );
+    }
+
+    #[test]
+    fn sum_aggregation_combines_streams() {
+        // node 3 is mediocre everywhere but wins on the sum
+        let a = s(&[(1, 0.9), (3, 0.6), (2, 0.1)]);
+        let b = s(&[(2, 0.8), (3, 0.6), (1, 0.05)]);
+        let out = top_k_nra(vec![a, b], 1, Aggregation::Sum);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].node, 3);
+        assert!((out[0].score - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_aggregation_takes_best_expansion() {
+        let a = s(&[(1, 0.9), (2, 0.5)]);
+        let b = s(&[(2, 0.8), (1, 0.2)]);
+        let out = top_k_nra(vec![a, b], 2, Aggregation::Max);
+        assert_eq!(out[0], TopKResult { node: 1, score: 0.9 });
+        assert_eq!(out[1], TopKResult { node: 2, score: 0.8 });
+    }
+
+    #[test]
+    fn early_termination_skips_tails() {
+        // a long tail that must never be read once the top-1 is certain
+        let head = vec![(1u32, 1.0), (2, 0.9)];
+        let tail: Vec<(u32, f64)> = (3..1000u32).map(|i| (i, 0.8 - i as f64 * 1e-4)).collect();
+        let mut all = head;
+        all.extend(tail);
+        let reads = std::cell::Cell::new(0usize);
+        let counting = all.into_iter().inspect(|_| reads.set(reads.get() + 1));
+        let out = top_k_nra(vec![counting], 1, Aggregation::Max);
+        assert_eq!(out[0].node, 1);
+        assert!(
+            reads.get() < 10,
+            "read {} entries instead of stopping early",
+            reads.get()
+        );
+    }
+
+    #[test]
+    fn agrees_with_exhaustive_merge() {
+        // pseudo-random streams, compare against full materialisation
+        for seed in 0..10u32 {
+            let mk = |salt: u32| {
+                let mut v: Vec<(u32, f64)> = (0..30u32)
+                    .map(|i| {
+                        let x = (i
+                            .wrapping_mul(2654435761)
+                            .wrapping_add(seed * 97 + salt))
+                            % 1000;
+                        (i % 17, x as f64 / 1000.0)
+                    })
+                    .collect();
+                // keep one entry per node per stream (highest), descending
+                v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+                let mut seen = std::collections::HashSet::new();
+                v.retain(|(n, _)| seen.insert(*n));
+                v
+            };
+            let s1 = mk(1);
+            let s2 = mk(2);
+            let s3 = mk(3);
+            let mut exact: HashMap<u32, f64> = HashMap::new();
+            for (n, sc) in s1.iter().chain(&s2).chain(&s3) {
+                let e = exact.entry(*n).or_insert(0.0);
+                *e += sc;
+            }
+            let mut want: Vec<(u32, f64)> = exact.into_iter().collect();
+            want.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            let got = top_k_nra(
+                vec![s1.into_iter(), s2.into_iter(), s3.into_iter()],
+                5,
+                Aggregation::Sum,
+            );
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.node, w.0, "seed {seed}");
+                assert!((g.score - w.1).abs() < 1e-9, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_streams() {
+        assert!(top_k_nra(vec![s(&[(1, 0.5)])], 0, Aggregation::Max).is_empty());
+        assert!(top_k_nra(Vec::<std::vec::IntoIter<(u32, f64)>>::new(), 3, Aggregation::Max)
+            .is_empty());
+        let out = top_k_nra(vec![s(&[])], 3, Aggregation::Sum);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fewer_results_than_k() {
+        let out = top_k_nra(vec![s(&[(7, 0.4)])], 5, Aggregation::Max);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].node, 7);
+    }
+}

@@ -1,0 +1,225 @@
+//! Self-tuning (paper §7): watch the query load and recognise when the
+//! meta-document choice has gone stale.
+//!
+//! "If it turns out in the query evaluation engine that most queries have
+//! to follow many links, then the choice of meta documents is no longer
+//! optimal for the current query load. In this case, the build phase
+//! should start again, taking statistics on the query load into account."
+//!
+//! [`LoadMonitor`] accumulates [`PeeStats`] per query; [`LoadMonitor::
+//! recommend`] turns the aggregate into a rebuild recommendation: many
+//! entry pops per query mean results are scattered over meta documents
+//! (make them bigger), while single-pop queries over an oversized
+//! monolithic index suggest partitioning would shed index size for free.
+
+use crate::config::{FlixConfig, StrategyKind};
+use crate::pee::PeeStats;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated query-load statistics.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct LoadMonitor {
+    queries: u64,
+    entries_popped: u64,
+    entries_subsumed: u64,
+    links_expanded: u64,
+    results: u64,
+}
+
+/// The monitor's verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Recommendation {
+    /// The configuration still fits the load.
+    Keep,
+    /// Rebuild with the suggested configuration.
+    Rebuild {
+        /// Suggested replacement configuration.
+        suggestion: FlixConfig,
+        /// Human-readable justification.
+        reason: String,
+    },
+}
+
+impl LoadMonitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one evaluated query.
+    pub fn record(&mut self, stats: PeeStats, results: usize) {
+        self.queries += 1;
+        self.entries_popped += stats.entries_popped as u64;
+        self.entries_subsumed += stats.entries_subsumed as u64;
+        self.links_expanded += stats.links_expanded as u64;
+        self.results += results as u64;
+    }
+
+    /// Number of queries observed.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Mean meta-document lookups per query.
+    pub fn avg_lookups(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            (self.entries_popped + self.entries_subsumed) as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean runtime links chased per query.
+    pub fn avg_links(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.links_expanded as f64 / self.queries as f64
+        }
+    }
+
+    /// Verdict for the current configuration.
+    ///
+    /// `min_queries` guards against deciding on too small a sample.
+    pub fn recommend(&self, current: FlixConfig, min_queries: u64) -> Recommendation {
+        if self.queries < min_queries {
+            return Recommendation::Keep;
+        }
+        let lookups = self.avg_lookups();
+        // Most queries follow many links: meta documents are too small for
+        // this load (§7's trigger condition).
+        if lookups > 8.0 {
+            let suggestion = match current {
+                FlixConfig::Naive => FlixConfig::MaximalPpo,
+                FlixConfig::MaximalPpo => FlixConfig::UnconnectedHopi {
+                    partition_size: 5_000,
+                },
+                FlixConfig::UnconnectedHopi { partition_size } => FlixConfig::UnconnectedHopi {
+                    partition_size: partition_size.saturating_mul(4),
+                },
+                FlixConfig::Hybrid { partition_size } => FlixConfig::Hybrid {
+                    partition_size: partition_size.saturating_mul(4),
+                },
+                FlixConfig::Monolithic(k) => FlixConfig::Monolithic(k),
+            };
+            if suggestion == current {
+                return Recommendation::Keep;
+            }
+            return Recommendation::Rebuild {
+                suggestion,
+                reason: format!(
+                    "queries average {lookups:.1} meta-document lookups; larger meta documents \
+                     would answer them in fewer hops"
+                ),
+            };
+        }
+        // Queries stay within one meta document but the index is the
+        // all-in-one HOPI: partitioning sheds label size with no query-time
+        // penalty for this load.
+        if lookups <= 1.5 && current == FlixConfig::Monolithic(StrategyKind::Hopi) {
+            return Recommendation::Rebuild {
+                suggestion: FlixConfig::UnconnectedHopi {
+                    partition_size: 20_000,
+                },
+                reason: format!(
+                    "queries average {lookups:.1} lookups; a partitioned index would answer \
+                     the same load with a fraction of the label storage"
+                ),
+            };
+        }
+        Recommendation::Keep
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(popped: usize, links: usize) -> PeeStats {
+        PeeStats {
+            entries_popped: popped,
+            entries_subsumed: 0,
+            block_results_scanned: 0,
+            links_expanded: links,
+        }
+    }
+
+    #[test]
+    fn too_few_queries_keep() {
+        let mut m = LoadMonitor::new();
+        m.record(stats(100, 300), 5);
+        assert_eq!(m.recommend(FlixConfig::Naive, 10), Recommendation::Keep);
+    }
+
+    #[test]
+    fn link_heavy_load_triggers_rebuild_chain() {
+        let mut m = LoadMonitor::new();
+        for _ in 0..20 {
+            m.record(stats(40, 120), 10);
+        }
+        match m.recommend(FlixConfig::Naive, 10) {
+            Recommendation::Rebuild { suggestion, .. } => {
+                assert_eq!(suggestion, FlixConfig::MaximalPpo)
+            }
+            r => panic!("expected rebuild, got {r:?}"),
+        }
+        match m.recommend(
+            FlixConfig::UnconnectedHopi {
+                partition_size: 5_000,
+            },
+            10,
+        ) {
+            Recommendation::Rebuild { suggestion, .. } => assert_eq!(
+                suggestion,
+                FlixConfig::UnconnectedHopi {
+                    partition_size: 20_000
+                }
+            ),
+            r => panic!("expected rebuild, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn local_load_keeps_partitioned_config() {
+        let mut m = LoadMonitor::new();
+        for _ in 0..20 {
+            m.record(stats(1, 0), 10);
+        }
+        assert_eq!(
+            m.recommend(
+                FlixConfig::UnconnectedHopi {
+                    partition_size: 5_000
+                },
+                10
+            ),
+            Recommendation::Keep
+        );
+    }
+
+    #[test]
+    fn local_load_shrinks_monolithic_hopi() {
+        let mut m = LoadMonitor::new();
+        for _ in 0..20 {
+            m.record(stats(1, 0), 10);
+        }
+        match m.recommend(FlixConfig::Monolithic(StrategyKind::Hopi), 10) {
+            Recommendation::Rebuild { suggestion, .. } => assert_eq!(
+                suggestion,
+                FlixConfig::UnconnectedHopi {
+                    partition_size: 20_000
+                }
+            ),
+            r => panic!("expected rebuild, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn averages() {
+        let mut m = LoadMonitor::new();
+        m.record(stats(4, 6), 2);
+        m.record(stats(2, 0), 1);
+        assert_eq!(m.queries(), 2);
+        assert!((m.avg_lookups() - 3.0).abs() < 1e-9);
+        assert!((m.avg_links() - 3.0).abs() < 1e-9);
+    }
+}

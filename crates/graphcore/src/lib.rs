@@ -1,0 +1,44 @@
+//! Directed-graph substrate used by every index in the FliX workspace.
+//!
+//! The crate provides:
+//!
+//! * a compact [`Digraph`] (CSR adjacency with forward and reverse edges),
+//! * classic traversals ([`traversal`]): BFS layers, unit-weight shortest
+//!   paths, multi-source searches, and a general Dijkstra,
+//! * [`scc`]: Tarjan strongly-connected components and graph condensation,
+//! * [`topo`]: topological ordering of DAGs,
+//! * [`spanning`]: spanning forests, tree/forest detection, and the
+//!   "almost a tree" edge-removal analysis used by FliX's *Maximal PPO*
+//!   configuration,
+//! * [`partition`]: the greedy size-capped edge-cut partitioner used by
+//!   HOPI's divide-and-conquer index builder,
+//! * [`closure`]: exact transitive closure and all-pairs distances, used as
+//!   a correctness oracle by tests and by the error-rate experiment,
+//! * [`bitset`]: a small fixed-size bitset backing the closure computation.
+//!
+//! Nodes are dense `u32` indices (see [`NodeId`]); all algorithms are
+//! allocation-conscious and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod closure;
+pub mod digraph;
+pub mod estimate;
+pub mod partition;
+pub mod scc;
+pub mod spanning;
+pub mod topo;
+pub mod traversal;
+
+pub use bitset::BitSet;
+pub use closure::{DistanceOracle, TransitiveClosure};
+pub use digraph::{Digraph, DigraphBuilder, NodeId};
+pub use estimate::{estimate_closure_size, estimate_descendant_counts};
+pub use partition::{partition_greedy, Partitioning};
+pub use scc::{condensation, tarjan_scc, Condensation};
+pub use spanning::{spanning_forest, tree_violations, ForestCheck};
+pub use topo::topological_order;
+pub use traversal::{bfs_distances, bfs_from, dfs_preorder, dijkstra, is_reachable, multi_source_bfs, Distance, INFINITE_DISTANCE};
+pub use spanning::is_forest;

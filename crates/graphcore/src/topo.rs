@@ -1,0 +1,68 @@
+//! Topological ordering (Kahn's algorithm).
+
+use crate::digraph::{Digraph, NodeId};
+
+/// Returns a topological order of `g`, or `None` if the graph has a cycle.
+///
+/// Ties are broken by ascending node id, making the order deterministic.
+pub fn topological_order(g: &Digraph) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut indeg: Vec<u32> = (0..n).map(|u| g.in_degree(u as NodeId) as u32).collect();
+    // A binary heap keyed on Reverse(id) gives smallest-id-first pops.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = indeg
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d == 0)
+        .map(|(u, _)| std::cmp::Reverse(u as NodeId))
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(u)) = ready.pop() {
+        order.push(u);
+        for &v in g.successors(u) {
+            indeg[v as usize] -= 1;
+            if indeg[v as usize] == 0 {
+                ready.push(std::cmp::Reverse(v));
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_a_dag() {
+        let g = Digraph::from_edges(5, [(0, 2), (1, 2), (2, 3), (2, 4)]);
+        let order = topological_order(&g).expect("dag");
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 5];
+            for (i, &u) in order.iter().enumerate() {
+                p[u as usize] = i;
+            }
+            p
+        };
+        for (u, v) in g.edges() {
+            assert!(pos[u as usize] < pos[v as usize], "{u} before {v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let g = Digraph::from_edges(4, [(0, 3), (1, 3), (2, 3)]);
+        assert_eq!(topological_order(&g).unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cycle_returns_none() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(topological_order(&g).is_none());
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_ordered() {
+        let g = Digraph::from_edges(0, []);
+        assert_eq!(topological_order(&g).unwrap(), Vec::<NodeId>::new());
+    }
+}

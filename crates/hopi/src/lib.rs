@@ -1,0 +1,34 @@
+//! HOPI — a two-hop-cover connection index with distance labels ([18] in
+//! the FliX paper, building on Cohen et al.'s 2-hop labels [6]).
+//!
+//! Every node `v` carries two label sets `L_in(v)` and `L_out(v)` of
+//! *(center, distance)* pairs such that there is a path `u -> v` iff
+//! `L_out(u) ∩ L_in(v) ≠ ∅`, and the path length is the minimum of
+//! `d(u,w) + d(w,v)` over the common centers `w`. Reachability and distance
+//! queries are label-set merges; descendant enumerations use an inverted
+//! center index.
+//!
+//! **Construction substitution (documented in DESIGN.md):** the original
+//! HOPI computes an approximate minimum 2-hop cover with a set-cover greedy
+//! over densest subgraphs of the transitive closure, made tractable by a
+//! divide-and-conquer partitioning step. We build the same label structure
+//! with pruned breadth-first searches from centers in descending-degree
+//! order (the technique later formalised as pruned landmark labelling).
+//! The resulting index has identical query semantics, *exact* distances,
+//! and the same asymptotic size behaviour (small for tree-like data,
+//! growing with link density), while being robustly fast to build — which
+//! is what the paper's experiments need from the HOPI building block.
+//!
+//! * [`labels::HopiIndex`] — the index: build, query, enumerate, size.
+//! * [`partitioned::UnconnectedHopi`] — the paper's §4.3 *Unconnected
+//!   HOPI*: partition the graph, index each partition separately, and leave
+//!   partition-crossing edges to the caller's run-time link chasing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod labels;
+pub mod partitioned;
+
+pub use labels::{BuildStats, HopiIndex};
+pub use partitioned::UnconnectedHopi;

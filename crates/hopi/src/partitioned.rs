@@ -1,0 +1,214 @@
+//! Unconnected HOPI (paper §4.3): per-partition 2-hop indexes.
+//!
+//! The divide-and-conquer HOPI builder first partitions the element graph
+//! into size-capped blocks with few crossing edges, then builds a 2-hop
+//! index per block, and finally joins the sub-indexes. *Unconnected HOPI*
+//! stops after the second step: each partition keeps its own index and the
+//! partition-crossing edges are left to the query evaluator, exactly like
+//! FliX's cross-meta-document links. This type packages steps one and two.
+
+use crate::labels::HopiIndex;
+use graphcore::{partition_greedy, Digraph, Distance, NodeId, Partitioning};
+
+/// Per-partition HOPI indexes plus the crossing edges.
+#[derive(Debug)]
+pub struct UnconnectedHopi {
+    partitioning: Partitioning,
+    /// One index per partition, over partition-local node ids.
+    indexes: Vec<HopiIndex>,
+    /// `local_of[u]` = u's id inside its partition.
+    local_of: Vec<u32>,
+    /// Partition-crossing edges in global ids, sorted by source.
+    crossing: Vec<(NodeId, NodeId)>,
+}
+
+impl UnconnectedHopi {
+    /// Partitions `g` into blocks of at most `max_size` nodes and indexes
+    /// each block.
+    pub fn build(g: &Digraph, node_labels: &[u32], max_size: usize) -> Self {
+        let partitioning = partition_greedy(g, max_size);
+        let mut local_of = vec![0u32; g.node_count()];
+        let mut indexes = Vec::with_capacity(partitioning.len());
+        for block in &partitioning.parts {
+            let (sub, mapping) = g.induced_subgraph(block);
+            for (local, &global) in mapping.iter().enumerate() {
+                local_of[global as usize] = local as u32;
+            }
+            let labels: Vec<u32> = mapping
+                .iter()
+                .map(|&gl| node_labels[gl as usize])
+                .collect();
+            indexes.push(HopiIndex::build(&sub, &labels));
+        }
+        let mut crossing: Vec<(NodeId, NodeId)> = g
+            .edges()
+            .filter(|&(u, v)| partitioning.part_of[u as usize] != partitioning.part_of[v as usize])
+            .collect();
+        crossing.sort_unstable();
+        Self {
+            partitioning,
+            indexes,
+            local_of,
+            crossing,
+        }
+    }
+
+    /// The partitioning used.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Partition id of a node.
+    pub fn partition_of(&self, u: NodeId) -> u32 {
+        self.partitioning.part_of[u as usize]
+    }
+
+    /// The index of one partition.
+    pub fn index_of_partition(&self, p: u32) -> &HopiIndex {
+        &self.indexes[p as usize]
+    }
+
+    /// Partition-local id of a node.
+    pub fn local_id(&self, u: NodeId) -> u32 {
+        self.local_of[u as usize]
+    }
+
+    /// Global id of a partition-local node.
+    pub fn global_id(&self, p: u32, local: u32) -> NodeId {
+        self.partitioning.parts[p as usize][local as usize]
+    }
+
+    /// Crossing edges out of `u` (global ids).
+    pub fn crossing_out_of(&self, u: NodeId) -> &[(NodeId, NodeId)] {
+        let start = self.crossing.partition_point(|&(s, _)| s < u);
+        let end = self.crossing.partition_point(|&(s, _)| s <= u);
+        &self.crossing[start..end]
+    }
+
+    /// All crossing edges.
+    pub fn crossing_edges(&self) -> &[(NodeId, NodeId)] {
+        &self.crossing
+    }
+
+    /// Within-partition distance between two *global* nodes, if they share
+    /// a partition and are connected inside it.
+    pub fn local_distance(&self, u: NodeId, v: NodeId) -> Option<Distance> {
+        let p = self.partition_of(u);
+        if p != self.partition_of(v) {
+            return None;
+        }
+        self.indexes[p as usize].distance(self.local_id(u), self.local_id(v))
+    }
+
+    /// Within-partition descendants of a global node, returned as global
+    /// `(node, distance)` pairs ascending by distance.
+    pub fn local_descendants(&self, u: NodeId, include_self: bool) -> Vec<(NodeId, Distance)> {
+        let p = self.partition_of(u);
+        self.indexes[p as usize]
+            .descendants(self.local_id(u), include_self)
+            .into_iter()
+            .map(|(l, d)| (self.global_id(p, l), d))
+            .collect()
+    }
+
+    /// Total label entries across all partitions.
+    pub fn label_entries(&self) -> usize {
+        self.indexes.iter().map(HopiIndex::label_entries).sum()
+    }
+
+    /// Approximate in-memory footprint: per-partition indexes plus the
+    /// crossing-edge table.
+    pub fn size_bytes(&self) -> usize {
+        self.indexes.iter().map(HopiIndex::size_bytes).sum::<usize>() + self.crossing.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphcore::DistanceOracle;
+
+    /// Two triangles bridged by one edge.
+    fn bridged() -> Digraph {
+        Digraph::from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        )
+    }
+
+    #[test]
+    fn partitions_respect_cap() {
+        let g = bridged();
+        let uh = UnconnectedHopi::build(&g, &[0; 6], 3);
+        assert!(uh.partitioning().parts.iter().all(|p| p.len() <= 3));
+        assert_eq!(uh.partitioning().len(), 2);
+        assert_eq!(uh.crossing_edges(), &[(2, 3)]);
+    }
+
+    #[test]
+    fn local_queries_exact_within_partition() {
+        let g = bridged();
+        let uh = UnconnectedHopi::build(&g, &[0; 6], 3);
+        let oracle = DistanceOracle::new(&g);
+        for u in 0..6u32 {
+            for v in 0..6u32 {
+                if uh.partition_of(u) == uh.partition_of(v) {
+                    assert_eq!(
+                        uh.local_distance(u, v),
+                        Some(oracle.distance(u, v)).filter(|&d| d != u32::MAX),
+                        "pair {u},{v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_partition_distance_is_none_locally() {
+        let g = bridged();
+        let uh = UnconnectedHopi::build(&g, &[0; 6], 3);
+        assert_eq!(uh.local_distance(0, 4), None);
+    }
+
+    #[test]
+    fn local_descendants_in_global_ids() {
+        let g = bridged();
+        let uh = UnconnectedHopi::build(&g, &[0; 6], 3);
+        let d = uh.local_descendants(0, false);
+        let mut nodes: Vec<NodeId> = d.iter().map(|&(v, _)| v).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 2]);
+        assert!(d.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn crossing_lookup_by_source() {
+        let g = bridged();
+        let uh = UnconnectedHopi::build(&g, &[0; 6], 3);
+        assert_eq!(uh.crossing_out_of(2), &[(2, 3)]);
+        assert!(uh.crossing_out_of(0).is_empty());
+    }
+
+    #[test]
+    fn round_trip_ids() {
+        let g = bridged();
+        let uh = UnconnectedHopi::build(&g, &[0; 6], 3);
+        for u in 0..6u32 {
+            let p = uh.partition_of(u);
+            assert_eq!(uh.global_id(p, uh.local_id(u)), u);
+        }
+    }
+
+    #[test]
+    fn single_partition_degenerates_to_plain_hopi() {
+        let g = bridged();
+        let uh = UnconnectedHopi::build(&g, &[0; 6], 100);
+        assert_eq!(uh.partitioning().len(), 1);
+        assert!(uh.crossing_edges().is_empty());
+        let oracle = DistanceOracle::new(&g);
+        assert_eq!(uh.local_distance(0, 5), {
+            let d = oracle.distance(0, 5);
+            (d != u32::MAX).then_some(d)
+        });
+    }
+}

@@ -1,0 +1,215 @@
+//! Named blob store: arbitrarily large byte strings chunked across pages.
+//!
+//! Index images (a serialised HOPI label set, a PPO number table, ...) are
+//! written as one blob per meta document. The directory itself lives in
+//! memory and is exported/imported as bytes so a catalogue page or file can
+//! persist it.
+
+use crate::buffer::BufferPool;
+use crate::page::{PageId, PAGE_SIZE};
+use bytes::{Buf, BufMut};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maximum chunk payload per page (leave room for the slot machinery).
+const CHUNK: usize = PAGE_SIZE - 64;
+
+/// A named blob store over a buffer pool.
+pub struct BlobStore {
+    pool: Arc<BufferPool>,
+    directory: HashMap<String, BlobEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct BlobEntry {
+    pages: Vec<PageId>,
+    len: u64,
+}
+
+impl BlobStore {
+    /// Creates an empty store in `pool`.
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        Self {
+            pool,
+            directory: HashMap::new(),
+        }
+    }
+
+    /// Writes (or overwrites) blob `name`.
+    pub fn put(&mut self, name: &str, data: &[u8]) {
+        let mut pages = Vec::with_capacity(data.len().div_ceil(CHUNK));
+        for chunk in data.chunks(CHUNK.max(1)) {
+            let id = self.pool.allocate();
+            self.pool.with_page_mut(id, |pg| {
+                pg.insert(chunk).expect("chunk fits an empty page");
+            });
+            pages.push(id);
+        }
+        self.directory.insert(
+            name.to_string(),
+            BlobEntry {
+                pages,
+                len: data.len() as u64,
+            },
+        );
+    }
+
+    /// Reads blob `name`.
+    pub fn get(&self, name: &str) -> Option<Vec<u8>> {
+        let entry = self.directory.get(name)?;
+        let mut out = Vec::with_capacity(entry.len as usize);
+        for &page in &entry.pages {
+            self.pool.with_page(page, |pg| {
+                out.extend_from_slice(pg.get(0).expect("blob chunk present"));
+            });
+        }
+        debug_assert_eq!(out.len() as u64, entry.len);
+        Some(out)
+    }
+
+    /// Removes a blob from the directory (pages are not recycled).
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.directory.remove(name).is_some()
+    }
+
+    /// Blob names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.directory.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Size of a blob in bytes, if present.
+    pub fn len_of(&self, name: &str) -> Option<u64> {
+        self.directory.get(name).map(|e| e.len)
+    }
+
+    /// Serialises the directory (name -> page list) for cataloguing.
+    pub fn export_directory(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut entries: Vec<(&String, &BlobEntry)> = self.directory.iter().collect();
+        entries.sort_by_key(|(name, _)| name.as_str());
+        buf.put_u32_le(entries.len() as u32);
+        for (name, entry) in entries {
+            buf.put_u32_le(name.len() as u32);
+            buf.put_slice(name.as_bytes());
+            buf.put_u64_le(entry.len);
+            buf.put_u32_le(entry.pages.len() as u32);
+            for &p in &entry.pages {
+                buf.put_u32_le(p);
+            }
+        }
+        buf
+    }
+
+    /// Restores a directory previously produced by
+    /// [`Self::export_directory`] over the same disk.
+    pub fn import_directory(pool: Arc<BufferPool>, mut data: &[u8]) -> Result<Self, String> {
+        let mut directory = HashMap::new();
+        if data.len() < 4 {
+            return Err("directory truncated".into());
+        }
+        let count = data.get_u32_le();
+        for _ in 0..count {
+            if data.len() < 4 {
+                return Err("directory truncated".into());
+            }
+            let name_len = data.get_u32_le() as usize;
+            if data.len() < name_len {
+                return Err("directory truncated".into());
+            }
+            let name = String::from_utf8(data[..name_len].to_vec())
+                .map_err(|_| "invalid blob name".to_string())?;
+            data.advance(name_len);
+            if data.len() < 12 {
+                return Err("directory truncated".into());
+            }
+            let len = data.get_u64_le();
+            let page_count = data.get_u32_le() as usize;
+            if data.len() < page_count * 4 {
+                return Err("directory truncated".into());
+            }
+            let mut pages = Vec::with_capacity(page_count);
+            for _ in 0..page_count {
+                pages.push(data.get_u32_le());
+            }
+            directory.insert(name, BlobEntry { pages, len });
+        }
+        Ok(Self { pool, directory })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn store() -> BlobStore {
+        BlobStore::new(Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 16)))
+    }
+
+    #[test]
+    fn small_blob_round_trip() {
+        let mut s = store();
+        s.put("a", b"hello blob");
+        assert_eq!(s.get("a").as_deref(), Some(&b"hello blob"[..]));
+        assert_eq!(s.len_of("a"), Some(10));
+        assert_eq!(s.get("missing"), None);
+    }
+
+    #[test]
+    fn multi_page_blob() {
+        let mut s = store();
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        s.put("big", &data);
+        assert_eq!(s.get("big").unwrap(), data);
+    }
+
+    #[test]
+    fn empty_blob() {
+        let mut s = store();
+        s.put("empty", b"");
+        assert_eq!(s.get("empty").as_deref(), Some(&b""[..]));
+    }
+
+    #[test]
+    fn overwrite_replaces_content() {
+        let mut s = store();
+        s.put("k", b"v1");
+        s.put("k", b"v2-longer");
+        assert_eq!(s.get("k").as_deref(), Some(&b"v2-longer"[..]));
+    }
+
+    #[test]
+    fn names_sorted_and_remove() {
+        let mut s = store();
+        s.put("zeta", b"1");
+        s.put("alpha", b"2");
+        assert_eq!(s.names(), vec!["alpha", "zeta"]);
+        assert!(s.remove("zeta"));
+        assert!(!s.remove("zeta"));
+        assert_eq!(s.names(), vec!["alpha"]);
+    }
+
+    #[test]
+    fn directory_export_import() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 16));
+        let mut s = BlobStore::new(pool.clone());
+        let data: Vec<u8> = (0..20_000u32).map(|i| (i % 13) as u8).collect();
+        s.put("idx/meta-0", &data);
+        s.put("idx/meta-1", b"tiny");
+        let dir = s.export_directory();
+        let s2 = BlobStore::import_directory(pool, &dir).unwrap();
+        assert_eq!(s2.get("idx/meta-0").unwrap(), data);
+        assert_eq!(s2.get("idx/meta-1").as_deref(), Some(&b"tiny"[..]));
+    }
+
+    #[test]
+    fn corrupt_directory_rejected() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 4));
+        assert!(BlobStore::import_directory(pool.clone(), &[1, 2]).is_err());
+        // valid count but truncated entry
+        let bad = 1u32.to_le_bytes().to_vec();
+        assert!(BlobStore::import_directory(pool, &bad).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Disk abstraction with I/O accounting.
+//!
+//! Two implementations: [`MemDisk`] (a `Vec` of frames, used by tests and
+//! the in-memory experiment mode) and [`FileDisk`] (one flat file, page id
+//! times page size addressing). Both count physical reads and writes so the
+//! benchmark harness can report I/O alongside wall-clock time — the paper's
+//! absolute numbers are dominated by database round trips, and the I/O
+//! counters are our substitute signal for that cost.
+
+use crate::page::{Page, PageId, PAGE_SIZE};
+use parking_lot::Mutex;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Physical I/O counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Pages read from the backing store.
+    pub reads: u64,
+    /// Pages written to the backing store.
+    pub writes: u64,
+}
+
+/// A page-granular backing store.
+pub trait DiskManager: Send + Sync {
+    /// Reads page `id`. Reading a never-written page yields a zero page.
+    fn read_page(&self, id: PageId) -> Page;
+    /// Writes page `id`.
+    fn write_page(&self, id: PageId, page: &Page);
+    /// Allocates a fresh page id.
+    fn allocate(&self) -> PageId;
+    /// Number of allocated pages.
+    fn page_count(&self) -> u64;
+    /// I/O counters since creation.
+    fn stats(&self) -> DiskStats;
+}
+
+/// In-memory disk: frames live in a `Vec`.
+#[derive(Default)]
+pub struct MemDisk {
+    frames: Mutex<Vec<Option<Vec<u8>>>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl MemDisk {
+    /// Creates an empty in-memory disk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl DiskManager for MemDisk {
+    fn read_page(&self, id: PageId) -> Page {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let frames = self.frames.lock();
+        match frames.get(id as usize).and_then(|f| f.as_ref()) {
+            Some(bytes) => Page::from_bytes(bytes.clone()),
+            None => Page::new(),
+        }
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut frames = self.frames.lock();
+        if frames.len() <= id as usize {
+            frames.resize(id as usize + 1, None);
+        }
+        frames[id as usize] = Some(page.bytes().to_vec());
+    }
+
+    fn allocate(&self) -> PageId {
+        let mut frames = self.frames.lock();
+        frames.push(None);
+        (frames.len() - 1) as PageId
+    }
+
+    fn page_count(&self) -> u64 {
+        self.frames.lock().len() as u64
+    }
+
+    fn stats(&self) -> DiskStats {
+        DiskStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// File-backed disk: page `i` lives at byte offset `i * PAGE_SIZE`.
+pub struct FileDisk {
+    file: Mutex<std::fs::File>,
+    pages: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl FileDisk {
+    /// Opens (creating if needed) the file at `path`.
+    pub fn open(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Self {
+            file: Mutex::new(file),
+            pages: AtomicU64::new(len / PAGE_SIZE as u64),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        })
+    }
+}
+
+impl DiskManager for FileDisk {
+    fn read_page(&self, id: PageId) -> Page {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let mut file = self.file.lock();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let off = id as u64 * PAGE_SIZE as u64;
+        if file.seek(SeekFrom::Start(off)).is_ok() {
+            // Short reads (past EOF) leave the zero prefix, matching the
+            // "never written page reads as zeroes" contract.
+            let mut filled = 0;
+            while filled < PAGE_SIZE {
+                match file.read(&mut buf[filled..]) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => filled += n,
+                }
+            }
+        }
+        Page::from_bytes(buf)
+    }
+
+    fn write_page(&self, id: PageId, page: &Page) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut file = self.file.lock();
+        let off = id as u64 * PAGE_SIZE as u64;
+        let _ = file
+            .seek(SeekFrom::Start(off))
+            .and_then(|_| file.write_all(page.bytes()));
+        let needed = id as u64 + 1;
+        self.pages.fetch_max(needed, Ordering::Relaxed);
+    }
+
+    fn allocate(&self) -> PageId {
+        (self.pages.fetch_add(1, Ordering::Relaxed)) as PageId
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.load(Ordering::Relaxed)
+    }
+
+    fn stats(&self) -> DiskStats {
+        DiskStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &dyn DiskManager) {
+        let p0 = disk.allocate();
+        let p1 = disk.allocate();
+        assert_ne!(p0, p1);
+        let mut page = Page::new();
+        page.insert(b"page-one").unwrap();
+        disk.write_page(p1, &page);
+        let back = disk.read_page(p1);
+        assert_eq!(back.get(0), Some(&b"page-one"[..]));
+        // unwritten page reads as empty
+        let empty = disk.read_page(p0);
+        assert_eq!(empty.slot_count(), 0);
+        let s = disk.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert!(disk.page_count() >= 2);
+    }
+
+    #[test]
+    fn mem_disk_round_trip() {
+        exercise(&MemDisk::new());
+    }
+
+    #[test]
+    fn file_disk_round_trip() {
+        let dir = std::env::temp_dir().join(format!("pagestore-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk.db");
+        let _ = std::fs::remove_file(&path);
+        exercise(&FileDisk::open(&path).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_disk_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("pagestore-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("disk.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let disk = FileDisk::open(&path).unwrap();
+            let id = disk.allocate();
+            let mut page = Page::new();
+            page.insert(b"durable").unwrap();
+            disk.write_page(id, &page);
+        }
+        {
+            let disk = FileDisk::open(&path).unwrap();
+            assert_eq!(disk.page_count(), 1);
+            assert_eq!(disk.read_page(0).get(0), Some(&b"durable"[..]));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

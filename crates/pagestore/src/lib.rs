@@ -1,0 +1,27 @@
+//! Page-based storage engine backing the FliX indexes.
+//!
+//! The paper's prototype stored every index in Oracle tables; this crate is
+//! the equivalent substrate: slotted pages ([`page`]), a disk abstraction
+//! with I/O accounting ([`disk`]), a latching buffer pool with LRU eviction
+//! ([`buffer`]), heap tables of variable-length records ([`table`]), and a
+//! named blob store for serialised index images ([`blob`]).
+//!
+//! Everything is synchronous and latch-based (`parking_lot`); there is no
+//! WAL or recovery because the paper's indexes are rebuilt, not mutated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blob;
+pub mod buffer;
+pub mod codec;
+pub mod disk;
+pub mod page;
+pub mod table;
+
+pub use blob::BlobStore;
+pub use codec::{from_bytes, to_bytes, CodecError};
+pub use buffer::BufferPool;
+pub use disk::{DiskManager, DiskStats, FileDisk, MemDisk};
+pub use page::{Page, PageId, SlotId, PAGE_SIZE};
+pub use table::{HeapTable, RecordId};

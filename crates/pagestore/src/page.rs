@@ -1,0 +1,229 @@
+//! Slotted pages: variable-length records inside fixed 8 KiB frames.
+//!
+//! Layout (all offsets little-endian `u16`):
+//!
+//! ```text
+//! [slot_count][free_end][slot 0 off][slot 0 len] ... | free | records...]
+//! ```
+//!
+//! Slots grow from the front, record payloads from the back; a slot with
+//! `len == TOMBSTONE` marks a deleted record. Page bytes are plain `Vec<u8>`
+//! so they move through the disk layer without copies beyond the pool frame.
+
+/// Fixed page size (8 KiB, a common DBMS default).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Page identifier within one disk file.
+pub type PageId = u32;
+
+/// Slot index inside one page.
+pub type SlotId = u16;
+
+const HEADER: usize = 4;
+const SLOT_BYTES: usize = 4;
+const TOMBSTONE: u16 = u16::MAX;
+
+/// An 8 KiB slotted page.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    data: Vec<u8>,
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("slots", &self.slot_count())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page.
+    pub fn new() -> Self {
+        let mut data = vec![0u8; PAGE_SIZE];
+        write_u16(&mut data, 2, PAGE_SIZE as u16); // free_end
+        Self { data }
+    }
+
+    /// Wraps raw page bytes read from disk. An all-zero frame (a page that
+    /// was allocated but never written, e.g. read back from a sparse file)
+    /// is normalised into a fresh empty page.
+    ///
+    /// # Panics
+    /// If `data` is not exactly [`PAGE_SIZE`] bytes.
+    pub fn from_bytes(mut data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), PAGE_SIZE, "page must be {PAGE_SIZE} bytes");
+        if read_u16(&data, 0) == 0 && read_u16(&data, 2) == 0 {
+            write_u16(&mut data, 2, PAGE_SIZE as u16);
+        }
+        Self { data }
+    }
+
+    /// The raw bytes (for the disk layer).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Number of slots ever allocated (including tombstones).
+    pub fn slot_count(&self) -> u16 {
+        read_u16(&self.data, 0)
+    }
+
+    fn free_end(&self) -> u16 {
+        read_u16(&self.data, 2)
+    }
+
+    /// Contiguous free bytes available for one more record + slot.
+    pub fn free_space(&self) -> usize {
+        let slots_end = HEADER + self.slot_count() as usize * SLOT_BYTES;
+        (self.free_end() as usize).saturating_sub(slots_end)
+    }
+
+    /// True if a record of `len` bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        len < u16::MAX as usize && self.free_space() >= len + SLOT_BYTES
+    }
+
+    /// Inserts a record, returning its slot, or `None` if it does not fit.
+    pub fn insert(&mut self, record: &[u8]) -> Option<SlotId> {
+        if !self.fits(record.len()) {
+            return None;
+        }
+        let slot = self.slot_count();
+        let new_end = self.free_end() as usize - record.len();
+        self.data[new_end..new_end + record.len()].copy_from_slice(record);
+        let slot_off = HEADER + slot as usize * SLOT_BYTES;
+        write_u16(&mut self.data, slot_off, new_end as u16);
+        write_u16(&mut self.data, slot_off + 2, record.len() as u16);
+        write_u16(&mut self.data, 0, slot + 1);
+        write_u16(&mut self.data, 2, new_end as u16);
+        Some(slot)
+    }
+
+    /// Reads a record. `None` for out-of-range or deleted slots.
+    pub fn get(&self, slot: SlotId) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let slot_off = HEADER + slot as usize * SLOT_BYTES;
+        let off = read_u16(&self.data, slot_off) as usize;
+        let len = read_u16(&self.data, slot_off + 2);
+        if len == TOMBSTONE {
+            return None;
+        }
+        Some(&self.data[off..off + len as usize])
+    }
+
+    /// Tombstones a record; returns true if it was live. Space is not
+    /// reclaimed (rebuild-only workloads never need compaction).
+    pub fn delete(&mut self, slot: SlotId) -> bool {
+        if slot >= self.slot_count() {
+            return false;
+        }
+        let slot_off = HEADER + slot as usize * SLOT_BYTES;
+        if read_u16(&self.data, slot_off + 2) == TOMBSTONE {
+            return false;
+        }
+        write_u16(&mut self.data, slot_off + 2, TOMBSTONE);
+        true
+    }
+
+    /// Iterates over live `(slot, record)` pairs.
+    pub fn records(&self) -> impl Iterator<Item = (SlotId, &[u8])> {
+        (0..self.slot_count()).filter_map(move |s| self.get(s).map(|r| (s, r)))
+    }
+}
+
+fn read_u16(data: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([data[off], data[off + 1]])
+}
+
+fn write_u16(data: &mut [u8], off: usize, v: u16) {
+    data[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = Page::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn empty_record_allowed() {
+        let mut p = Page::new();
+        let s = p.insert(b"").unwrap();
+        assert_eq!(p.get(s), Some(&b""[..]));
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut p = Page::new();
+        let a = p.insert(b"abc").unwrap();
+        assert!(p.delete(a));
+        assert!(!p.delete(a));
+        assert_eq!(p.get(a), None);
+        assert_eq!(p.records().count(), 0);
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut p = Page::new();
+        let rec = vec![7u8; 1000];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        // 8 pages of ~1004 bytes each fit in 8188 usable bytes
+        assert_eq!(n, 8);
+        assert!(!p.fits(1000));
+        assert!(p.fits(10)); // small records still fit
+    }
+
+    #[test]
+    fn out_of_range_get() {
+        let p = Page::new();
+        assert_eq!(p.get(0), None);
+        assert_eq!(p.get(999), None);
+    }
+
+    #[test]
+    fn round_trip_through_bytes() {
+        let mut p = Page::new();
+        p.insert(b"persisted").unwrap();
+        let q = Page::from_bytes(p.bytes().to_vec());
+        assert_eq!(q.get(0), Some(&b"persisted"[..]));
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn records_skips_tombstones() {
+        let mut p = Page::new();
+        p.insert(b"a").unwrap();
+        let b = p.insert(b"b").unwrap();
+        p.insert(b"c").unwrap();
+        p.delete(b);
+        let live: Vec<_> = p.records().map(|(_, r)| r.to_vec()).collect();
+        assert_eq!(live, vec![b"a".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut p = Page::new();
+        assert!(p.insert(&vec![0u8; PAGE_SIZE]).is_none());
+    }
+}

@@ -1,0 +1,180 @@
+//! Heap tables: append-only collections of variable-length records.
+//!
+//! A [`HeapTable`] owns a chain of pages in a buffer pool. Records larger
+//! than a page are rejected (the index layers chunk their payloads through
+//! [`crate::blob::BlobStore`] instead). Record ids are `(page, slot)` pairs
+//! and remain stable for the table's lifetime.
+
+use crate::buffer::BufferPool;
+use crate::page::{PageId, SlotId};
+use std::sync::Arc;
+
+/// Stable address of a record in a heap table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Owning page.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: SlotId,
+}
+
+/// An append-only heap table over a buffer pool.
+pub struct HeapTable {
+    pool: Arc<BufferPool>,
+    pages: Vec<PageId>,
+}
+
+impl HeapTable {
+    /// Creates an empty table in `pool`.
+    pub fn create(pool: Arc<BufferPool>) -> Self {
+        Self {
+            pool,
+            pages: Vec::new(),
+        }
+    }
+
+    /// Reopens a table from its page list (as persisted by the caller).
+    pub fn open(pool: Arc<BufferPool>, pages: Vec<PageId>) -> Self {
+        Self { pool, pages }
+    }
+
+    /// The table's page chain (persist this to reopen the table later).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Appends a record.
+    ///
+    /// # Errors
+    /// If the record cannot fit in an empty page.
+    pub fn insert(&mut self, record: &[u8]) -> Result<RecordId, String> {
+        if let Some(&last) = self.pages.last() {
+            let slot = self.pool.with_page_mut(last, |pg| pg.insert(record));
+            if let Some(slot) = slot {
+                return Ok(RecordId { page: last, slot });
+            }
+        }
+        let fresh = self.pool.allocate();
+        let slot = self
+            .pool
+            .with_page_mut(fresh, |pg| pg.insert(record))
+            .ok_or_else(|| format!("record of {} bytes exceeds page capacity", record.len()))?;
+        self.pages.push(fresh);
+        Ok(RecordId { page: fresh, slot })
+    }
+
+    /// Reads a record by id.
+    pub fn get(&self, rid: RecordId) -> Option<Vec<u8>> {
+        if !self.pages.contains(&rid.page) {
+            return None;
+        }
+        self.pool
+            .with_page(rid.page, |pg| pg.get(rid.slot).map(<[u8]>::to_vec))
+    }
+
+    /// Deletes a record; returns true if it was live.
+    pub fn delete(&mut self, rid: RecordId) -> bool {
+        if !self.pages.contains(&rid.page) {
+            return false;
+        }
+        self.pool.with_page_mut(rid.page, |pg| pg.delete(rid.slot))
+    }
+
+    /// Full scan in insertion order, materialising each record.
+    pub fn scan(&self) -> Vec<(RecordId, Vec<u8>)> {
+        let mut out = Vec::new();
+        for &page in &self.pages {
+            self.pool.with_page(page, |pg| {
+                for (slot, rec) in pg.records() {
+                    out.push((RecordId { page, slot }, rec.to_vec()));
+                }
+            });
+        }
+        out
+    }
+
+    /// Number of live records (scans the table).
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        for &page in &self.pages {
+            n += self.pool.with_page(page, |pg| pg.records().count());
+        }
+        n
+    }
+
+    /// True if the table holds no live records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn table() -> HeapTable {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 8));
+        HeapTable::create(pool)
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut t = table();
+        let a = t.insert(b"alpha").unwrap();
+        let b = t.insert(b"beta").unwrap();
+        assert_eq!(t.get(a).as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(t.get(b).as_deref(), Some(&b"beta"[..]));
+        assert!(t.delete(a));
+        assert_eq!(t.get(a), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn spills_to_new_pages() {
+        let mut t = table();
+        let rec = vec![1u8; 3000];
+        let ids: Vec<RecordId> = (0..10).map(|_| t.insert(&rec).unwrap()).collect();
+        assert!(t.pages().len() >= 4, "3 KiB records, 2 per 8 KiB page");
+        for id in ids {
+            assert_eq!(t.get(id).unwrap().len(), 3000);
+        }
+    }
+
+    #[test]
+    fn scan_in_insertion_order() {
+        let mut t = table();
+        for i in 0..100u32 {
+            t.insert(&i.to_le_bytes()).unwrap();
+        }
+        let scanned = t.scan();
+        assert_eq!(scanned.len(), 100);
+        for (i, (_, rec)) in scanned.iter().enumerate() {
+            assert_eq!(u32::from_le_bytes(rec[..4].try_into().unwrap()), i as u32);
+        }
+    }
+
+    #[test]
+    fn oversized_record_errors() {
+        let mut t = table();
+        assert!(t.insert(&vec![0u8; crate::page::PAGE_SIZE]).is_err());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn reopen_preserves_records() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 8));
+        let mut t = HeapTable::create(pool.clone());
+        let rid = t.insert(b"survivor").unwrap();
+        let pages = t.pages().to_vec();
+        drop(t);
+        let t2 = HeapTable::open(pool, pages);
+        assert_eq!(t2.get(rid).as_deref(), Some(&b"survivor"[..]));
+    }
+
+    #[test]
+    fn foreign_record_id_rejected() {
+        let t = table();
+        assert_eq!(t.get(RecordId { page: 42, slot: 0 }), None);
+    }
+}

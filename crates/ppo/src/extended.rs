@@ -1,0 +1,216 @@
+//! Extended PPO: the paper's §4.3 adaptation of the pre/postorder index to
+//! graphs with links.
+//!
+//! Given an arbitrary element graph, [`ExtendedPpo::build`] computes a
+//! spanning forest, indexes it with the classic [`PpoIndex`], and keeps the
+//! removed edges as *runtime links*. Reachability through the forest is
+//! answered from the index; anything passing through a removed edge is the
+//! caller's job (FliX's path-expression evaluator chases those links with
+//! its priority queue). When the input already is a forest the removed set
+//! is empty and this is exactly the classic index.
+
+use crate::index::PpoIndex;
+use graphcore::{spanning_forest, Digraph, DigraphBuilder, Distance, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// PPO over the spanning forest of an arbitrary graph, plus the edges the
+/// forest could not represent.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtendedPpo {
+    index: PpoIndex,
+    /// Edges removed to make the graph a forest, sorted by source.
+    removed: Vec<(NodeId, NodeId)>,
+    /// Sources of removed edges, deduplicated and sorted (the set `L_i` of
+    /// elements with outgoing unindexed links, paper §4.2).
+    link_sources: Vec<NodeId>,
+}
+
+impl ExtendedPpo {
+    /// Builds the extended index over any directed graph.
+    pub fn build(g: &Digraph, labels: &[u32]) -> Self {
+        let check = spanning_forest(g);
+        let mut kept = DigraphBuilder::with_nodes(g.node_count());
+        for (u, v) in g.edges() {
+            if check.parent[v as usize] == u {
+                kept.add_edge(u, v);
+            }
+        }
+        let forest = kept.build();
+        let index = PpoIndex::build(&forest, labels)
+            .expect("spanning forest is a forest by construction");
+        let mut removed = check.removed_edges;
+        removed.sort_unstable();
+        let mut link_sources: Vec<NodeId> = removed.iter().map(|&(u, _)| u).collect();
+        link_sources.sort_unstable();
+        link_sources.dedup();
+        Self {
+            index,
+            removed,
+            link_sources,
+        }
+    }
+
+    /// The underlying forest index.
+    pub fn forest_index(&self) -> &PpoIndex {
+        &self.index
+    }
+
+    /// Edges that are *not* represented in the forest index.
+    pub fn removed_edges(&self) -> &[(NodeId, NodeId)] {
+        &self.removed
+    }
+
+    /// Targets of removed edges out of `u`.
+    pub fn removed_targets(&self, u: NodeId) -> &[(NodeId, NodeId)] {
+        let start = self.removed.partition_point(|&(s, _)| s < u);
+        let end = self.removed.partition_point(|&(s, _)| s <= u);
+        &self.removed[start..end]
+    }
+
+    /// True if `u` has at least one removed outgoing edge.
+    pub fn has_removed_link(&self, u: NodeId) -> bool {
+        self.link_sources.binary_search(&u).is_ok()
+    }
+
+    /// Descendants of `u` *within the forest* that carry removed outgoing
+    /// links, as `(node, distance)` sorted by distance. This is
+    /// `IND.findReachableLinks(e)` from the paper's Fig. 4, with
+    /// `include_self` always true: a link out of `u` itself also counts.
+    pub fn reachable_link_sources(&self, u: NodeId) -> Vec<(NodeId, Distance)> {
+        let mut out: Vec<(NodeId, Distance)> = self
+            .link_sources
+            .iter()
+            .filter_map(|&s| self.index.distance(u, s).map(|d| (s, d)))
+            .collect();
+        out.sort_unstable_by_key(|&(v, d)| (d, v));
+        out
+    }
+
+    /// Forest-only descendant test (may answer `false` for pairs connected
+    /// only through removed edges — the caller must chase those).
+    pub fn is_descendant_or_self(&self, u: NodeId, v: NodeId) -> bool {
+        self.index.is_descendant_or_self(u, v)
+    }
+
+    /// Forest-only distance.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<Distance> {
+        self.index.distance(u, v)
+    }
+
+    /// Forest-only descendants with a label, ascending by distance.
+    pub fn descendants_by_label(
+        &self,
+        u: NodeId,
+        label: u32,
+        include_self: bool,
+    ) -> Vec<(NodeId, Distance)> {
+        self.index.descendants_by_label(u, label, include_self)
+    }
+
+    /// [`Self::descendants_by_label`] plus the index rows touched.
+    pub fn descendants_by_label_counted(
+        &self,
+        u: NodeId,
+        label: u32,
+        include_self: bool,
+    ) -> (Vec<(NodeId, Distance)>, usize) {
+        self.index
+            .descendants_with_label_counted(u, self.index.label_list(label), include_self)
+    }
+
+    /// Number of removed edges (quality signal for the strategy selector:
+    /// high counts mean PPO is a bad fit for this partition).
+    pub fn removed_count(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.index.size_bytes() + self.removed.len() * 8 + self.link_sources.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tree 0->{1,2}, 1->3 plus a cross link 3 -> 2 and an up link 2 -> 1.
+    fn linked_graph() -> Digraph {
+        Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (3, 2), (2, 1)])
+    }
+
+    #[test]
+    fn forest_input_removes_nothing() {
+        let g = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3)]);
+        let x = ExtendedPpo::build(&g, &[0; 4]);
+        assert_eq!(x.removed_count(), 0);
+        assert!(x.is_descendant_or_self(0, 3));
+        assert!(x.reachable_link_sources(0).is_empty());
+    }
+
+    #[test]
+    fn removed_edges_reported() {
+        let g = linked_graph();
+        let x = ExtendedPpo::build(&g, &[0; 4]);
+        // 2 and 3 both have in-degree 2 in the full graph... node 1: parents
+        // {0, 2}; node 2: parents {0, 3}. Exactly two edges must go.
+        assert_eq!(x.removed_count(), 2);
+        for &(u, v) in x.removed_edges() {
+            assert!(g.has_edge(u, v));
+            // removed edges are not answered by the forest test
+            assert_ne!(x.index.parent(v), Some(u));
+        }
+    }
+
+    #[test]
+    fn reachable_link_sources_sorted_by_distance() {
+        let g = linked_graph();
+        let x = ExtendedPpo::build(&g, &[0; 4]);
+        let ls = x.reachable_link_sources(0);
+        // both removed-edge sources are under the root
+        assert_eq!(ls.len(), 2);
+        assert!(ls.windows(2).all(|w| w[0].1 <= w[1].1));
+        for &(s, _) in &ls {
+            assert!(x.has_removed_link(s));
+        }
+    }
+
+    #[test]
+    fn removed_targets_lookup() {
+        let g = linked_graph();
+        let x = ExtendedPpo::build(&g, &[0; 4]);
+        for &(u, v) in x.removed_edges() {
+            assert!(x.removed_targets(u).contains(&(u, v)));
+        }
+        assert!(x.removed_targets(0).is_empty());
+    }
+
+    #[test]
+    fn forest_distances_survive() {
+        let g = linked_graph();
+        let x = ExtendedPpo::build(&g, &[0; 4]);
+        assert_eq!(x.distance(0, 3), Some(2));
+        assert_eq!(x.distance(1, 3), Some(1));
+    }
+
+    #[test]
+    fn label_queries_respect_forest() {
+        let g = linked_graph();
+        let x = ExtendedPpo::build(&g, &[7, 8, 8, 8]);
+        let r = x.descendants_by_label(0, 8, false);
+        // all of 1, 2, 3 are forest descendants of 0
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].1, 1);
+    }
+
+    #[test]
+    fn cycle_only_graph() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        let x = ExtendedPpo::build(&g, &[0; 3]);
+        assert_eq!(x.removed_count(), 1);
+        // the spanning chain still answers within-forest queries
+        assert!(x.is_descendant_or_self(0, 2));
+        assert!(!x.is_descendant_or_self(2, 0));
+        assert!(x.has_removed_link(2));
+    }
+}

@@ -1,0 +1,440 @@
+//! The classic pre/postorder index over a forest.
+
+use graphcore::{Digraph, Distance, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Errors raised when the input graph is not a forest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PpoError {
+    /// A node has more than one parent.
+    MultipleParents(NodeId),
+    /// The graph contains a cycle.
+    Cyclic,
+}
+
+impl std::fmt::Display for PpoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PpoError::MultipleParents(n) => write!(f, "node {n} has multiple parents"),
+            PpoError::Cyclic => write!(f, "graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for PpoError {}
+
+/// Pre/postorder index over a forest with per-node labels.
+///
+/// Labels are opaque `u32`s (FliX passes interned tag ids). Per label the
+/// index keeps the preorder ranks of all nodes carrying it, so a
+/// descendants-by-label query is a binary search plus a contiguous scan —
+/// the operation the paper's structural-vagueness queries hammer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PpoIndex {
+    /// Preorder rank per node.
+    pre: Vec<u32>,
+    /// Postorder rank per node.
+    post: Vec<u32>,
+    /// Depth per node (roots have depth 0).
+    depth: Vec<u32>,
+    /// Parent per node (`u32::MAX` for roots).
+    parent: Vec<NodeId>,
+    /// Subtree size per node (including the node).
+    size: Vec<u32>,
+    /// `pre_to_node[r]` = node with preorder rank `r`.
+    pre_to_node: Vec<NodeId>,
+    /// label -> sorted `(pre, node)` pairs.
+    by_label: HashMap<u32, Vec<(u32, NodeId)>>,
+}
+
+impl PpoIndex {
+    /// Builds the index over `g`, which must be a forest.
+    ///
+    /// `labels[u]` is the label of node `u` (`labels.len() == node count`).
+    pub fn build(g: &Digraph, labels: &[u32]) -> Result<Self, PpoError> {
+        assert_eq!(labels.len(), g.node_count(), "one label per node");
+        let n = g.node_count();
+        for u in g.nodes() {
+            if g.in_degree(u) > 1 {
+                return Err(PpoError::MultipleParents(u));
+            }
+        }
+        let mut pre = vec![u32::MAX; n];
+        let mut post = vec![u32::MAX; n];
+        let mut depth = vec![0u32; n];
+        let mut parent = vec![u32::MAX; n];
+        let mut size = vec![1u32; n];
+        let mut pre_to_node = vec![0 as NodeId; n];
+        let mut next_pre = 0u32;
+        let mut next_post = 0u32;
+        // Iterative DFS per root; (node, child cursor).
+        let mut stack: Vec<(NodeId, usize)> = Vec::new();
+        for root in g.nodes() {
+            if g.in_degree(root) != 0 {
+                continue;
+            }
+            pre[root as usize] = next_pre;
+            pre_to_node[next_pre as usize] = root;
+            next_pre += 1;
+            stack.push((root, 0));
+            while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+                let kids = g.successors(u);
+                if *cursor < kids.len() {
+                    let v = kids[*cursor];
+                    *cursor += 1;
+                    parent[v as usize] = u;
+                    depth[v as usize] = depth[u as usize] + 1;
+                    pre[v as usize] = next_pre;
+                    pre_to_node[next_pre as usize] = v;
+                    next_pre += 1;
+                    stack.push((v, 0));
+                } else {
+                    post[u as usize] = next_post;
+                    next_post += 1;
+                    stack.pop();
+                    if let Some(&(p, _)) = stack.last() {
+                        size[p as usize] += size[u as usize];
+                    }
+                }
+            }
+        }
+        if next_pre as usize != n {
+            // Some node was never reached from an in-degree-0 root, which in
+            // an in-degree<=1 graph means a cycle.
+            return Err(PpoError::Cyclic);
+        }
+        let mut by_label: HashMap<u32, Vec<(u32, NodeId)>> = HashMap::new();
+        for u in 0..n {
+            by_label
+                .entry(labels[u])
+                .or_default()
+                .push((pre[u], u as NodeId));
+        }
+        for list in by_label.values_mut() {
+            list.sort_unstable();
+        }
+        Ok(Self {
+            pre,
+            post,
+            depth,
+            parent,
+            size,
+            pre_to_node,
+            by_label,
+        })
+    }
+
+    /// Number of indexed nodes.
+    pub fn node_count(&self) -> usize {
+        self.pre.len()
+    }
+
+    /// Preorder rank of `u`.
+    pub fn pre(&self, u: NodeId) -> u32 {
+        self.pre[u as usize]
+    }
+
+    /// Postorder rank of `u`.
+    pub fn post(&self, u: NodeId) -> u32 {
+        self.post[u as usize]
+    }
+
+    /// Depth of `u` (roots are 0).
+    pub fn depth(&self, u: NodeId) -> u32 {
+        self.depth[u as usize]
+    }
+
+    /// Parent of `u`, `None` for roots.
+    pub fn parent(&self, u: NodeId) -> Option<NodeId> {
+        let p = self.parent[u as usize];
+        (p != u32::MAX).then_some(p)
+    }
+
+    /// True if `v` is a descendant of `u` (descendant-or-self: `u == v`
+    /// also answers true).
+    pub fn is_descendant_or_self(&self, u: NodeId, v: NodeId) -> bool {
+        let (pu, pv) = (self.pre[u as usize], self.pre[v as usize]);
+        pv >= pu && pv < pu + self.size[u as usize]
+    }
+
+    /// Classic pre/post formulation of the ancestor test (equivalent to the
+    /// interval test; exposed for the paper-faithful axis checks).
+    pub fn is_ancestor(&self, x: NodeId, y: NodeId) -> bool {
+        self.pre[x as usize] < self.pre[y as usize]
+            && self.post[x as usize] > self.post[y as usize]
+    }
+
+    /// Hop distance from `u` down to `v`, if `v` is in `u`'s subtree.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> Option<Distance> {
+        self.is_descendant_or_self(u, v)
+            .then(|| self.depth[v as usize] - self.depth[u as usize])
+    }
+
+    /// All descendants of `u` (excluding `u`), in preorder.
+    pub fn descendants(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let start = self.pre[u as usize] as usize + 1;
+        let end = (self.pre[u as usize] + self.size[u as usize]) as usize;
+        self.pre_to_node[start..end].iter().copied()
+    }
+
+    /// Descendants of `u` carrying `label`, as `(node, distance)` sorted by
+    /// ascending distance (the contract FliX's evaluator relies on).
+    ///
+    /// `include_self` controls whether `u` itself may qualify
+    /// (descendant-or-self vs. strict descendant semantics).
+    pub fn descendants_with_label(
+        &self,
+        u: NodeId,
+        label_nodes: Option<&[(u32, NodeId)]>,
+        include_self: bool,
+    ) -> Vec<(NodeId, Distance)> {
+        self.descendants_with_label_counted(u, label_nodes, include_self).0
+    }
+
+    /// Like [`Self::descendants_with_label`], also reporting the number of
+    /// index rows touched (the scanned range of the per-label rank list) —
+    /// the unit a database-backed deployment pays per row fetch.
+    pub fn descendants_with_label_counted(
+        &self,
+        u: NodeId,
+        label_nodes: Option<&[(u32, NodeId)]>,
+        include_self: bool,
+    ) -> (Vec<(NodeId, Distance)>, usize) {
+        let Some(list) = label_nodes else {
+            return (Vec::new(), 0);
+        };
+        let lo = self.pre[u as usize] + if include_self { 0 } else { 1 };
+        let hi = self.pre[u as usize] + self.size[u as usize];
+        let start = list.partition_point(|&(p, _)| p < lo);
+        let end = list.partition_point(|&(p, _)| p < hi);
+        let mut out: Vec<(NodeId, Distance)> = list[start..end]
+            .iter()
+            .map(|&(_, v)| (v, self.depth[v as usize] - self.depth[u as usize]))
+            .collect();
+        out.sort_unstable_by_key(|&(v, d)| (d, v));
+        (out, end - start)
+    }
+
+    /// Convenience wrapper over [`Self::descendants_with_label`] using the
+    /// index's own label table.
+    pub fn descendants_by_label(
+        &self,
+        u: NodeId,
+        label: u32,
+        include_self: bool,
+    ) -> Vec<(NodeId, Distance)> {
+        self.descendants_with_label(u, self.label_list(label), include_self)
+    }
+
+    /// The sorted `(pre, node)` list for a label, if any node carries it.
+    pub fn label_list(&self, label: u32) -> Option<&[(u32, NodeId)]> {
+        self.by_label.get(&label).map(Vec::as_slice)
+    }
+
+    /// Ancestors of `u` from parent to root, each with its distance.
+    pub fn ancestors(&self, u: NodeId) -> Vec<(NodeId, Distance)> {
+        let mut out = Vec::new();
+        let mut cur = u;
+        let mut d = 0;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            out.push((p, d));
+            cur = p;
+        }
+        out
+    }
+
+    /// Ancestors of `u` carrying `label`, nearest first.
+    pub fn ancestors_by_label(
+        &self,
+        u: NodeId,
+        label: u32,
+        include_self: bool,
+    ) -> Vec<(NodeId, Distance)> {
+        let mut out = Vec::new();
+        if include_self && self.node_label_matches(u, label) {
+            out.push((u, 0));
+        }
+        for (a, d) in self.ancestors(u) {
+            if self.node_label_matches(a, label) {
+                out.push((a, d));
+            }
+        }
+        out
+    }
+
+    fn node_label_matches(&self, u: NodeId, label: u32) -> bool {
+        self.by_label
+            .get(&label)
+            .is_some_and(|l| l.binary_search(&(self.pre[u as usize], u)).is_ok())
+    }
+
+    /// Nodes in the *following* axis of `u`: preorder after `u`'s subtree.
+    pub fn following(&self, u: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let end = (self.pre[u as usize] + self.size[u as usize]) as usize;
+        self.pre_to_node[end..].iter().copied()
+    }
+
+    /// Nodes in the *preceding* axis of `u`: preorder before `u`, excluding
+    /// ancestors.
+    pub fn preceding(&self, u: NodeId) -> Vec<NodeId> {
+        (0..self.pre[u as usize] as usize)
+            .map(|r| self.pre_to_node[r])
+            .filter(|&x| !self.is_ancestor(x, u))
+            .collect()
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        let n = self.pre.len();
+        let label_entries: usize = self.by_label.values().map(Vec::len).sum();
+        6 * 4 * n + label_entries * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example tree:
+    /// ```text
+    ///        0
+    ///      /   \
+    ///     1     2
+    ///    / \     \
+    ///   3   4     5
+    ///        \
+    ///         6
+    /// ```
+    fn tree() -> (Digraph, Vec<u32>) {
+        let g = Digraph::from_edges(7, [(0, 1), (0, 2), (1, 3), (1, 4), (4, 6), (2, 5)]);
+        // labels: 0=A, 1=B, 2=B, 3=C, 4=C, 5=C, 6=B
+        (g, vec![0, 1, 1, 2, 2, 2, 1])
+    }
+
+    #[test]
+    fn pre_post_invariants() {
+        let (g, labels) = tree();
+        let idx = PpoIndex::build(&g, &labels).unwrap();
+        // all ranks distinct and within range
+        let mut pres: Vec<u32> = (0..7).map(|u| idx.pre(u)).collect();
+        pres.sort_unstable();
+        assert_eq!(pres, (0..7).collect::<Vec<_>>());
+        assert_eq!(idx.pre(0), 0);
+        assert_eq!(idx.depth(6), 3);
+        assert_eq!(idx.parent(6), Some(4));
+        assert_eq!(idx.parent(0), None);
+    }
+
+    #[test]
+    fn ancestor_test_matches_paper_formula() {
+        let (g, labels) = tree();
+        let idx = PpoIndex::build(&g, &labels).unwrap();
+        let oracle = graphcore::TransitiveClosure::build(&g);
+        for u in 0..7u32 {
+            for v in 0..7u32 {
+                assert_eq!(
+                    idx.is_descendant_or_self(u, v),
+                    oracle.reaches(u, v),
+                    "pair {u},{v}"
+                );
+                if u != v {
+                    assert_eq!(idx.is_ancestor(u, v), oracle.reaches(u, v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_are_depth_differences() {
+        let (g, labels) = tree();
+        let idx = PpoIndex::build(&g, &labels).unwrap();
+        assert_eq!(idx.distance(0, 6), Some(3));
+        assert_eq!(idx.distance(1, 6), Some(2));
+        assert_eq!(idx.distance(6, 0), None);
+        assert_eq!(idx.distance(2, 2), Some(0));
+    }
+
+    #[test]
+    fn descendants_by_label_sorted_by_distance() {
+        let (g, labels) = tree();
+        let idx = PpoIndex::build(&g, &labels).unwrap();
+        // label 1 (B) under root: nodes 1 (d=1), 2 (d=1), 6 (d=3)
+        let r = idx.descendants_by_label(0, 1, false);
+        assert_eq!(r, vec![(1, 1), (2, 1), (6, 3)]);
+        // include_self on a B node
+        let r = idx.descendants_by_label(1, 1, true);
+        assert_eq!(r, vec![(1, 0), (6, 2)]);
+        // no match
+        assert!(idx.descendants_by_label(5, 0, false).is_empty());
+        // unknown label entirely
+        assert!(idx.descendants_by_label(0, 99, true).is_empty());
+    }
+
+    #[test]
+    fn descendants_iterator_is_subtree() {
+        let (g, labels) = tree();
+        let idx = PpoIndex::build(&g, &labels).unwrap();
+        let mut d: Vec<NodeId> = idx.descendants(1).collect();
+        d.sort_unstable();
+        assert_eq!(d, vec![3, 4, 6]);
+        assert_eq!(idx.descendants(5).count(), 0);
+    }
+
+    #[test]
+    fn ancestors_walk() {
+        let (g, labels) = tree();
+        let idx = PpoIndex::build(&g, &labels).unwrap();
+        assert_eq!(idx.ancestors(6), vec![(4, 1), (1, 2), (0, 3)]);
+        // B-labelled ancestors of 6: node 1 at distance 2 (+ self at 0)
+        assert_eq!(idx.ancestors_by_label(6, 1, true), vec![(6, 0), (1, 2)]);
+        assert_eq!(idx.ancestors_by_label(6, 1, false), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn following_preceding_partition() {
+        let (g, labels) = tree();
+        let idx = PpoIndex::build(&g, &labels).unwrap();
+        for u in 0..7u32 {
+            let mut all: Vec<NodeId> = idx.following(u).collect();
+            all.extend(idx.preceding(u));
+            all.extend(idx.descendants(u));
+            all.extend(idx.ancestors(u).into_iter().map(|(a, _)| a));
+            all.push(u);
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all, (0..7).collect::<Vec<_>>(), "axes partition for {u}");
+        }
+    }
+
+    #[test]
+    fn forest_with_multiple_roots() {
+        let g = Digraph::from_edges(5, [(0, 1), (2, 3), (2, 4)]);
+        let idx = PpoIndex::build(&g, &[0; 5]).unwrap();
+        assert!(idx.is_descendant_or_self(2, 4));
+        assert!(!idx.is_descendant_or_self(0, 3));
+    }
+
+    #[test]
+    fn rejects_dag() {
+        let g = Digraph::from_edges(3, [(0, 2), (1, 2)]);
+        assert_eq!(
+            PpoIndex::build(&g, &[0; 3]).unwrap_err(),
+            PpoError::MultipleParents(2)
+        );
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let g = Digraph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(PpoIndex::build(&g, &[0; 3]).unwrap_err(), PpoError::Cyclic);
+    }
+
+    #[test]
+    fn size_accounting_positive() {
+        let (g, labels) = tree();
+        let idx = PpoIndex::build(&g, &labels).unwrap();
+        assert!(idx.size_bytes() > 0);
+    }
+}

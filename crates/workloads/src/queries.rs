@@ -1,0 +1,142 @@
+//! Query workload generators: descendants queries (`a//B`) and connection
+//! tests (`a//b`), the two query families of the paper's §5 and §6.
+
+use graphcore::{bfs_from, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use xmlgraph::{CollectionGraph, TagId};
+
+/// One `a//B` query: a start element and a target tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DescendantQuery {
+    /// The start element (the `a`).
+    pub start: NodeId,
+    /// The target tag (the `B`).
+    pub target_tag: TagId,
+}
+
+/// One connection-test pair `a//b`, with the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectionPair {
+    /// Source element.
+    pub from: NodeId,
+    /// Target element.
+    pub to: NodeId,
+    /// Whether `to` is reachable from `from` in the full graph.
+    pub reachable: bool,
+}
+
+/// Samples `count` descendants queries.
+///
+/// Start elements are sampled uniformly from elements that have at least
+/// one outgoing edge (queries from leaves are trivial); target tags are
+/// sampled from the tags of the start element's reachable set when
+/// possible, so most queries have non-empty answers — mirroring the paper's
+/// "all article descendants of Mohan's VLDB 99 paper" style of query.
+pub fn descendant_queries(cg: &CollectionGraph, count: usize, seed: u64) -> Vec<DescendantQuery> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = cg.node_count();
+    let mut out = Vec::with_capacity(count);
+    if n == 0 {
+        return out;
+    }
+    let candidates: Vec<NodeId> = cg
+        .graph
+        .nodes()
+        .filter(|&u| cg.graph.out_degree(u) > 0)
+        .collect();
+    if candidates.is_empty() {
+        return out;
+    }
+    let mut attempts = 0;
+    while out.len() < count && attempts < count * 20 {
+        attempts += 1;
+        let start = candidates[rng.gen_range(0..candidates.len())];
+        // probe a shallow sample of the reachable set for a plausible tag
+        let reach = bfs_from(&cg.graph, start);
+        let probe = &reach[1..reach.len().min(50)];
+        if probe.is_empty() {
+            continue;
+        }
+        let target_tag = cg.tag_of(probe[rng.gen_range(0..probe.len())]);
+        out.push(DescendantQuery { start, target_tag });
+    }
+    out
+}
+
+/// Samples `count` connection pairs, roughly half reachable.
+pub fn connection_pairs(cg: &CollectionGraph, count: usize, seed: u64) -> Vec<ConnectionPair> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = cg.node_count() as u32;
+    let mut out = Vec::with_capacity(count);
+    if n < 2 {
+        return out;
+    }
+    // Alternate between biased-reachable sampling (walk from a random node)
+    // and uniform pairs (usually unreachable in a sparse graph).
+    while out.len() < count {
+        let from = rng.gen_range(0..n);
+        let want_reachable = out.len() % 2 == 0;
+        let to = if want_reachable {
+            let reach = bfs_from(&cg.graph, from);
+            reach[rng.gen_range(0..reach.len())]
+        } else {
+            rng.gen_range(0..n)
+        };
+        let reachable = graphcore::is_reachable(&cg.graph, from, to);
+        out.push(ConnectionPair {
+            from,
+            to,
+            reachable,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dblp::{generate_dblp, DblpConfig};
+
+    #[test]
+    fn descendant_queries_mostly_nonempty() {
+        let cg = generate_dblp(&DblpConfig::tiny(11)).seal();
+        let qs = descendant_queries(&cg, 20, 1);
+        assert_eq!(qs.len(), 20);
+        let nonempty = qs
+            .iter()
+            .filter(|q| {
+                bfs_from(&cg.graph, q.start)
+                    .iter()
+                    .skip(1)
+                    .any(|&v| cg.tag_of(v) == q.target_tag)
+            })
+            .count();
+        assert!(nonempty >= 15, "only {nonempty}/20 nonempty");
+    }
+
+    #[test]
+    fn connection_pairs_have_truth_and_mix() {
+        let cg = generate_dblp(&DblpConfig::tiny(13)).seal();
+        let pairs = connection_pairs(&cg, 30, 2);
+        assert_eq!(pairs.len(), 30);
+        for p in &pairs {
+            assert_eq!(
+                p.reachable,
+                graphcore::is_reachable(&cg.graph, p.from, p.to)
+            );
+        }
+        let reachable = pairs.iter().filter(|p| p.reachable).count();
+        assert!(reachable >= 10, "too few reachable: {reachable}");
+    }
+
+    #[test]
+    fn deterministic_workloads() {
+        let cg = generate_dblp(&DblpConfig::tiny(17)).seal();
+        assert_eq!(
+            descendant_queries(&cg, 10, 5),
+            descendant_queries(&cg, 10, 5)
+        );
+        assert_eq!(connection_pairs(&cg, 10, 5), connection_pairs(&cg, 10, 5));
+    }
+}

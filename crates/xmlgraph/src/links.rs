@@ -1,0 +1,172 @@
+//! Link-recognition conventions.
+//!
+//! The XML standard offers several mechanisms to point from one element to
+//! another: DTD-typed `id`/`idref`/`idrefs` attributes for intra-document
+//! links, and XLink `href` attributes (`xlink:href`) for intra- or
+//! inter-document links. [`LinkSpec`] captures which attribute names are
+//! interpreted which way; the defaults match the paper's setting.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a link points: a document (by name) and optionally a fragment
+/// (the value of an `id` attribute inside that document).
+///
+/// `document == None` means "this same document".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkTarget {
+    /// Target document name, `None` for the containing document.
+    pub document: Option<String>,
+    /// Fragment (anchor id); `None` addresses the document root.
+    pub fragment: Option<String>,
+}
+
+impl LinkTarget {
+    /// Parses an href value of the form `doc`, `doc#frag`, or `#frag`.
+    ///
+    /// Returns `None` for empty hrefs, which carry no link.
+    pub fn parse_href(href: &str) -> Option<Self> {
+        let href = href.trim();
+        if href.is_empty() {
+            return None;
+        }
+        let (doc, frag) = match href.split_once('#') {
+            Some((d, f)) => (d, Some(f)),
+            None => (href, None),
+        };
+        let document = (!doc.is_empty()).then(|| doc.to_string());
+        let fragment = frag.filter(|f| !f.is_empty()).map(str::to_string);
+        if document.is_none() && fragment.is_none() {
+            return None;
+        }
+        Some(Self { document, fragment })
+    }
+}
+
+/// Attribute conventions used to extract anchors and links from documents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Attribute defining an element anchor (default `id`).
+    pub id_attr: String,
+    /// Attributes whose value names one anchor in the same document.
+    pub idref_attrs: Vec<String>,
+    /// Attributes whose value is a whitespace-separated anchor list.
+    pub idrefs_attrs: Vec<String>,
+    /// Attributes carrying `doc#frag` hrefs (XLink style).
+    pub href_attrs: Vec<String>,
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        Self {
+            id_attr: "id".into(),
+            idref_attrs: vec!["idref".into()],
+            idrefs_attrs: vec!["idrefs".into()],
+            href_attrs: vec!["xlink:href".into(), "href".into()],
+        }
+    }
+}
+
+impl LinkSpec {
+    /// Extracts all link targets an attribute contributes, if any.
+    pub fn targets_of(&self, attr_name: &str, attr_value: &str) -> Vec<LinkTarget> {
+        if self.idref_attrs.iter().any(|a| a == attr_name) {
+            let v = attr_value.trim();
+            if v.is_empty() {
+                return Vec::new();
+            }
+            return vec![LinkTarget {
+                document: None,
+                fragment: Some(v.to_string()),
+            }];
+        }
+        if self.idrefs_attrs.iter().any(|a| a == attr_name) {
+            return attr_value
+                .split_whitespace()
+                .map(|v| LinkTarget {
+                    document: None,
+                    fragment: Some(v.to_string()),
+                })
+                .collect();
+        }
+        if self.href_attrs.iter().any(|a| a == attr_name) {
+            return LinkTarget::parse_href(attr_value).into_iter().collect();
+        }
+        Vec::new()
+    }
+
+    /// True if `attr_name` declares an anchor.
+    pub fn is_anchor(&self, attr_name: &str) -> bool {
+        attr_name == self.id_attr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_href_variants() {
+        assert_eq!(
+            LinkTarget::parse_href("a.xml#e5"),
+            Some(LinkTarget {
+                document: Some("a.xml".into()),
+                fragment: Some("e5".into())
+            })
+        );
+        assert_eq!(
+            LinkTarget::parse_href("a.xml"),
+            Some(LinkTarget {
+                document: Some("a.xml".into()),
+                fragment: None
+            })
+        );
+        assert_eq!(
+            LinkTarget::parse_href("#frag"),
+            Some(LinkTarget {
+                document: None,
+                fragment: Some("frag".into())
+            })
+        );
+        assert_eq!(LinkTarget::parse_href(""), None);
+        assert_eq!(LinkTarget::parse_href("#"), None);
+        assert_eq!(LinkTarget::parse_href("  doc#f  "), {
+            Some(LinkTarget {
+                document: Some("doc".into()),
+                fragment: Some("f".into()),
+            })
+        });
+    }
+
+    #[test]
+    fn idref_single_target() {
+        let spec = LinkSpec::default();
+        let t = spec.targets_of("idref", "x1");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].fragment.as_deref(), Some("x1"));
+        assert_eq!(t[0].document, None);
+        assert!(spec.targets_of("idref", "   ").is_empty());
+    }
+
+    #[test]
+    fn idrefs_splits_whitespace() {
+        let spec = LinkSpec::default();
+        let t = spec.targets_of("idrefs", "a  b\tc");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[2].fragment.as_deref(), Some("c"));
+    }
+
+    #[test]
+    fn href_attrs_recognised() {
+        let spec = LinkSpec::default();
+        assert_eq!(spec.targets_of("xlink:href", "d.xml#a").len(), 1);
+        assert_eq!(spec.targets_of("href", "d.xml").len(), 1);
+        assert!(spec.targets_of("class", "d.xml").is_empty());
+    }
+
+    #[test]
+    fn anchor_detection() {
+        let spec = LinkSpec::default();
+        assert!(spec.is_anchor("id"));
+        assert!(!spec.is_anchor("idref"));
+    }
+}

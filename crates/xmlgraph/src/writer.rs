@@ -1,0 +1,123 @@
+//! Serialisation of [`Document`]s back to XML text.
+//!
+//! The writer produces indented, entity-escaped XML that the crate's own
+//! parser round-trips (structure, attributes, and trimmed text survive; the
+//! exact whitespace layout does not, by design).
+
+use crate::model::{Document, LocalId, TagInterner};
+use std::fmt::Write;
+
+/// Escapes text content (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes an attribute value for double-quoted output.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises a document to XML text with two-space indentation.
+pub fn write_document(doc: &Document, tags: &TagInterner) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\"?>\n");
+    if !doc.is_empty() {
+        write_element(doc, tags, doc.root(), 0, &mut out);
+    }
+    out
+}
+
+fn write_element(
+    doc: &Document,
+    tags: &TagInterner,
+    el: LocalId,
+    depth: usize,
+    out: &mut String,
+) {
+    let e = doc.element(el);
+    let indent = "  ".repeat(depth);
+    let name = tags.name(e.tag);
+    let _ = write!(out, "{indent}<{name}");
+    for (k, v) in &e.attrs {
+        let _ = write!(out, " {k}=\"{}\"", escape_attr(v));
+    }
+    let kids = doc.children(el);
+    if kids.is_empty() && e.text.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    out.push('>');
+    if !e.text.is_empty() {
+        out.push_str(&escape_text(&e.text));
+    }
+    if kids.is_empty() {
+        let _ = writeln!(out, "</{name}>");
+        return;
+    }
+    out.push('\n');
+    for &k in kids {
+        write_element(doc, tags, k, depth + 1, out);
+    }
+    let _ = writeln!(out, "{indent}</{name}>");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::links::LinkSpec;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+        assert_eq!(escape_attr(r#"say "hi" & <go>"#), "say &quot;hi&quot; &amp; &lt;go>");
+    }
+
+    #[test]
+    fn round_trip_structure() {
+        let input =
+            r#"<paper id="p1"><title>ARIES &amp; friends</title><cite xlink:href="x.xml#a"/></paper>"#;
+        let mut tags = TagInterner::new();
+        let spec = LinkSpec::default();
+        let doc = parse_document("p.xml", input, &mut tags, &spec).unwrap();
+        let text = write_document(&doc, &tags);
+        let doc2 = parse_document("p.xml", &text, &mut tags, &spec).unwrap();
+        assert_eq!(doc.len(), doc2.len());
+        for (i, e) in doc.elements() {
+            let e2 = doc2.element(i);
+            assert_eq!(e.tag, e2.tag);
+            assert_eq!(e.attrs, e2.attrs);
+            assert_eq!(e.text, e2.text);
+            assert_eq!(e.parent, e2.parent);
+        }
+        assert_eq!(doc.links(), doc2.links());
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let mut tags = TagInterner::new();
+        let t = tags.intern("a");
+        let mut d = Document::new("t.xml");
+        d.add_element(t, None);
+        let text = write_document(&d, &tags);
+        assert!(text.contains("<a/>"));
+    }
+}

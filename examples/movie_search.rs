@@ -1,0 +1,118 @@
+//! Movie-search scenario: the paper's §1.1 motivating example.
+//!
+//! The query `/movie[title="Matrix: Revolutions"]/actor/movie` fails on
+//! heterogeneous data: one source tags films `science-fiction`, titles
+//! differ, and the path is longer than one step. The relaxed query
+//! `//~movie[title ~ "Matrix: Revolutions"]//~actor//~movie` matches
+//! similar tags (from an ontology) and decays relevance with path length.
+//!
+//! Run with: `cargo run --example movie_search`
+
+use flix::{Flix, FlixConfig, TagSimilarity, VagueEvaluator, VagueQuery};
+use std::sync::Arc;
+use xmlgraph::{parse_document, Collection, LinkSpec};
+
+fn main() {
+    // Two film databases with different schemas, linked by an actor page.
+    let imdb_like = r#"
+        <movie id="m1">
+          <title>Matrix: Revolutions</title>
+          <cast>
+            <actor id="a1">Keanu Reeves
+              <appears-in xlink:href="scifidb.xml#sf1"/>
+              <appears-in xlink:href="scifidb.xml#sf2"/>
+            </actor>
+            <actor id="a2">Carrie-Anne Moss</actor>
+          </cast>
+        </movie>"#;
+    let scifi_db = r#"
+        <collection id="c1">
+          <science-fiction id="sf1">
+            <name>Matrix 3</name>
+            <starring>Keanu Reeves</starring>
+          </science-fiction>
+          <science-fiction id="sf2">
+            <name>Johnny Mnemonic</name>
+            <starring>Keanu Reeves</starring>
+          </science-fiction>
+          <documentary id="d1"><name>Making of The Matrix</name></documentary>
+        </collection>"#;
+
+    let spec = LinkSpec::default();
+    let mut coll = Collection::new();
+    for (name, text) in [("imdb.xml", imdb_like), ("scifidb.xml", scifi_db)] {
+        let doc = parse_document(name, text, &mut coll.tags, &spec).expect("well-formed");
+        coll.add_document(doc).expect("unique names");
+    }
+    let graph = Arc::new(coll.seal());
+    let flix = Flix::build(graph.clone(), FlixConfig::Naive);
+
+    // The ontology: `science-fiction` is a kind of `movie`; a documentary
+    // is only loosely one.
+    let mut sims = TagSimilarity::new();
+    sims.add("movie", "science-fiction", 0.9)
+        .add("movie", "documentary", 0.3)
+        .add("actor", "starring", 0.7);
+    let eval = VagueEvaluator::new(sims, 0.8);
+
+    // Step 1 of //~movie//~actor//~movie: find the actors under the movie.
+    let movie_root = graph.doc_root(0);
+    println!("~actor descendants of the Matrix movie:");
+    let actors = eval.evaluate(
+        &flix,
+        &VagueQuery {
+            start: movie_root,
+            target: "actor".into(),
+            min_score: 0.1,
+            top_k: 10,
+        },
+    );
+    for r in &actors {
+        println!(
+            "  score {:.2}  dist {}  <{}> {:?}",
+            r.score,
+            r.distance,
+            r.matched_tag,
+            graph.element(r.node).text
+        );
+    }
+
+    // Step 2: movies those actors appear in — through the cross-database
+    // `appears-in` links, with `science-fiction` matching `~movie`.
+    let keanu = actors
+        .iter()
+        .find(|r| graph.element(r.node).text.contains("Keanu"))
+        .expect("Keanu found");
+    println!("\n~movie descendants of that actor (films via links):");
+    let movies = eval.evaluate(
+        &flix,
+        &VagueQuery {
+            start: keanu.node,
+            target: "movie".into(),
+            min_score: 0.1,
+            top_k: 10,
+        },
+    );
+    for r in &movies {
+        let title_tag = graph
+            .collection
+            .tags
+            .get("name")
+            .or_else(|| graph.collection.tags.get("title"))
+            .unwrap();
+        let title = flix
+            .find_descendants(r.node, title_tag, &flix::QueryOptions::default())
+            .first()
+            .map(|t| graph.element(t.node).text.clone())
+            .unwrap_or_default();
+        println!(
+            "  score {:.2}  dist {}  <{}> {}",
+            r.score, r.distance, r.matched_tag, title
+        );
+    }
+    assert!(
+        movies.iter().any(|r| r.matched_tag == "science-fiction"),
+        "the relaxed query must find the science-fiction films"
+    );
+    println!("\nThe strict query /movie/actor/movie would have returned nothing.");
+}

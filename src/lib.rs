@@ -1,0 +1,14 @@
+//! Umbrella crate for the FliX reproduction workspace.
+//!
+//! The actual functionality lives in the member crates; this crate hosts
+//! the runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`). Re-exports are provided so examples read naturally.
+
+pub use apex;
+pub use flix;
+pub use graphcore;
+pub use hopi;
+pub use pagestore;
+pub use ppo;
+pub use workloads;
+pub use xmlgraph;

@@ -1,0 +1,201 @@
+//! Property-based tests over the core data structures and invariants.
+
+use graphcore::{
+    bfs_distances, is_forest, partition_greedy, spanning_forest, tarjan_scc, Digraph,
+    DistanceOracle, TransitiveClosure, INFINITE_DISTANCE,
+};
+use hopi::HopiIndex;
+use ppo::{ExtendedPpo, PpoIndex};
+use proptest::prelude::*;
+
+/// An arbitrary sparse digraph: node count and an edge list.
+fn arb_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Digraph> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges)
+            .prop_map(move |edges| Digraph::from_edges(n, edges))
+    })
+}
+
+/// An arbitrary forest: every node > 0 picks a parent among smaller ids,
+/// with some nodes left as roots.
+fn arb_forest(max_nodes: usize) -> impl Strategy<Value = Digraph> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec(proptest::option::of(0..u32::MAX), n - 1).prop_map(
+            move |parents| {
+                let edges: Vec<(u32, u32)> = parents
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| p.map(|p| (p % (i as u32 + 1), i as u32 + 1)))
+                    .collect();
+                Digraph::from_edges(n, edges)
+            },
+        )
+    })
+}
+
+fn arb_labels(g: &Digraph, tags: u32) -> Vec<u32> {
+    // deterministic pseudo-labels are enough: variety without extra strategy
+    (0..g.node_count() as u32).map(|u| (u * 7 + 3) % tags).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hopi_matches_oracle_on_random_graphs(g in arb_graph(40, 120)) {
+        let labels = arb_labels(&g, 5);
+        let idx = HopiIndex::build(&g, &labels);
+        let oracle = DistanceOracle::new(&g);
+        for u in 0..g.node_count() as u32 {
+            for v in 0..g.node_count() as u32 {
+                let want = oracle.distance(u, v);
+                let got = idx.distance(u, v).unwrap_or(INFINITE_DISTANCE);
+                prop_assert_eq!(got, want, "distance {} -> {}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn hopi_descendants_sorted_and_complete(g in arb_graph(30, 80)) {
+        let labels = arb_labels(&g, 4);
+        let idx = HopiIndex::build(&g, &labels);
+        let tc = TransitiveClosure::build(&g);
+        for u in 0..g.node_count() as u32 {
+            let d = idx.descendants(u, true);
+            prop_assert!(d.windows(2).all(|w| w[0].1 <= w[1].1), "unsorted from {}", u);
+            let mut nodes: Vec<u32> = d.iter().map(|&(v, _)| v).collect();
+            nodes.sort_unstable();
+            prop_assert_eq!(nodes, tc.descendants(u), "set from {}", u);
+        }
+    }
+
+    #[test]
+    fn ppo_matches_closure_on_forests(g in arb_forest(60)) {
+        let labels = arb_labels(&g, 6);
+        let idx = PpoIndex::build(&g, &labels).expect("forest");
+        let tc = TransitiveClosure::build(&g);
+        for u in 0..g.node_count() as u32 {
+            for v in 0..g.node_count() as u32 {
+                prop_assert_eq!(
+                    idx.is_descendant_or_self(u, v),
+                    tc.reaches(u, v),
+                    "{} -> {}", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_ppo_plus_removed_edges_cover_graph(g in arb_graph(30, 60)) {
+        // forest reachability + removed edges as extra hops must equal the
+        // full reachability of the graph (one BFS over a hybrid relation)
+        let x = ExtendedPpo::build(&g, &arb_labels(&g, 3));
+        let tc = TransitiveClosure::build(&g);
+        for u in 0..g.node_count() as u32 {
+            // closure over: forest-descendants + removed-edge jumps
+            let mut seen: Vec<bool> = vec![false; g.node_count()];
+            let mut stack = vec![u];
+            while let Some(x0) = stack.pop() {
+                if seen[x0 as usize] { continue; }
+                seen[x0 as usize] = true;
+                for v in 0..g.node_count() as u32 {
+                    if !seen[v as usize] && x.is_descendant_or_self(x0, v) {
+                        stack.push(v);
+                    }
+                }
+                for &(s, t) in x.removed_edges() {
+                    if x.is_descendant_or_self(x0, s) && !seen[t as usize] {
+                        stack.push(t);
+                    }
+                }
+            }
+            for v in 0..g.node_count() as u32 {
+                prop_assert_eq!(seen[v as usize], tc.reaches(u, v), "{} -> {}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn spanning_forest_removal_is_sound(g in arb_graph(50, 150)) {
+        let check = spanning_forest(&g);
+        let kept: Vec<(u32, u32)> = g
+            .edges()
+            .filter(|e| !check.removed_edges.contains(e))
+            .collect();
+        let pruned = Digraph::from_edges(g.node_count(), kept);
+        prop_assert!(is_forest(&pruned));
+        prop_assert_eq!(check.is_forest, check.removed_edges.is_empty());
+    }
+
+    #[test]
+    fn partitioning_is_exact_cover(g in arb_graph(80, 200), cap in 1usize..40) {
+        let p = partition_greedy(&g, cap);
+        let mut seen = vec![false; g.node_count()];
+        for (pid, block) in p.parts.iter().enumerate() {
+            prop_assert!(!block.is_empty());
+            prop_assert!(block.len() <= cap, "partition {} over cap", pid);
+            for &u in block {
+                prop_assert_eq!(p.part_of[u as usize] as usize, pid);
+                prop_assert!(!seen[u as usize], "node {} assigned twice", u);
+                seen[u as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        let cut = g
+            .edges()
+            .filter(|&(u, v)| p.part_of[u as usize] != p.part_of[v as usize])
+            .count();
+        prop_assert_eq!(cut, p.cut_edges);
+    }
+
+    #[test]
+    fn scc_ids_consistent_with_mutual_reachability(g in arb_graph(25, 80)) {
+        let comp = tarjan_scc(&g);
+        let tc = TransitiveClosure::build(&g);
+        for u in 0..g.node_count() as u32 {
+            for v in 0..g.node_count() as u32 {
+                let mutual = tc.reaches(u, v) && tc.reaches(v, u);
+                prop_assert_eq!(mutual, comp[u as usize] == comp[v as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn closure_agrees_with_bfs(g in arb_graph(40, 100)) {
+        let tc = TransitiveClosure::build(&g);
+        for u in 0..g.node_count() as u32 {
+            let dist = bfs_distances(&g, u);
+            for v in 0..g.node_count() as u32 {
+                prop_assert_eq!(tc.reaches(u, v), dist[v as usize] != INFINITE_DISTANCE);
+            }
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_nested_values(
+        v in proptest::collection::vec(
+            (any::<u32>(), proptest::collection::vec(any::<u16>(), 0..8), any::<Option<String>>()),
+            0..16,
+        )
+    ) {
+        let bytes = pagestore::to_bytes(&v).unwrap();
+        let back: Vec<(u32, Vec<u16>, Option<String>)> = pagestore::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn slotted_page_retains_all_records(
+        recs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 1..30)
+    ) {
+        let mut page = pagestore::Page::new();
+        let mut stored = Vec::new();
+        for r in &recs {
+            if let Some(slot) = page.insert(r) {
+                stored.push((slot, r.clone()));
+            }
+        }
+        for (slot, rec) in &stored {
+            prop_assert_eq!(page.get(*slot), Some(rec.as_slice()));
+        }
+    }
+}
