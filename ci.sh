@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Full local CI gate: formatting, clippy, the flixcheck static-analysis
+# pass, and the test suite. Everything runs offline (dependencies are
+# vendored); any failure stops the script.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (workspace, all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== flixcheck (static analysis: unwrap/panic/unsafe/docs)"
+cargo run -q -p flixcheck
+
+echo "== cargo test (workspace)"
+cargo test -q --workspace
+
+echo "CI green."

@@ -44,10 +44,7 @@ impl DataGuide {
         let mut work: Vec<(u32, Vec<NodeId>)> = Vec::new();
         let mut by_label: HashMap<u32, Vec<NodeId>> = HashMap::new();
         for &r in &roots {
-            by_label
-                .entry(node_labels[r as usize])
-                .or_default()
-                .push(r);
+            by_label.entry(node_labels[r as usize]).or_default().push(r);
         }
         let mut sorted: Vec<(u32, Vec<NodeId>)> = by_label.drain().collect();
         sorted.sort_unstable();
@@ -107,9 +104,7 @@ impl DataGuide {
     pub fn elements_with_path(&self, path: &[u32]) -> &[NodeId] {
         let mut g = 0u32; // synthetic root
         for &label in path {
-            match self.children[g as usize]
-                .binary_search_by_key(&label, |&(l, _)| l)
-            {
+            match self.children[g as usize].binary_search_by_key(&label, |&(l, _)| l) {
                 Ok(i) => g = self.children[g as usize][i].1,
                 Err(_) => return &[],
             }

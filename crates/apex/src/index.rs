@@ -77,8 +77,7 @@ impl ApexIndex {
             .classes_with_label(path[0])
             .into_iter()
             .filter(|&c| {
-                self.summary
-                    .extents[c as usize]
+                self.summary.extents[c as usize]
                     .iter()
                     .any(|&u| self.graph.in_degree(u) == 0)
             })
@@ -289,6 +288,150 @@ impl ApexIndex {
     }
 }
 
+impl flixcheck::IntegrityCheck for ApexIndex {
+    /// Audits the summary against the stored element graph: extents must
+    /// partition the node set in agreement with `class_of`, every class
+    /// must be label-homogeneous, the quotient graph must simulate the
+    /// element graph (every inter-class element edge has a summary edge
+    /// and every summary edge a witness), and `label_reach` must equal the labels of
+    /// the closure-reachable classes.
+    fn integrity_check(&self) -> Result<flixcheck::IntegrityReport, flixcheck::IntegrityError> {
+        let mut audit = flixcheck::IntegrityChecker::new("ApexIndex");
+        let n = self.graph.node_count();
+        let classes = self.summary.extents.len();
+        audit.check(
+            "summary shape matches element graph",
+            self.labels.len() == n
+                && self.summary.class_of.len() == n
+                && self.summary.class_label.len() == classes
+                && self.summary.graph.node_count() == classes
+                && self.label_reach.len() == classes,
+            || {
+                format!(
+                    "n={n} labels={} class_of={} classes={classes} class_label={} \
+                     summary graph={} label_reach={}",
+                    self.labels.len(),
+                    self.summary.class_of.len(),
+                    self.summary.class_label.len(),
+                    self.summary.graph.node_count(),
+                    self.label_reach.len()
+                )
+            },
+        );
+        if audit.violation_count() > 0 {
+            return audit.finish();
+        }
+
+        let mut seen = vec![false; n];
+        let mut first = None;
+        'extents: for (c, extent) in self.summary.extents.iter().enumerate() {
+            let mut prev = None;
+            for &u in extent {
+                let uu = u as usize;
+                if uu >= n || seen[uu] {
+                    first = Some(format!("extent {c}: element {u} out of range or repeated"));
+                    break 'extents;
+                }
+                if prev.is_some_and(|p| p >= u) {
+                    first = Some(format!("extent {c} not ascending at element {u}"));
+                    break 'extents;
+                }
+                prev = Some(u);
+                seen[uu] = true;
+                if self.summary.class_of[uu] != c as u32 {
+                    first = Some(format!(
+                        "element {u} in extent {c} but class_of says {}",
+                        self.summary.class_of[uu]
+                    ));
+                    break 'extents;
+                }
+                if self.labels[uu] != self.summary.class_label[c] {
+                    first = Some(format!(
+                        "extent {c} has label {} but element {u} carries {}",
+                        self.summary.class_label[c], self.labels[uu]
+                    ));
+                    break 'extents;
+                }
+            }
+        }
+        if first.is_none() {
+            if let Some(u) = seen.iter().position(|&s| !s) {
+                first = Some(format!("element {u} belongs to no extent"));
+            }
+        }
+        audit.check(
+            "extents partition the elements, label-homogeneously",
+            first.is_none(),
+            || first.unwrap_or_default(),
+        );
+
+        // Within-class edges are exempt: `DigraphBuilder::build` drops self
+        // loops, and reachability stays sound because the summary closure is
+        // reflexive (the pruning BFS runs on the element graph anyway).
+        let mut first = None;
+        for (u, v) in self.graph.edges() {
+            let (cu, cv) = (
+                self.summary.class_of[u as usize],
+                self.summary.class_of[v as usize],
+            );
+            if cu != cv && !self.summary.graph.has_edge(cu, cv) {
+                first = Some(format!(
+                    "element edge ({u}, {v}) has no summary edge ({cu}, {cv})"
+                ));
+                break;
+            }
+        }
+        audit.check(
+            "summary simulates every inter-class element edge",
+            first.is_none(),
+            || first.unwrap_or_default(),
+        );
+
+        let mut first = None;
+        'witness: for (cu, cv) in self.summary.graph.edges() {
+            for &u in &self.summary.extents[cu as usize] {
+                for &v in self.graph.successors(u) {
+                    if self.summary.class_of[v as usize] == cv {
+                        continue 'witness;
+                    }
+                }
+            }
+            first = Some(format!("summary edge ({cu}, {cv}) has no element witness"));
+            break;
+        }
+        audit.check(
+            "every summary edge is witnessed by an element edge",
+            first.is_none(),
+            || first.unwrap_or_default(),
+        );
+
+        let mut first = None;
+        'reach: for c in 0..classes as u32 {
+            let mut want = graphcore::BitSet::new(self.max_label as usize + 1);
+            for d in 0..classes as u32 {
+                if self.summary_closure.reaches(c, d) {
+                    want.insert(self.summary.class_label[d as usize] as usize);
+                }
+            }
+            for l in 0..=self.max_label as usize {
+                if want.contains(l) != self.label_reach[c as usize].contains(l) {
+                    first = Some(format!(
+                        "class {c}: label {l} reachability disagrees with the closure"
+                    ));
+                    break 'reach;
+                }
+            }
+        }
+        audit.check(
+            "label_reach matches closure-reachable class labels",
+            first.is_none(),
+            || first.unwrap_or_default(),
+        );
+
+        audit.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,5 +538,27 @@ mod tests {
         let (g, labels) = sample();
         let idx = ApexIndex::build(&g, &labels, 1);
         assert!(idx.size_bytes() >= g.size_bytes());
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        use flixcheck::IntegrityCheck;
+        let (g, labels) = sample();
+        let idx = ApexIndex::build(&g, &labels, 2);
+        idx.integrity_check().unwrap();
+        // moving an element to the wrong extent breaks the partition
+        let mut bad = idx.clone();
+        let moved = bad.summary.extents[0].pop().unwrap();
+        bad.summary.extents[1].push(moved);
+        bad.summary.extents[1].sort_unstable();
+        assert!(bad.integrity_check().is_err());
+        // relabelling a class breaks label homogeneity
+        let mut bad = idx.clone();
+        bad.summary.class_label[0] = bad.summary.class_label[0].wrapping_add(1);
+        assert!(bad.integrity_check().is_err());
+        // clearing a reach bitset breaks the closure agreement
+        let mut bad = idx;
+        bad.label_reach[0] = graphcore::BitSet::new(bad.max_label as usize + 1);
+        assert!(bad.integrity_check().is_err());
     }
 }

@@ -22,6 +22,7 @@
 //!   beyond the three built-in indexes.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod dataguide;

@@ -211,11 +211,8 @@ mod tests {
     fn adaptive_refinement_only_splits_hot_labels() {
         let (g, labels) = sample();
         // frequent path c/b -> only label-20 and label-30 classes may split
-        let s = StructuralSummary::apex0(&g, &labels).refine_for_paths(
-            &g,
-            &labels,
-            &[vec![30, 20]],
-        );
+        let s =
+            StructuralSummary::apex0(&g, &labels).refine_for_paths(&g, &labels, &[vec![30, 20]]);
         assert_ne!(s.class_of[1], s.class_of[3]);
     }
 

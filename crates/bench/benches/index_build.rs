@@ -7,9 +7,7 @@ use flix::Flix;
 
 fn bench_single_indexes(c: &mut Criterion) {
     let cg = paper_corpus(0.05);
-    let labels: Vec<u32> = (0..cg.node_count() as u32)
-        .map(|u| cg.tag_of(u))
-        .collect();
+    let labels: Vec<u32> = (0..cg.node_count() as u32).map(|u| cg.tag_of(u)).collect();
     let mut group = c.benchmark_group("index_build");
     group.sample_size(10);
     group.bench_function("ppo_extended", |b| {
@@ -38,7 +36,7 @@ fn bench_flix_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // short windows keep `cargo bench --workspace` to a few minutes
     config = Criterion::default()

@@ -22,7 +22,10 @@ fn bench_pee(c: &mut Criterion) {
     group.sample_size(20);
     for (name, flix) in &frameworks {
         group.bench_with_input(BenchmarkId::from_parameter(name), flix, |b, flix| {
-            b.iter(|| flix.find_descendants(start, tag, &QueryOptions::default()).len())
+            b.iter(|| {
+                flix.find_descendants(start, tag, &QueryOptions::default())
+                    .len()
+            })
         });
     }
     group.finish();
@@ -30,7 +33,10 @@ fn bench_pee(c: &mut Criterion) {
     let mut group = c.benchmark_group("descendants_top10");
     for (name, flix) in &frameworks {
         group.bench_with_input(BenchmarkId::from_parameter(name), flix, |b, flix| {
-            b.iter(|| flix.find_descendants(start, tag, &QueryOptions::top_k(10)).len())
+            b.iter(|| {
+                flix.find_descendants(start, tag, &QueryOptions::top_k(10))
+                    .len()
+            })
         });
     }
     group.finish();
@@ -53,7 +59,7 @@ fn bench_pee(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // short windows keep `cargo bench --workspace` to a few minutes
     config = Criterion::default()

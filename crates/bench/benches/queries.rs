@@ -8,9 +8,7 @@ use graphcore::NodeId;
 
 fn bench_probe_and_enumerate(c: &mut Criterion) {
     let cg = paper_corpus(0.05);
-    let labels: Vec<u32> = (0..cg.node_count() as u32)
-        .map(|u| cg.tag_of(u))
-        .collect();
+    let labels: Vec<u32> = (0..cg.node_count() as u32).map(|u| cg.tag_of(u)).collect();
     let g = &cg.graph;
     let hopi = hopi::HopiIndex::build(g, &labels);
     let apex = apex::ApexIndex::build(g, &labels, 1);
@@ -85,7 +83,7 @@ fn bench_probe_and_enumerate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // short windows keep `cargo bench --workspace` to a few minutes
     config = Criterion::default()

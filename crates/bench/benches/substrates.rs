@@ -80,14 +80,14 @@ fn bench_codec_and_store(c: &mut Criterion) {
         b.iter(|| {
             let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 256));
             let mut s = BlobStore::new(pool);
-            s.put("x", &data);
-            s.get("x").unwrap().len()
+            s.put("x", &data).unwrap();
+            s.get("x").unwrap().unwrap().len()
         })
     });
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     // short windows keep `cargo bench --workspace` to a few minutes
     config = Criterion::default()

@@ -8,12 +8,17 @@
 //! Subcommands: `table1`, `figure5`, `errors`, `connect`, `hybrid`,
 //! `ablation-partition`, `ablation-dedup`, `all`. The default corpus is
 //! the paper's scale (6,210 documents); `--scale F` shrinks it.
+//!
+//! `--check` runs the deep [`flixcheck::IntegrityCheck`] audit over every
+//! built framework (alone or alongside experiments) and exits non-zero if
+//! any invariant is violated.
 
 use bench::{
     emulated_time_to_k, error_rates, figure5_start, figure5_tag, mb, paper_configs, paper_corpus,
     rule, time_median, time_once, time_to_k_results, DbCostModel,
 };
 use flix::{Flix, FlixConfig, QueryOptions};
+use flixcheck::IntegrityCheck;
 use graphcore::NodeId;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -24,6 +29,7 @@ use xmlgraph::CollectionGraph;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
+    let mut check = false;
     let mut commands: Vec<String> = Vec::new();
     const KNOWN: [&str; 9] = [
         "all",
@@ -40,6 +46,7 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--check" => check = true,
             "--scale" => match it.next().map(|s| s.parse::<f64>()) {
                 Some(Ok(v)) if v > 0.0 && v <= 1.0 => scale = v,
                 _ => {
@@ -64,7 +71,7 @@ fn main() {
             }
         }
     }
-    if commands.is_empty() {
+    if commands.is_empty() && !check {
         commands.push("all".into());
     }
 
@@ -81,9 +88,7 @@ fn main() {
         s.links,
         s.payload_bytes as f64 / (1024.0 * 1024.0)
     );
-    println!(
-        "paper's corpus: 6,210 documents, 168,991 elements, 25,368 links, 27 MB\n"
-    );
+    println!("paper's corpus: 6,210 documents, 168,991 elements, 25,368 links, 27 MB\n");
 
     let mut built: Vec<(FlixConfig, Arc<Flix>, Duration)> = Vec::new();
     for config in paper_configs() {
@@ -92,6 +97,25 @@ fn main() {
         built.push((config, Arc::new(flix), dt));
     }
     println!();
+
+    if check {
+        let mut failed = false;
+        println!("== integrity audit ==");
+        for (config, flix, _) in &built {
+            match flix.integrity_check() {
+                Ok(report) => println!("{:<12} OK ({report})", config.to_string()),
+                Err(err) => {
+                    failed = true;
+                    println!("{:<12} FAILED", config.to_string());
+                    println!("{err}");
+                }
+            }
+        }
+        println!();
+        if failed {
+            std::process::exit(1);
+        }
+    }
 
     if wants("table1") {
         table1(&built);
@@ -430,7 +454,9 @@ fn ablation_dedup(cg: &CollectionGraph, built: &[(FlixConfig, Arc<Flix>, Duratio
         );
     }
     rule(78);
-    println!("the naive variant keeps every returned node in memory; §5.1 keeps entry points only\n");
+    println!(
+        "the naive variant keeps every returned node in memory; §5.1 keeps entry points only\n"
+    );
 }
 
 /// Figure 5 over disk-resident indexes: the Fig. 4 loop loading meta
@@ -461,10 +487,16 @@ fn figure5_disk(cg: &CollectionGraph, built: &[(FlixConfig, Arc<Flix>, Duration)
             }
         };
         let writes_done = disk.stats().reads;
-        let (results, full) =
-            time_once(|| dflix.find_descendants(start, tag, &QueryOptions::default()).len());
-        let (_, topk) =
-            time_once(|| dflix.find_descendants(start, tag, &QueryOptions::top_k(10)).len());
+        let (results, full) = time_once(|| {
+            dflix
+                .find_descendants(start, tag, &QueryOptions::default())
+                .map_or(0, |r| r.len())
+        });
+        let (_, topk) = time_once(|| {
+            dflix
+                .find_descendants(start, tag, &QueryOptions::top_k(10))
+                .map_or(0, |r| r.len())
+        });
         let st = dflix.stats();
         let reads = disk.stats().reads - writes_done;
         let hit_rate = if st.cache_hits + st.cache_misses > 0 {
@@ -484,8 +516,10 @@ fn figure5_disk(cg: &CollectionGraph, built: &[(FlixConfig, Arc<Flix>, Duration)
         );
     }
     rule(96);
-    println!("page reads are true buffer-pool misses; the paper's absolute times were exactly this I/O
-");
+    println!(
+        "page reads are true buffer-pool misses; the paper's absolute times were exactly this I/O
+"
+    );
 }
 
 /// Ablation C: the §7 exact-ordering option vs the default approximate
@@ -535,8 +569,10 @@ fn ablation_exact(cg: &CollectionGraph, built: &[(FlixConfig, Arc<Flix>, Duratio
         );
     }
     rule(86);
-    println!("exact ordering trades time-to-first-result (and memory) for a 0% error rate
-");
+    println!(
+        "exact ordering trades time-to-first-result (and memory) for a 0% error rate
+"
+    );
 }
 
 /// Ablation D: unidirectional vs bidirectional connection tests (§5.2).
@@ -582,8 +618,10 @@ fn ablation_bidir(cg: &CollectionGraph, built: &[(FlixConfig, Arc<Flix>, Duratio
         );
     }
     rule(64);
-    println!("the backward search wins when the target has a small ancestor cone
-");
+    println!(
+        "the backward search wins when the target has a small ancestor cone
+"
+    );
 }
 
 /// The strawman the paper argues against in §5.1: chase links without

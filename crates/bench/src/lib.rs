@@ -3,6 +3,7 @@
 //! error-rate metric, and table formatting.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 use flix::{Flix, FlixConfig, PeeStats, QueryOptions, StrategyKind};

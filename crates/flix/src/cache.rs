@@ -169,10 +169,7 @@ mod tests {
         let b = cached.find_descendants(0, t, &QueryOptions::default());
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(cached.stats(), (1, 1));
-        assert_eq!(
-            *a,
-            flix.find_descendants(0, t, &QueryOptions::default())
-        );
+        assert_eq!(*a, flix.find_descendants(0, t, &QueryOptions::default()));
     }
 
     #[test]

@@ -14,8 +14,8 @@ use crate::framework::Flix;
 use crate::meta::MetaDocument;
 use crate::pee::{QueryOptions, QueryResult};
 use graphcore::{Distance, NodeId};
-use parking_lot::Mutex;
 use pagestore::BlobStore;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -80,10 +80,14 @@ impl DiskFlix {
             runtime_links: flix.runtime_links().to_vec(),
         };
         let bytes = pagestore::to_bytes(&manifest).map_err(|e| e.to_string())?;
-        store.put(&format!("{name}/disk-manifest"), &bytes);
+        store
+            .put(&format!("{name}/disk-manifest"), &bytes)
+            .map_err(|e| e.to_string())?;
         for mi in 0..flix.meta_count() as u32 {
             let bytes = pagestore::to_bytes(flix.meta(mi)).map_err(|e| e.to_string())?;
-            store.put(&format!("{name}/meta-{mi}"), &bytes);
+            store
+                .put(&format!("{name}/meta-{mi}"), &bytes)
+                .map_err(|e| e.to_string())?;
         }
         Self::open(store, name, cache_capacity)
     }
@@ -92,6 +96,7 @@ impl DiskFlix {
     pub fn open(store: BlobStore, name: &str, cache_capacity: usize) -> Result<Self, String> {
         let bytes = store
             .get(&format!("{name}/disk-manifest"))
+            .map_err(|e| e.to_string())?
             .ok_or_else(|| format!("no disk framework named {name:?}"))?;
         let manifest: DiskManifest = pagestore::from_bytes(&bytes).map_err(|e| e.to_string())?;
         Ok(Self {
@@ -112,7 +117,11 @@ impl DiskFlix {
     }
 
     /// Loads (or fetches from cache) one meta document's index.
-    fn load_meta(&self, id: u32) -> Arc<MetaDocument> {
+    ///
+    /// # Errors
+    /// If the blob is missing from the store or fails to decode — either
+    /// means the persisted framework is corrupt.
+    fn load_meta(&self, id: u32) -> Result<Arc<MetaDocument>, String> {
         {
             let mut cache = self.cache.lock();
             cache.tick += 1;
@@ -120,16 +129,17 @@ impl DiskFlix {
             if let Some((md, stamp)) = cache.map.get_mut(&id) {
                 *stamp = tick;
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Arc::clone(md);
+                return Ok(Arc::clone(md));
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let bytes = self
             .store
             .get(&format!("{}/meta-{id}", self.name))
-            .unwrap_or_else(|| panic!("meta document {id} missing from store"));
-        let md: MetaDocument =
-            pagestore::from_bytes(&bytes).expect("stored meta document decodes");
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| format!("meta document {id} missing from store"))?;
+        let md: MetaDocument = pagestore::from_bytes(&bytes)
+            .map_err(|e| format!("meta document {id} does not decode: {e}"))?;
         let md = Arc::new(md);
         let mut cache = self.cache.lock();
         if cache.map.len() >= cache.capacity {
@@ -144,7 +154,7 @@ impl DiskFlix {
         }
         let tick = cache.tick;
         cache.map.insert(id, (Arc::clone(&md), tick));
-        md
+        Ok(md)
     }
 
     fn links_out_of(&self, u: NodeId) -> &[(NodeId, NodeId)] {
@@ -169,6 +179,9 @@ impl DiskFlix {
     /// `a//B` over disk-resident indexes: the Fig. 4 loop with each entry
     /// pop loading its meta document through the cache.
     ///
+    /// # Errors
+    /// If a meta-document blob is missing or corrupt.
+    ///
     /// # Panics
     /// If `opts.exact_order` is set: the disk engine implements only the
     /// approximate (block-streamed) ordering. Use the in-memory engine for
@@ -178,7 +191,7 @@ impl DiskFlix {
         start: NodeId,
         target: TagId,
         opts: &QueryOptions,
-    ) -> Vec<QueryResult> {
+    ) -> Result<Vec<QueryResult>, String> {
         assert!(
             !opts.exact_order,
             "DiskFlix implements approximate ordering only; use Flix for exact_order"
@@ -193,7 +206,7 @@ impl DiskFlix {
             }
             let meta = self.meta_of[e as usize];
             let local = self.local_of[e as usize];
-            let md = self.load_meta(meta);
+            let md = self.load_meta(meta)?;
             if entries[meta as usize]
                 .iter()
                 .any(|&p| md.index.is_reachable(p, local))
@@ -217,7 +230,7 @@ impl DiskFlix {
                     node: md.nodes[r as usize],
                 });
                 if opts.max_results.is_some_and(|k| out.len() >= k) {
-                    return out;
+                    return Ok(out);
                 }
             }
             for (ls, dls) in md.reachable_link_sources(local) {
@@ -228,18 +241,21 @@ impl DiskFlix {
             }
             entries[meta as usize].push(local);
         }
-        out
+        Ok(out)
     }
 
     /// Connection test over disk-resident indexes.
+    ///
+    /// # Errors
+    /// If a meta-document blob is missing or corrupt.
     pub fn connection_test(
         &self,
         from: NodeId,
         to: NodeId,
         opts: &QueryOptions,
-    ) -> Option<Distance> {
+    ) -> Result<Option<Distance>, String> {
         if from == to {
-            return Some(0);
+            return Ok(Some(0));
         }
         let to_meta = self.meta_of[to as usize];
         let to_local = self.local_of[to as usize];
@@ -256,7 +272,7 @@ impl DiskFlix {
             }
             let meta = self.meta_of[e as usize];
             let local = self.local_of[e as usize];
-            let md = self.load_meta(meta);
+            let md = self.load_meta(meta)?;
             if entries[meta as usize]
                 .iter()
                 .any(|&p| md.index.is_reachable(p, local))
@@ -266,7 +282,7 @@ impl DiskFlix {
             if meta == to_meta {
                 if let Some(dd) = md.index.distance(local, to_local) {
                     let cand = d + dd;
-                    if best.is_none_or(|b| cand < b) {
+                    if best.map_or(true, |b| cand < b) {
                         best = Some(cand);
                     }
                 }
@@ -279,7 +295,7 @@ impl DiskFlix {
             }
             entries[meta as usize].push(local);
         }
-        best.filter(|&b| opts.max_distance.is_none_or(|m| b <= m))
+        Ok(best.filter(|&b| opts.max_distance.map_or(true, |m| b <= m)))
     }
 }
 
@@ -306,7 +322,9 @@ mod tests {
         let (cg, flix, dflix, _) = setup(16);
         for q in descendant_queries(&cg, 8, 44) {
             let mem = flix.find_descendants(q.start, q.target_tag, &QueryOptions::default());
-            let dsk = dflix.find_descendants(q.start, q.target_tag, &QueryOptions::default());
+            let dsk = dflix
+                .find_descendants(q.start, q.target_tag, &QueryOptions::default())
+                .unwrap();
             assert_eq!(mem, dsk);
         }
     }
@@ -317,7 +335,9 @@ mod tests {
         for p in workloads::connection_pairs(&cg, 12, 9) {
             assert_eq!(
                 flix.connection_test(p.from, p.to, &QueryOptions::default()),
-                dflix.connection_test(p.from, p.to, &QueryOptions::default())
+                dflix
+                    .connection_test(p.from, p.to, &QueryOptions::default())
+                    .unwrap()
             );
         }
     }

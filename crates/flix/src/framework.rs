@@ -10,7 +10,7 @@ use xmlgraph::CollectionGraph;
 
 /// A built FliX framework: meta documents, their indexes, and the runtime
 /// link table the query evaluator chases.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Flix {
     graph: Arc<CollectionGraph>,
     config: FlixConfig,
@@ -54,13 +54,8 @@ impl Flix {
                 meta_of[global as usize] = mi as u32;
                 local_of[global as usize] = local as u32;
             }
-            let labels: Vec<u32> = mapping
-                .iter()
-                .map(|&g| graph.tag_of(g))
-                .collect();
-            let kind = plan
-                .strategy
-                .unwrap_or_else(|| opts.selector.select(&sub));
+            let labels: Vec<u32> = mapping.iter().map(|&g| graph.tag_of(g)).collect();
+            let kind = plan.strategy.unwrap_or_else(|| opts.selector.select(&sub));
             let (index, extra) = MetaIndex::build(kind, &sub, &labels, opts.apex_refine_rounds);
             // PPO-removed edges become runtime links, in global ids.
             for (lu, lv) in extra {
@@ -167,8 +162,7 @@ impl Flix {
         let mut local_of = self.local_of.clone();
         meta_of.resize(new_n, u32::MAX);
         local_of.resize(new_n, u32::MAX);
-        let mut metas: Vec<MetaDocument> =
-            self.metas.iter().map(|m| (**m).clone()).collect();
+        let mut metas: Vec<MetaDocument> = self.metas.iter().map(|m| (**m).clone()).collect();
         // PPO-removed edges of existing metas stay runtime links; the rest
         // of the table is recomputed from the extended graph below.
         let mut runtime_links: Vec<(NodeId, NodeId)> = self
@@ -359,6 +353,181 @@ impl Flix {
     }
 }
 
+impl flixcheck::IntegrityCheck for Flix {
+    fn integrity_check(&self) -> Result<flixcheck::IntegrityReport, flixcheck::IntegrityError> {
+        let mut audit = flixcheck::IntegrityChecker::new("Flix");
+        let n = self.graph.node_count();
+        audit.check(
+            "node->meta maps cover the collection",
+            self.meta_of.len() == n && self.local_of.len() == n,
+            || {
+                format!(
+                    "collection has {n} nodes, meta_of holds {}, local_of holds {}",
+                    self.meta_of.len(),
+                    self.local_of.len()
+                )
+            },
+        );
+        if self.meta_of.len() != n || self.local_of.len() != n {
+            return audit.finish();
+        }
+
+        // The per-meta node lists and the global maps must be mutually
+        // inverse: metas[meta_of[g]].nodes[local_of[g]] == g, with every
+        // global node appearing in exactly one meta document.
+        let mut covered = 0usize;
+        let mut mismatch = None;
+        for (mi, md) in self.metas.iter().enumerate() {
+            for (local, &global) in md.nodes.iter().enumerate() {
+                covered += 1;
+                if mismatch.is_none()
+                    && ((global as usize) >= n
+                        || self.meta_of[global as usize] != mi as u32
+                        || self.local_of[global as usize] != local as u32)
+                {
+                    mismatch = Some(format!(
+                        "meta {mi} local {local} maps to global {global}, but the \
+                         global maps say meta {} local {}",
+                        self.meta_of
+                            .get(global as usize)
+                            .copied()
+                            .unwrap_or(u32::MAX),
+                        self.local_of
+                            .get(global as usize)
+                            .copied()
+                            .unwrap_or(u32::MAX),
+                    ));
+                }
+            }
+        }
+        audit.check(
+            "meta node lists and global maps are mutually inverse",
+            mismatch.is_none(),
+            || mismatch.unwrap_or_default(),
+        );
+        audit.check(
+            "meta documents partition the collection",
+            covered == n,
+            || format!("meta documents hold {covered} nodes in total, collection has {n}"),
+        );
+
+        let unsorted = self.runtime_links.windows(2).any(|w| w[0] >= w[1]);
+        audit.check(
+            "runtime link table is strictly sorted by (source, target)",
+            !unsorted,
+            || "duplicate or out-of-order entry in runtime_links".to_string(),
+        );
+        let mut want_rev: Vec<(NodeId, NodeId)> =
+            self.runtime_links.iter().map(|&(u, v)| (v, u)).collect();
+        want_rev.sort_unstable();
+        audit.check(
+            "reverse link table mirrors the forward one",
+            self.runtime_links_rev == want_rev,
+            || {
+                format!(
+                    "runtime_links_rev holds {} entries, forward table implies {}",
+                    self.runtime_links_rev.len(),
+                    want_rev.len()
+                )
+            },
+        );
+
+        // Soundness: every runtime link is a real edge of the collection
+        // graph (cross-meta edges and PPO-dropped in-meta edges both are).
+        let phantom = self
+            .runtime_links
+            .iter()
+            .copied()
+            .find(|&(u, v)| !self.graph.graph.has_edge(u, v));
+        audit.check(
+            "every runtime link is an edge of the collection graph",
+            phantom.is_none(),
+            || {
+                phantom
+                    .map(|(u, v)| format!("runtime link ({u}, {v}) is not a graph edge"))
+                    .unwrap_or_default()
+            },
+        );
+
+        // Completeness: every graph edge is either answered by the owning
+        // meta document's index or catalogued as a runtime link.
+        let mut lost = None;
+        for (u, v) in self.graph.graph.edges() {
+            if self.runtime_links.binary_search(&(u, v)).is_ok() {
+                continue;
+            }
+            let (mu, mv) = (self.meta_of[u as usize], self.meta_of[v as usize]);
+            if mu != mv {
+                lost = Some(format!(
+                    "cross-meta edge ({u}, {v}) missing from the runtime link table"
+                ));
+                break;
+            }
+            let md = &self.metas[mu as usize];
+            if !md
+                .index
+                .is_reachable(self.local_of[u as usize], self.local_of[v as usize])
+            {
+                lost = Some(format!(
+                    "in-meta edge ({u}, {v}) neither indexed nor a runtime link"
+                ));
+                break;
+            }
+        }
+        audit.check(
+            "every graph edge is indexed or catalogued as a runtime link",
+            lost.is_none(),
+            || lost.unwrap_or_default(),
+        );
+
+        // The per-meta anchor sets are exactly the runtime-link endpoints
+        // translated to local ids.
+        let mut want_sources: Vec<Vec<u32>> = vec![Vec::new(); self.metas.len()];
+        let mut want_targets: Vec<Vec<u32>> = vec![Vec::new(); self.metas.len()];
+        for &(u, v) in &self.runtime_links {
+            want_sources[self.meta_of[u as usize] as usize].push(self.local_of[u as usize]);
+            want_targets[self.meta_of[v as usize] as usize].push(self.local_of[v as usize]);
+        }
+        let mut bad_anchor = None;
+        for (mi, md) in self.metas.iter().enumerate() {
+            for (what, have, want) in [
+                ("link_sources", &md.link_sources, &mut want_sources[mi]),
+                ("link_targets", &md.link_targets, &mut want_targets[mi]),
+            ] {
+                want.sort_unstable();
+                want.dedup();
+                if have != want && bad_anchor.is_none() {
+                    bad_anchor = Some(format!(
+                        "meta {mi} {what}: {} anchors recorded, link table implies {}",
+                        have.len(),
+                        want.len()
+                    ));
+                }
+            }
+        }
+        audit.check(
+            "per-meta anchor sets match the runtime link table",
+            bad_anchor.is_none(),
+            || bad_anchor.unwrap_or_default(),
+        );
+
+        // Finally, every meta document must pass its own (deep) audit.
+        let mut bad_meta = None;
+        for (mi, md) in self.metas.iter().enumerate() {
+            if let Err(err) = md.integrity_check() {
+                bad_meta = Some(format!("meta {mi}: {err}"));
+                break;
+            }
+        }
+        audit.check(
+            "every meta document passes its own audit",
+            bad_meta.is_none(),
+            || bad_meta.unwrap_or_default(),
+        );
+        audit.finish()
+    }
+}
+
 /// Aggregate build statistics.
 #[derive(Debug, Clone)]
 pub struct FlixStats {
@@ -513,13 +682,55 @@ mod tests {
         let flix = Flix::build(cg.clone(), FlixConfig::Naive);
         let m0 = flix.meta_of(cg.global(0, 1));
         let md = flix.meta(m0);
-        assert!(md
-            .link_sources
-            .contains(&flix.local_of(cg.global(0, 1))));
+        assert!(md.link_sources.contains(&flix.local_of(cg.global(0, 1))));
         let m1 = flix.meta_of(cg.global(1, 0));
         assert!(flix
             .meta(m1)
             .link_targets
             .contains(&flix.local_of(cg.global(1, 0))));
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        use flixcheck::IntegrityCheck;
+        let cg = sample();
+        let flix = Flix::build(cg, FlixConfig::Naive);
+        flix.integrity_check().unwrap();
+
+        // Global maps pointing at the wrong meta document.
+        let mut bad = flix.clone();
+        bad.meta_of[0] = bad.meta_of[0].wrapping_add(1);
+        let err = bad.integrity_check().unwrap_err();
+        assert!(err.to_string().contains("mutually inverse"), "{err}");
+
+        // A runtime link that is not a graph edge.
+        let mut bad = flix.clone();
+        bad.runtime_links.clear();
+        bad.runtime_links_rev.clear();
+        let err = bad.integrity_check().unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("missing from the runtime link table"),
+            "{err}"
+        );
+
+        // A phantom link no graph edge backs.
+        let mut bad = flix.clone();
+        let n = bad.graph.node_count() as NodeId;
+        bad.runtime_links.push((n - 1, n - 1));
+        bad.runtime_links.sort_unstable();
+        bad.runtime_links_rev = bad.runtime_links.iter().map(|&(u, v)| (v, u)).collect();
+        bad.runtime_links_rev.sort_unstable();
+        let err = bad.integrity_check().unwrap_err();
+        assert!(err.to_string().contains("not a graph edge"), "{err}");
+
+        // An anchor set that forgot a link source.
+        let mut bad = flix.clone();
+        let mi = bad.meta_of[bad.runtime_links[0].0 as usize] as usize;
+        let mut md = (*bad.metas[mi]).clone();
+        md.link_sources.clear();
+        bad.metas[mi] = Arc::new(md);
+        let err = bad.integrity_check().unwrap_err();
+        assert!(err.to_string().contains("anchor sets"), "{err}");
     }
 }

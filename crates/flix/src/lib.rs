@@ -58,27 +58,40 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+/// Query-result caching layered over a built framework.
 pub mod cache;
+/// Framework configuration and per-meta-document strategy selection.
 pub mod config;
+/// Disk-resident query execution over a persisted framework.
 pub mod diskexec;
+/// The in-memory FliX framework: build, stats, and accessors.
 pub mod framework;
+/// Meta-document partitioning of the collection graph (§4.1).
 pub mod mdb;
+/// Per-meta-document index wrappers and the link catalogs.
 pub mod meta;
+/// The priority-queue query evaluator chasing runtime links (§5).
 pub mod pee;
+/// Persistence of built frameworks into a `pagestore` blob store.
 pub mod persist;
+/// Multi-step path query plans over the framework.
 pub mod query;
+/// Top-k aggregation (NRA) over scored result streams.
 pub mod topk;
+/// Workload monitoring and reconfiguration recommendations.
 pub mod tuning;
+/// Vague queries: tag similarity and distance-decayed scoring (§1).
 pub mod vague;
 
+pub use cache::CachedFlix;
 pub use config::{BuildOptions, FlixConfig, StrategyKind, StrategySelector};
+pub use diskexec::{DiskExecStats, DiskFlix};
 pub use framework::{Flix, FlixStats, MetaDocStats};
 pub use meta::{MetaDocument, MetaIndex};
 pub use pee::{PeeStats, QueryOptions, QueryResult, ResultStream};
-pub use cache::CachedFlix;
-pub use diskexec::{DiskExecStats, DiskFlix};
 pub use query::{PathQuery, QueryBinding, QueryEngine};
 pub use topk::{top_k_nra, Aggregation, TopKResult};
 pub use tuning::{LoadMonitor, Recommendation};

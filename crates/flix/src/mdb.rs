@@ -188,10 +188,7 @@ fn hybrid(cg: &CollectionGraph, partition_size: usize) -> Vec<MetaPlan> {
         })
         .collect();
     // Partition the linked region's induced subgraph.
-    let linked_nodes: Vec<NodeId> = linked_docs
-        .iter()
-        .flat_map(|&d| doc_nodes(cg, d))
-        .collect();
+    let linked_nodes: Vec<NodeId> = linked_docs.iter().flat_map(|&d| doc_nodes(cg, d)).collect();
     if !linked_nodes.is_empty() {
         let (sub, mapping) = cg.graph.induced_subgraph(&linked_nodes);
         for part in partition_greedy(&sub, partition_size).parts {
@@ -292,9 +289,7 @@ mod tests {
         let plans = build_meta_documents(&cg, FlixConfig::UnconnectedHopi { partition_size: 4 });
         plan_covers_all(&cg, &plans);
         assert!(plans.iter().all(|p| p.nodes.len() <= 4));
-        assert!(plans
-            .iter()
-            .all(|p| p.strategy == Some(StrategyKind::Hopi)));
+        assert!(plans.iter().all(|p| p.strategy == Some(StrategyKind::Hopi)));
     }
 
     #[test]

@@ -220,6 +220,77 @@ impl MetaDocument {
     }
 }
 
+impl flixcheck::IntegrityCheck for MetaDocument {
+    fn integrity_check(&self) -> Result<flixcheck::IntegrityReport, flixcheck::IntegrityError> {
+        let mut audit = flixcheck::IntegrityChecker::new("MetaDocument");
+        let n = self.nodes.len();
+        let first_unsorted = self
+            .nodes
+            .windows(2)
+            .position(|w| w[0] >= w[1])
+            .map(|i| (i, self.nodes[i], self.nodes[i + 1]));
+        audit.check(
+            "local->global node map is strictly ascending",
+            first_unsorted.is_none(),
+            || {
+                first_unsorted
+                    .map(|(i, a, b)| format!("nodes[{i}]={a} >= nodes[{}]={b}", i + 1))
+                    .unwrap_or_default()
+            },
+        );
+        let index_n = match &self.index {
+            MetaIndex::Ppo(i) => i.forest_index().node_count(),
+            MetaIndex::Hopi(i) => i.node_count(),
+            MetaIndex::Apex(i) => i.summary().class_of.len(),
+        };
+        audit.check(
+            "index covers exactly the meta document's nodes",
+            index_n == n,
+            || format!("index built over {index_n} nodes, meta document holds {n}"),
+        );
+        for (what, anchors) in [
+            ("link_sources", &self.link_sources),
+            ("link_targets", &self.link_targets),
+        ] {
+            let unsorted = anchors.windows(2).any(|w| w[0] >= w[1]);
+            audit.check(
+                "runtime-link anchor sets are strictly ascending",
+                !unsorted,
+                || format!("{what} is not strictly sorted"),
+            );
+            let stray = anchors.iter().copied().find(|&a| a as usize >= n);
+            audit.check(
+                "runtime-link anchors are valid local ids",
+                stray.is_none(),
+                || {
+                    stray
+                        .map(|a| format!("{what} names local {a}, meta document holds {n}"))
+                        .unwrap_or_default()
+                },
+            );
+        }
+        let inner = match &self.index {
+            MetaIndex::Ppo(i) => i.integrity_check(),
+            MetaIndex::Hopi(i) => i.integrity_check(),
+            MetaIndex::Apex(i) => i.integrity_check(),
+        };
+        match inner {
+            Ok(report) => audit.check("inner index passes its own audit", true, || {
+                report.to_string()
+            }),
+            Err(err) => {
+                for v in &err.violations {
+                    audit.violation(
+                        "inner index passes its own audit",
+                        format!("{}: {}: {}", err.structure, v.invariant, v.detail),
+                    );
+                }
+            }
+        }
+        audit.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,5 +357,39 @@ mod tests {
         let (a, _) = MetaIndex::build(StrategyKind::Apex, &g, &labels, 1);
         assert!(p.size_bytes() < h.size_bytes());
         assert!(a.size_bytes() > 0);
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        use flixcheck::IntegrityCheck;
+        let (g, labels) = diamond();
+        for kind in [StrategyKind::Ppo, StrategyKind::Hopi, StrategyKind::Apex] {
+            let (index, extra) = MetaIndex::build(kind, &g, &labels, 2);
+            let mut sources: Vec<u32> = extra.iter().map(|&(u, _)| u).collect();
+            sources.sort_unstable();
+            sources.dedup();
+            let md = MetaDocument {
+                nodes: vec![10, 11, 12, 13],
+                index,
+                link_sources: sources,
+                link_targets: Vec::new(),
+            };
+            md.integrity_check().unwrap();
+
+            // Global node map out of order.
+            let mut bad = md.clone();
+            bad.nodes.swap(0, 1);
+            assert!(bad.integrity_check().is_err(), "{kind:?}: unsorted nodes");
+
+            // Node map and index disagree about the document size.
+            let mut bad = md.clone();
+            bad.nodes.push(14);
+            assert!(bad.integrity_check().is_err(), "{kind:?}: size mismatch");
+
+            // A link anchor outside the local id space.
+            let mut bad = md.clone();
+            bad.link_targets = vec![99];
+            assert!(bad.integrity_check().is_err(), "{kind:?}: stray anchor");
+        }
     }
 }

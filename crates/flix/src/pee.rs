@@ -33,8 +33,7 @@ pub struct QueryResult {
 }
 
 /// Options controlling query evaluation.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct QueryOptions {
     /// Stop once the queue's lower bound exceeds this distance.
     pub max_distance: Option<Distance>,
@@ -51,7 +50,6 @@ pub struct QueryOptions {
     /// first results.
     pub exact_order: bool,
 }
-
 
 impl QueryOptions {
     /// Top-k convenience constructor.
@@ -132,7 +130,14 @@ impl Flix {
         emit: impl FnMut(QueryResult, PeeStats) -> ControlFlow<()>,
     ) -> PeeStats {
         let mut stats = PeeStats::default();
-        self.evaluate_axis_traced(&[(start, 0)], target, opts, Axis::Descendants, &mut stats, emit);
+        self.evaluate_axis_traced(
+            &[(start, 0)],
+            target,
+            opts,
+            Axis::Descendants,
+            &mut stats,
+            emit,
+        );
         stats
     }
 
@@ -239,7 +244,7 @@ impl Flix {
             if meta == to_meta {
                 if let Some(dd) = md.index.distance(local, to_local) {
                     let cand = d + dd;
-                    if best.is_none_or(|b| cand < b) {
+                    if best.map_or(true, |b| cand < b) {
                         best = Some(cand);
                     }
                 }
@@ -252,7 +257,7 @@ impl Flix {
             }
             entries[meta as usize].push(local);
         }
-        best.filter(|&b| opts.max_distance.is_none_or(|m| b <= m))
+        best.filter(|&b| opts.max_distance.map_or(true, |m| b <= m))
     }
 
     /// Bidirectional connection test (§5.2's sketched optimisation): one
@@ -397,7 +402,8 @@ impl Flix {
             let block = match axis {
                 Axis::Descendants => {
                     let (block, work) =
-                        md.index.descendants_by_label_counted(local, target, include_self);
+                        md.index
+                            .descendants_by_label_counted(local, target, include_self);
                     stats.block_results_scanned += work;
                     block
                 }
@@ -552,10 +558,12 @@ impl<'f> ConnectionSearch<'f> {
         let meta = self.flix.meta_of(e);
         let local = self.flix.local_of(e);
         let md = self.flix.meta(meta);
-        let subsumed = self.entries[meta as usize].iter().any(|&p| match self.axis {
-            Axis::Descendants => md.index.is_reachable(p, local),
-            Axis::Ancestors => md.index.is_reachable(local, p),
-        });
+        let subsumed = self.entries[meta as usize]
+            .iter()
+            .any(|&p| match self.axis {
+                Axis::Descendants => md.index.is_reachable(p, local),
+                Axis::Ancestors => md.index.is_reachable(local, p),
+            });
         if subsumed {
             return SearchStep::Progress;
         }
@@ -567,8 +575,8 @@ impl<'f> ConnectionSearch<'f> {
             };
             if let Some(dd) = found {
                 let cand = d + dd;
-                if self.max_distance.is_none_or(|m| cand <= m)
-                    && self.best.is_none_or(|b| cand < b)
+                if self.max_distance.map_or(true, |m| cand <= m)
+                    && self.best.map_or(true, |b| cand < b)
                 {
                     self.best = Some(cand);
                 }
@@ -740,9 +748,27 @@ mod tests {
         let flix = Flix::build(cg.clone(), FlixConfig::Monolithic(StrategyKind::Hopi));
         let mut res = flix.find_descendants(0, b, &QueryOptions::default());
         res.sort_by_key(|r| r.node);
-        assert_eq!(res[0], QueryResult { distance: 1, node: 1 });
-        assert_eq!(res[1], QueryResult { distance: 4, node: 4 });
-        assert_eq!(res[2], QueryResult { distance: 5, node: 5 });
+        assert_eq!(
+            res[0],
+            QueryResult {
+                distance: 1,
+                node: 1
+            }
+        );
+        assert_eq!(
+            res[1],
+            QueryResult {
+                distance: 4,
+                node: 4
+            }
+        );
+        assert_eq!(
+            res[2],
+            QueryResult {
+                distance: 5,
+                node: 5
+            }
+        );
         // FliX configurations report the same distances here: link hops
         // cost dist(e,l) + 1, matching the union-graph edge.
         let flix = Flix::build(cg.clone(), FlixConfig::Naive);
@@ -766,7 +792,10 @@ mod tests {
                 ..QueryOptions::default()
             },
         );
-        assert!(with.contains(&QueryResult { distance: 0, node: 0 }));
+        assert!(with.contains(&QueryResult {
+            distance: 0,
+            node: 0
+        }));
     }
 
     #[test]
@@ -774,7 +803,10 @@ mod tests {
         let cg = chain3();
         let b = cg.collection.tags.get("b").unwrap();
         let flix = Flix::build(cg.clone(), FlixConfig::Naive);
-        assert_eq!(flix.find_descendants(0, b, &QueryOptions::top_k(2)).len(), 2);
+        assert_eq!(
+            flix.find_descendants(0, b, &QueryOptions::top_k(2)).len(),
+            2
+        );
         let near = flix.find_descendants(0, b, &QueryOptions::within(4));
         let nodes: Vec<NodeId> = near.iter().map(|r| r.node).collect();
         assert_eq!(nodes, vec![1, 4], "node 5 is at distance 5");
@@ -790,7 +822,10 @@ mod tests {
                 Some(6),
                 "0 -> 6 via two links, config {config}"
             );
-            assert_eq!(flix.connection_test(0, 0, &QueryOptions::default()), Some(0));
+            assert_eq!(
+                flix.connection_test(0, 0, &QueryOptions::default()),
+                Some(0)
+            );
             assert_eq!(
                 flix.connection_test(6, 0, &QueryOptions::default()),
                 None,
@@ -937,7 +972,13 @@ mod tests {
         };
         let top2 = flix.find_descendants(0, b, &opts);
         assert_eq!(top2.len(), 2);
-        assert_eq!(top2[0], QueryResult { distance: 1, node: 1 });
+        assert_eq!(
+            top2[0],
+            QueryResult {
+                distance: 1,
+                node: 1
+            }
+        );
         let opts = QueryOptions {
             exact_order: true,
             max_distance: Some(4),
@@ -956,8 +997,7 @@ mod tests {
             for from in 0..7u32 {
                 for to in 0..7u32 {
                     let uni = flix.connection_test(from, to, &QueryOptions::default());
-                    let bi =
-                        flix.connection_test_bidirectional(from, to, &QueryOptions::default());
+                    let bi = flix.connection_test_bidirectional(from, to, &QueryOptions::default());
                     assert_eq!(uni.is_some(), bi.is_some(), "{from}->{to} under {config}");
                     if let (Some(a), Some(b)) = (uni, bi) {
                         // both are approximate; they must agree on the

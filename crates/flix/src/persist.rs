@@ -42,10 +42,14 @@ pub fn save_flix(flix: &Flix, store: &mut BlobStore, name: &str) -> Result<(), S
         runtime_links: flix.runtime_links().to_vec(),
     };
     let bytes = pagestore::to_bytes(&manifest).map_err(|e| e.to_string())?;
-    store.put(&format!("{name}/manifest"), &bytes);
+    store
+        .put(&format!("{name}/manifest"), &bytes)
+        .map_err(|e| e.to_string())?;
     for mi in 0..flix.meta_count() as u32 {
         let bytes = pagestore::to_bytes(flix.meta(mi)).map_err(|e| e.to_string())?;
-        store.put(&format!("{name}/meta-{mi}"), &bytes);
+        store
+            .put(&format!("{name}/meta-{mi}"), &bytes)
+            .map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -62,6 +66,7 @@ pub fn load_flix(
 ) -> Result<Flix, String> {
     let bytes = store
         .get(&format!("{name}/manifest"))
+        .map_err(|e| e.to_string())?
         .ok_or_else(|| format!("no framework named {name:?} in store"))?;
     let manifest: Manifest = pagestore::from_bytes(&bytes).map_err(|e| e.to_string())?;
     if manifest.node_count != graph.node_count() {
@@ -75,6 +80,7 @@ pub fn load_flix(
     for mi in 0..manifest.meta_count {
         let bytes = store
             .get(&format!("{name}/meta-{mi}"))
+            .map_err(|e| e.to_string())?
             .ok_or_else(|| format!("missing blob for meta document {mi}"))?;
         let md: MetaDocument = pagestore::from_bytes(&bytes).map_err(|e| e.to_string())?;
         metas.push(md);

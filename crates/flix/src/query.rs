@@ -435,7 +435,11 @@ fn merge(map: &mut HashMap<NodeId, f64>, node: NodeId, score: f64) {
     }
 }
 
-fn apply_predicate(engine: &QueryEngine<'_>, map: &mut HashMap<NodeId, f64>, pred: Option<&Predicate>) {
+fn apply_predicate(
+    engine: &QueryEngine<'_>,
+    map: &mut HashMap<NodeId, f64>,
+    pred: Option<&Predicate>,
+) {
     if let Some(p) = pred {
         map.retain(|&node, score| {
             let s = engine.predicate_score(node, p);
@@ -482,8 +486,8 @@ mod tests {
 
     #[test]
     fn parser_handles_paper_query() {
-        let q = PathQuery::parse(r#"//~movie[title ~ "Matrix: Revolutions"]//~actor//~movie"#)
-            .unwrap();
+        let q =
+            PathQuery::parse(r#"//~movie[title ~ "Matrix: Revolutions"]//~actor//~movie"#).unwrap();
         assert_eq!(q.steps.len(), 3);
         assert_eq!(q.steps[0].axis, StepAxis::Descendants);
         assert_eq!(q.steps[0].name, NameTest::Similar("movie".into()));
@@ -539,8 +543,8 @@ mod tests {
         let mut sims = TagSimilarity::new();
         sims.add("movie", "science-fiction", 0.9);
         let engine = QueryEngine::new(&flix, sims, 0.8, 0.01);
-        let q = PathQuery::parse(r#"//~movie[title ~ "Matrix: Revolutions"]//actor//~movie"#)
-            .unwrap();
+        let q =
+            PathQuery::parse(r#"//~movie[title ~ "Matrix: Revolutions"]//actor//~movie"#).unwrap();
         let res = engine.evaluate(&q);
         assert_eq!(res.len(), 1, "{res:?}");
         let tag = cg.collection.tags.name(cg.tag_of(res[0].node));

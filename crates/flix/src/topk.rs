@@ -89,18 +89,18 @@ where
                 frontiers[i] = 0.0;
                 continue;
             };
-            debug_assert!(
-                score <= last_scores[i],
-                "stream {i} not sorted descending"
-            );
+            debug_assert!(score <= last_scores[i], "stream {i} not sorted descending");
             last_scores[i] = score;
             streams[i].next();
             progressed = true;
             frontiers[i] = score; // the next entry scores at most this
-            let e = state.entry(node).or_insert((match agg {
-                Aggregation::Sum => 0.0,
-                Aggregation::Max => f64::NEG_INFINITY,
-            }, 0));
+            let e = state.entry(node).or_insert((
+                match agg {
+                    Aggregation::Sum => 0.0,
+                    Aggregation::Max => f64::NEG_INFINITY,
+                },
+                0,
+            ));
             e.0 = agg.combine(e.0, score);
             e.1 |= 1 << i;
         }
@@ -127,12 +127,13 @@ where
         // upper bound, or an entirely unseen node's best possible score.
         let frontier_ready = frontiers.iter().all(|f| f.is_finite());
         if frontier_ready && ranked.len() >= k {
-            let unseen_best = frontiers
-                .iter()
-                .fold(match agg {
+            let unseen_best = frontiers.iter().fold(
+                match agg {
                     Aggregation::Sum => 0.0,
                     Aggregation::Max => f64::NEG_INFINITY,
-                }, |acc, &f| agg.combine(acc, f));
+                },
+                |acc, &f| agg.combine(acc, f),
+            );
             let mut blocked = unseen_best > kth_lower;
             if !blocked {
                 for (_, &(lower, mask)) in ranked.iter().skip(k) {
@@ -187,12 +188,22 @@ mod tests {
 
     #[test]
     fn single_stream_is_prefix() {
-        let out = top_k_nra(vec![s(&[(1, 0.9), (2, 0.7), (3, 0.5)])], 2, Aggregation::Max);
+        let out = top_k_nra(
+            vec![s(&[(1, 0.9), (2, 0.7), (3, 0.5)])],
+            2,
+            Aggregation::Max,
+        );
         assert_eq!(
             out,
             vec![
-                TopKResult { node: 1, score: 0.9 },
-                TopKResult { node: 2, score: 0.7 }
+                TopKResult {
+                    node: 1,
+                    score: 0.9
+                },
+                TopKResult {
+                    node: 2,
+                    score: 0.7
+                }
             ]
         );
     }
@@ -213,8 +224,20 @@ mod tests {
         let a = s(&[(1, 0.9), (2, 0.5)]);
         let b = s(&[(2, 0.8), (1, 0.2)]);
         let out = top_k_nra(vec![a, b], 2, Aggregation::Max);
-        assert_eq!(out[0], TopKResult { node: 1, score: 0.9 });
-        assert_eq!(out[1], TopKResult { node: 2, score: 0.8 });
+        assert_eq!(
+            out[0],
+            TopKResult {
+                node: 1,
+                score: 0.9
+            }
+        );
+        assert_eq!(
+            out[1],
+            TopKResult {
+                node: 2,
+                score: 0.8
+            }
+        );
     }
 
     #[test]
@@ -242,10 +265,7 @@ mod tests {
             let mk = |salt: u32| {
                 let mut v: Vec<(u32, f64)> = (0..30u32)
                     .map(|i| {
-                        let x = (i
-                            .wrapping_mul(2654435761)
-                            .wrapping_add(seed * 97 + salt))
-                            % 1000;
+                        let x = (i.wrapping_mul(2654435761).wrapping_add(seed * 97 + salt)) % 1000;
                         (i % 17, x as f64 / 1000.0)
                     })
                     .collect();
@@ -280,8 +300,12 @@ mod tests {
     #[test]
     fn k_zero_and_empty_streams() {
         assert!(top_k_nra(vec![s(&[(1, 0.5)])], 0, Aggregation::Max).is_empty());
-        assert!(top_k_nra(Vec::<std::vec::IntoIter<(u32, f64)>>::new(), 3, Aggregation::Max)
-            .is_empty());
+        assert!(top_k_nra(
+            Vec::<std::vec::IntoIter<(u32, f64)>>::new(),
+            3,
+            Aggregation::Max
+        )
+        .is_empty());
         let out = top_k_nra(vec![s(&[])], 3, Aggregation::Sum);
         assert!(out.is_empty());
     }

@@ -111,9 +111,7 @@ impl VagueEvaluator {
 
     /// Relevance of a match at `distance` with tag similarity `sim`.
     pub fn score(&self, sim: f64, distance: Distance) -> f64 {
-        sim * self
-            .distance_decay
-            .powi(distance.saturating_sub(1) as i32)
+        sim * self.distance_decay.powi(distance.saturating_sub(1) as i32)
     }
 
     /// Evaluates `start ~// target` over `flix`, returning results sorted

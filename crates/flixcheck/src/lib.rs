@@ -1,0 +1,31 @@
+//! flixcheck — workspace static analysis + index integrity auditing.
+//!
+//! Two halves:
+//!
+//! 1. A from-scratch, dependency-free **lint pass** ([`lint`]) over every
+//!    `crates/*/src/**/*.rs` file enforcing the workspace's production-code
+//!    hygiene rules (no `unwrap`/`expect`/`panic!` in library paths, no
+//!    un-allowlisted `unsafe`, doc comments on public items in the core
+//!    crates). Run it with `cargo run -p flixcheck`; it also runs under
+//!    `cargo test` via this crate's tests and a root integration test.
+//!
+//! 2. The [`IntegrityCheck`] trait ([`integrity`]) implemented by every
+//!    index/storage structure in the workspace, so a built index can be
+//!    deeply audited (interval nesting, 2-hop cover soundness, extent
+//!    partitions, slot directories, ...) in tests and via `repro --check`.
+//!
+//! This crate is a dependency leaf: it uses only `std`, so every other
+//! crate can depend on it without cycles.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+pub mod integrity;
+pub mod lint;
+pub mod scanner;
+
+pub use integrity::{
+    IntegrityCheck, IntegrityChecker, IntegrityError, IntegrityReport, IntegrityViolation,
+};
+pub use lint::{find_workspace_root, lint_file, run, run_default, Diagnostic, LintReport, Rule};

@@ -1,0 +1,607 @@
+//! The workspace lint pass.
+//!
+//! [`run`] walks every `crates/*/src/**/*.rs` file, strips comments and
+//! literals (see [`crate::scanner`]), masks `#[cfg(test)]` items, and
+//! applies the production-code rules:
+//!
+//! * `unwrap-expect` — no `.unwrap()` / `.expect(` outside tests.
+//!   Grandfathered occurrences live in `crates/flixcheck/allowlist.txt`
+//!   as per-file ceilings that may shrink but never grow.
+//! * `panic` — no `panic!` / `todo!` / `unimplemented!` in library code.
+//!   There is deliberately no allowlist for this rule.
+//! * `unsafe` — `unsafe` only where the allowlist explicitly permits it.
+//! * `missing-docs` — public items in the `graphcore`, `pagestore`, and
+//!   `flix` crates must carry a doc comment.
+//!
+//! Diagnostics are machine readable: `path:line: rule: message`.
+
+use crate::scanner::{excluded_regions, line_of, strip_source, Region};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose public items must be documented.
+const DOC_CRATES: &[&str] = &["graphcore", "pagestore", "flix"];
+
+/// Identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `.unwrap()` / `.expect(` in non-test library code.
+    UnwrapExpect,
+    /// `panic!` / `todo!` / `unimplemented!` in library code.
+    Panic,
+    /// `unsafe` outside the allowlist.
+    Unsafe,
+    /// Undocumented public item in a documented crate.
+    MissingDocs,
+    /// Allowlist entry whose ceiling is higher than reality (or whose
+    /// file no longer exists): the ceiling must be lowered.
+    AllowlistStale,
+}
+
+impl Rule {
+    /// The rule's stable name, as used in diagnostics and the allowlist.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnwrapExpect => "unwrap-expect",
+            Rule::Panic => "panic",
+            Rule::Unsafe => "unsafe",
+            Rule::MissingDocs => "missing-docs",
+            Rule::AllowlistStale => "allowlist-stale",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "unwrap-expect" => Some(Rule::UnwrapExpect),
+            "panic" => Some(Rule::Panic),
+            "unsafe" => Some(Rule::Unsafe),
+            "missing-docs" => Some(Rule::MissingDocs),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single lint finding, formatted as `path:line: rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-indexed line number (0 for file-level findings).
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of a full lint pass.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// All findings, sorted by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// True if the pass found no violations.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// One parsed allowlist entry: at most `max` findings of `rule` in `path`.
+#[derive(Debug, Clone)]
+struct AllowEntry {
+    rule: Rule,
+    path: String,
+    max: usize,
+    /// Line in the allowlist file, for stale-entry diagnostics.
+    source_line: usize,
+}
+
+/// Locates the workspace root by walking up from `CARGO_MANIFEST_DIR`
+/// (set by cargo for both `cargo run` and `cargo test`) or the current
+/// directory, whichever first contains `Cargo.toml` and a `crates/` dir.
+pub fn find_workspace_root() -> Option<PathBuf> {
+    let mut candidates: Vec<PathBuf> = Vec::new();
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        candidates.push(PathBuf::from(dir));
+    }
+    if let Ok(dir) = std::env::current_dir() {
+        candidates.push(dir);
+    }
+    for start in candidates {
+        for dir in start.ancestors() {
+            if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+                return Some(dir.to_path_buf());
+            }
+        }
+    }
+    None
+}
+
+/// Runs the lint pass over the workspace found via [`find_workspace_root`].
+pub fn run_default() -> Result<LintReport, io::Error> {
+    let root = find_workspace_root().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            "workspace root (Cargo.toml + crates/) not found",
+        )
+    })?;
+    run(&root)
+}
+
+/// Runs the lint pass over the workspace rooted at `root`.
+pub fn run(root: &Path) -> Result<LintReport, io::Error> {
+    let files = collect_sources(&root.join("crates"))?;
+    let allowlist = load_allowlist(&root.join("crates/flixcheck/allowlist.txt"))?;
+
+    // (rule, path) -> occurrences, so allowlist ceilings apply per file.
+    let mut found: BTreeMap<(Rule, String), Vec<Diagnostic>> = BTreeMap::new();
+    for file in &files {
+        let rel = relative_path(root, file);
+        let src = fs::read_to_string(file)?;
+        for diag in lint_file(&rel, &src) {
+            found
+                .entry((diag.rule, diag.path.clone()))
+                .or_default()
+                .push(diag);
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    for entry in &allowlist {
+        let occurrences = found
+            .get(&(entry.rule, entry.path.clone()))
+            .map_or(0, Vec::len);
+        if occurrences < entry.max {
+            diagnostics.push(Diagnostic {
+                path: "crates/flixcheck/allowlist.txt".to_string(),
+                line: entry.source_line,
+                rule: Rule::AllowlistStale,
+                message: format!(
+                    "{} allows {} `{}` findings but only {} remain; lower the ceiling",
+                    entry.path, entry.max, entry.rule, occurrences
+                ),
+            });
+        }
+    }
+    for ((rule, path), occurrences) in found {
+        let max = allowlist
+            .iter()
+            .find(|e| e.rule == rule && e.path == path)
+            .map_or(0, |e| e.max);
+        let count = occurrences.len();
+        if count > max {
+            for mut diag in occurrences {
+                if max > 0 {
+                    diag.message = format!(
+                        "{} ({count} found in {path}, {max} grandfathered in allowlist)",
+                        diag.message
+                    );
+                }
+                diagnostics.push(diag);
+            }
+        }
+    }
+    diagnostics.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    Ok(LintReport {
+        diagnostics,
+        files_scanned: files.len(),
+    })
+}
+
+/// Lints a single file given its workspace-relative path and raw source.
+pub fn lint_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let stripped = strip_source(src);
+    let excluded = excluded_regions(&stripped);
+    let mut diags = Vec::new();
+
+    let in_tests = |pos: usize| excluded.iter().any(|r| r.contains(pos));
+
+    for pat in [".unwrap()", ".expect("] {
+        for pos in find_all(&stripped, pat) {
+            if in_tests(pos) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: line_of(&stripped, pos),
+                rule: Rule::UnwrapExpect,
+                message: format!("`{pat}` in non-test library code; propagate a Result instead"),
+            });
+        }
+    }
+
+    for pat in ["panic!", "todo!", "unimplemented!"] {
+        for pos in find_all(&stripped, pat) {
+            if in_tests(pos) || !word_boundary_before(&stripped, pos) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: line_of(&stripped, pos),
+                rule: Rule::Panic,
+                message: format!("`{pat}` in library code; return an error instead"),
+            });
+        }
+    }
+
+    for pos in find_all(&stripped, "unsafe") {
+        let after = stripped.as_bytes().get(pos + "unsafe".len());
+        let word_end = after.map_or(true, |&b| !b.is_ascii_alphanumeric() && b != b'_');
+        if in_tests(pos) || !word_boundary_before(&stripped, pos) || !word_end {
+            continue;
+        }
+        // `forbid(unsafe_code)` / `deny(unsafe_code)` mentions are handled
+        // by the word-end check; this is a real `unsafe` keyword.
+        diags.push(Diagnostic {
+            path: rel_path.to_string(),
+            line: line_of(&stripped, pos),
+            rule: Rule::Unsafe,
+            message: "`unsafe` outside the allowlist".to_string(),
+        });
+    }
+
+    let crate_name = rel_path
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next());
+    if crate_name.is_some_and(|c| DOC_CRATES.contains(&c)) {
+        missing_docs(rel_path, src, &stripped, &excluded, &mut diags);
+    }
+
+    diags
+}
+
+/// Flags `pub` items in `src` not preceded by a doc comment.
+fn missing_docs(
+    rel_path: &str,
+    src: &str,
+    stripped: &str,
+    excluded: &[Region],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let macro_bodies = macro_rules_regions(stripped);
+    let raw_lines: Vec<&str> = src.lines().collect();
+    let stripped_lines: Vec<&str> = stripped.lines().collect();
+    let mut offset = 0usize;
+    for (idx, sline) in stripped_lines.iter().enumerate() {
+        let line_start = offset;
+        offset += sline.len() + 1;
+        let trimmed = sline.trim_start();
+        let Some(kind) = public_item_kind(trimmed) else {
+            continue;
+        };
+        let pos = line_start + (sline.len() - trimmed.len());
+        if excluded.iter().any(|r| r.contains(pos)) || macro_bodies.iter().any(|r| r.contains(pos))
+        {
+            continue;
+        }
+        if !has_doc_above(&raw_lines, idx) {
+            let name = trimmed
+                .split_whitespace()
+                .find(|tok| {
+                    !matches!(
+                        *tok,
+                        "pub"
+                            | "fn"
+                            | "struct"
+                            | "enum"
+                            | "trait"
+                            | "const"
+                            | "static"
+                            | "type"
+                            | "mod"
+                            | "async"
+                            | "unsafe"
+                            | "union"
+                            | "mut"
+                    )
+                })
+                .unwrap_or("item")
+                .trim_end_matches(|c: char| !c.is_alphanumeric() && c != '_');
+            diags.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: idx + 1,
+                rule: Rule::MissingDocs,
+                message: format!("public {kind} `{name}` has no doc comment"),
+            });
+        }
+    }
+}
+
+/// If `trimmed` begins a public item declaration, returns its kind.
+fn public_item_kind(trimmed: &str) -> Option<&'static str> {
+    let rest = trimmed.strip_prefix("pub ")?;
+    let mut toks = rest.split_whitespace();
+    let mut kw = toks.next()?;
+    if kw == "async" || kw == "unsafe" {
+        kw = toks.next()?;
+    }
+    match kw {
+        "fn" => Some("function"),
+        "struct" => Some("struct"),
+        "enum" => Some("enum"),
+        "trait" => Some("trait"),
+        "const" => Some("constant"),
+        "static" => Some("static"),
+        "type" => Some("type alias"),
+        "mod" => Some("module"),
+        "union" => Some("union"),
+        _ => None,
+    }
+}
+
+/// True if the lines above `idx` attach a doc comment to the item,
+/// looking through attributes and blank lines.
+fn has_doc_above(raw_lines: &[&str], idx: usize) -> bool {
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let t = raw_lines[j].trim();
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with("///") || t.starts_with("#[doc") || t.starts_with("/**") {
+            return true;
+        }
+        // Attribute line, or the tail of a multi-line attribute.
+        if t.starts_with("#[") || t.ends_with(']') || t.ends_with(',') {
+            continue;
+        }
+        if t.ends_with("*/") {
+            // Tail of a block doc comment: scan back to its opening.
+            while j > 0 {
+                let o = raw_lines[j].trim_start();
+                if o.starts_with("/**") {
+                    return true;
+                }
+                if o.starts_with("/*") {
+                    return false;
+                }
+                j -= 1;
+            }
+            return false;
+        }
+        return false;
+    }
+    false
+}
+
+/// Byte ranges of `macro_rules!` bodies (exempt from missing-docs: the
+/// tokens inside are patterns, not items).
+fn macro_rules_regions(stripped: &str) -> Vec<Region> {
+    let bytes = stripped.as_bytes();
+    let mut regions = Vec::new();
+    for start in find_all(stripped, "macro_rules!") {
+        let mut i = start;
+        let mut depth = 0i32;
+        let mut end = bytes.len();
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        regions.push(Region { start, end });
+    }
+    regions
+}
+
+/// All byte offsets where `pat` occurs in `text`.
+fn find_all(text: &str, pat: &str) -> Vec<usize> {
+    let mut positions = Vec::new();
+    let mut search = 0;
+    while let Some(found) = text[search..].find(pat) {
+        positions.push(search + found);
+        search += found + pat.len();
+    }
+    positions
+}
+
+/// True if the char before `pos` cannot extend an identifier (so `pos`
+/// starts a fresh word — `debug_assert!` never matches `assert!` etc.).
+fn word_boundary_before(text: &str, pos: usize) -> bool {
+    if pos == 0 {
+        return true;
+    }
+    let b = text.as_bytes()[pos - 1];
+    !b.is_ascii_alphanumeric() && b != b'_'
+}
+
+/// Recursively collects `*/src/**/*.rs` under `crates_dir`, sorted.
+fn collect_sources(crates_dir: &Path) -> Result<Vec<PathBuf>, io::Error> {
+    let mut files = Vec::new();
+    let mut crates: Vec<PathBuf> = fs::read_dir(crates_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crates.sort();
+    for krate in crates {
+        let src = krate.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), io::Error> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Parses `allowlist.txt`: `<rule> <path> <max>` per line, `#` comments.
+fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, io::Error> {
+    let mut entries = Vec::new();
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(entries),
+        Err(e) => return Err(e),
+    };
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (rule, path, max) = (parts.next(), parts.next(), parts.next());
+        let parsed = rule.and_then(Rule::from_name).and_then(|r| {
+            let p = path?.to_string();
+            let m = max?.parse::<usize>().ok()?;
+            Some((r, p, m))
+        });
+        match parsed {
+            Some((rule, path, max)) if rule != Rule::Panic => entries.push(AllowEntry {
+                rule,
+                path,
+                max,
+                source_line: i + 1,
+            }),
+            _ => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "allowlist.txt:{}: malformed entry (want `<rule> <path> <max>`; \
+                         `panic` cannot be allowlisted): {line}",
+                        i + 1
+                    ),
+                ))
+            }
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_and_expect_outside_tests() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); }\n\
+                   #[cfg(test)]\nmod t { fn g() { z.unwrap(); } }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        let unwraps: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::UnwrapExpect)
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert_eq!(unwraps[0].line, 1);
+    }
+
+    #[test]
+    fn flags_panic_family_with_word_boundaries() {
+        let src = "fn f() { panic!(\"x\"); todo!(); unimplemented!(); debug_assert!(true); }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        let panics: Vec<_> = diags.iter().filter(|d| d.rule == Rule::Panic).collect();
+        assert_eq!(panics.len(), 3);
+    }
+
+    #[test]
+    fn ignores_occurrences_in_comments_and_strings() {
+        let src = "// call .unwrap() never\nfn f() { let s = \"panic!\"; }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn flags_unsafe_keyword_but_not_unsafe_code_ident() {
+        let src = "#![forbid(unsafe_code)]\nfn f() { unsafe { () } }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        let unsafes: Vec<_> = diags.iter().filter(|d| d.rule == Rule::Unsafe).collect();
+        assert_eq!(unsafes.len(), 1);
+        assert_eq!(unsafes[0].line, 2);
+    }
+
+    #[test]
+    fn missing_docs_only_in_doc_crates() {
+        let src = "pub fn naked() {}\n";
+        assert!(lint_file("crates/workloads/src/lib.rs", src)
+            .iter()
+            .all(|d| d.rule != Rule::MissingDocs));
+        let diags = lint_file("crates/flix/src/lib.rs", src);
+        assert!(diags.iter().any(|d| d.rule == Rule::MissingDocs));
+    }
+
+    #[test]
+    fn doc_comment_and_doc_attr_satisfy_missing_docs() {
+        let src = "/// Documented.\npub fn a() {}\n\
+                   #[doc = \"also documented\"]\npub fn b() {}\n\
+                   /// Documented through attributes.\n#[derive(Debug)]\npub struct C;\n";
+        let diags = lint_file("crates/flix/src/lib.rs", src);
+        assert!(
+            diags.iter().all(|d| d.rule != Rule::MissingDocs),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn pub_use_is_not_an_item_declaration() {
+        let src = "pub use inner::Thing;\npub(crate) fn helper() {}\n";
+        let diags = lint_file("crates/flix/src/lib.rs", src);
+        assert!(diags.iter().all(|d| d.rule != Rule::MissingDocs));
+    }
+
+    #[test]
+    fn diagnostic_format_is_machine_readable() {
+        let d = Diagnostic {
+            path: "crates/flix/src/pee.rs".to_string(),
+            line: 42,
+            rule: Rule::UnwrapExpect,
+            message: "boom".to_string(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/flix/src/pee.rs:42: unwrap-expect: boom"
+        );
+    }
+}

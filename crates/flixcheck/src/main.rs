@@ -1,0 +1,33 @@
+//! CLI entry point: lint the workspace and exit non-zero on violations.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let report = match flixcheck::run_default() {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("flixcheck: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for diag in &report.diagnostics {
+        println!("{diag}");
+    }
+    if report.is_clean() {
+        println!(
+            "flixcheck: {} files scanned, no violations",
+            report.files_scanned
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "flixcheck: {} violation(s) in {} files scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,335 @@
+//! Lexical source preparation for the lint rules.
+//!
+//! The rules work on a *stripped* view of each file: comments and the
+//! contents of string/char literals are blanked out (replaced by spaces,
+//! newlines preserved) so `.unwrap()` inside a doc comment or a string
+//! cannot trip a rule. On top of the stripped text, [`excluded_regions`]
+//! marks `#[cfg(test)]` items so test-only code is exempt from the
+//! production rules.
+
+/// Replaces comments and string/char-literal contents with spaces.
+///
+/// The output has exactly the same length and line structure as the input,
+/// so byte offsets and line numbers computed on it map 1:1 back to the
+/// original source.
+pub fn strip_source(src: &str) -> String {
+    let bytes = src.as_bytes();
+    let mut out = vec![b' '; bytes.len()];
+    // Preserve line structure.
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            out[i] = b'\n';
+        }
+    }
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments); blanked to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, possibly nested.
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                i = skip_raw_string(bytes, i);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                i = skip_plain_string(bytes, i + 1);
+            }
+            b'"' => {
+                i = skip_plain_string(bytes, i);
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    i = end;
+                } else {
+                    // A lifetime (`'a`, `'de`): copy through.
+                    out[i] = b'\'';
+                    i += 1;
+                }
+            }
+            b => {
+                out[i] = b;
+                i += 1;
+            }
+        }
+    }
+    // The blanking above only copies code bytes; everything consumed by the
+    // skip helpers stays as spaces/newlines.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+/// True if `bytes[i..]` starts a raw (byte) string: `r"`, `r#`, `br"`, `br#`.
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Skips a raw string starting at `i`, returning the index after it.
+fn skip_raw_string(bytes: &[u8], mut i: usize) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    i += 1; // the `r`
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut k = 0;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips a plain `"..."` string with `\` escapes, starting at the quote.
+fn skip_plain_string(bytes: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// If a char literal starts at `i` (a `'`), returns the index after its
+/// closing quote; `None` if this is a lifetime instead.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1)? {
+        b'\\' => {
+            // Escaped char: scan to the closing quote.
+            let mut j = i + 2;
+            while j < bytes.len() {
+                match bytes[j] {
+                    b'\\' => j += 2,
+                    b'\'' => return Some(j + 1),
+                    b'\n' => return None,
+                    _ => j += 1,
+                }
+            }
+            None
+        }
+        _ => {
+            // `'x'` (possibly multi-byte x): find the quote within the next
+            // few bytes; lifetimes never have one.
+            let limit = (i + 6).min(bytes.len());
+            ((i + 2)..limit)
+                .find(|&j| bytes[j] == b'\'')
+                // `'a'` has code between quotes; `''` is not a literal.
+                .filter(|&j| j > i + 1)
+                .map(|j| j + 1)
+        }
+    }
+}
+
+/// A byte range of the stripped source that is exempt from production
+/// rules (a `#[cfg(test)]` item, usually the test module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// Inclusive start byte.
+    pub start: usize,
+    /// Exclusive end byte.
+    pub end: usize,
+}
+
+impl Region {
+    /// True if `pos` falls inside the region.
+    pub fn contains(&self, pos: usize) -> bool {
+        pos >= self.start && pos < self.end
+    }
+}
+
+/// Finds the byte ranges of all `#[cfg(test)]` items in stripped source.
+///
+/// After the attribute (and any further attributes), the item extends to
+/// its matching closing brace, or to the first `;` for brace-less items.
+pub fn excluded_regions(stripped: &str) -> Vec<Region> {
+    let bytes = stripped.as_bytes();
+    let mut regions = Vec::new();
+    let mut search = 0;
+    while let Some(found) = stripped[search..].find("#[cfg(test)]") {
+        let start = search + found;
+        let mut i = start + "#[cfg(test)]".len();
+        // Skip whitespace and any further attributes.
+        loop {
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if bytes.get(i) == Some(&b'#') && bytes.get(i + 1) == Some(&b'[') {
+                let mut depth = 0;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'[' => depth += 1,
+                        b']' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        // The item body: to the matching `}` of its first `{`, or to `;`.
+        let mut depth = 0i32;
+        let mut end = bytes.len();
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i + 1;
+                        break;
+                    }
+                }
+                b';' if depth == 0 => {
+                    end = i + 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        regions.push(Region { start, end });
+        search = end.max(start + 1);
+    }
+    regions
+}
+
+/// 1-indexed line number of byte offset `pos`.
+pub fn line_of(src: &str, pos: usize) -> usize {
+    src.as_bytes()[..pos.min(src.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_doc_comments() {
+        let src = "let x = 1; // .unwrap() here\n/// docs .expect(\nlet y = 2;\n";
+        let s = strip_source(src);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("expect"));
+        assert!(s.contains("let y = 2;"));
+        assert_eq!(s.len(), src.len());
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let src = "a /* outer /* inner panic! */ still */ b";
+        let s = strip_source(src);
+        assert!(!s.contains("panic"));
+        assert!(s.starts_with('a'));
+        assert!(s.ends_with('b'));
+    }
+
+    #[test]
+    fn strips_strings_and_raw_strings() {
+        let src = r##"let a = ".unwrap()"; let b = r#"panic!"#; let c = b"todo!";"##;
+        let s = strip_source(src);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("panic"));
+        assert!(!s.contains("todo"));
+        assert!(s.contains("let a"));
+        assert!(s.contains("let c"));
+    }
+
+    #[test]
+    fn string_escapes_do_not_unbalance() {
+        let src = r#"let a = "\" .unwrap() \""; let b = 1;"#;
+        let s = strip_source(src);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'de>(c: char) { if c == '\"' || c == '\\'' { } let _x: &'de str; }";
+        let s = strip_source(src);
+        assert!(s.contains("fn f<'de>"));
+        assert!(s.contains("&'de str"));
+        // the quote chars inside the literals are blanked
+        assert!(!s.contains('"'));
+    }
+
+    #[test]
+    fn test_region_covers_module() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn tail() {}\n";
+        let stripped = strip_source(src);
+        let regions = excluded_regions(&stripped);
+        assert_eq!(regions.len(), 1);
+        let pos = stripped.find(".unwrap()").expect("kept in stripped text");
+        assert!(regions[0].contains(pos));
+        let tail = stripped.find("fn tail").expect("present");
+        assert!(!regions[0].contains(tail));
+    }
+
+    #[test]
+    fn test_region_skips_following_attributes() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t { fn a() {} }\nfn real() {}\n";
+        let stripped = strip_source(src);
+        let regions = excluded_regions(&stripped);
+        assert_eq!(regions.len(), 1);
+        let real = stripped.find("fn real").expect("present");
+        assert!(!regions[0].contains(real));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let src = "a\nb\nc\n";
+        assert_eq!(line_of(src, 0), 1);
+        assert_eq!(line_of(src, 2), 2);
+        assert_eq!(line_of(src, 4), 3);
+    }
+}

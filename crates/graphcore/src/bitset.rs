@@ -25,7 +25,11 @@ impl BitSet {
 
     /// Inserts `i`; returns true if it was newly inserted.
     pub fn insert(&mut self, i: usize) -> bool {
-        debug_assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "bit {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let mask = 1u64 << b;
         let fresh = self.words[w] & mask == 0;

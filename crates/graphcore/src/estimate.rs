@@ -60,7 +60,13 @@ pub fn estimate_descendant_counts(g: &Digraph, rounds: usize, seed: u64) -> Vec<
         }
     }
     sums.iter()
-        .map(|&s| if s > 0.0 { (rounds as f64 - 1.0) / s } else { n as f64 })
+        .map(|&s| {
+            if s > 0.0 {
+                (rounds as f64 - 1.0) / s
+            } else {
+                n as f64
+            }
+        })
         .collect()
 }
 
@@ -87,7 +93,10 @@ mod tests {
         let exact = exact_counts(g);
         for (u, (e, x)) in est.iter().zip(&exact).enumerate() {
             let rel = (e - x).abs() / x;
-            assert!(rel < tol, "node {u}: est {e:.2} vs exact {x} (rel {rel:.3})");
+            assert!(
+                rel < tol,
+                "node {u}: est {e:.2} vs exact {x} (rel {rel:.3})"
+            );
         }
     }
 
@@ -118,10 +127,7 @@ mod tests {
 
     #[test]
     fn closure_size_estimate_tracks_exact() {
-        let g = Digraph::from_edges(
-            30,
-            (0..29u32).map(|i| (i, i + 1)).chain([(0, 15), (5, 25)]),
-        );
+        let g = Digraph::from_edges(30, (0..29u32).map(|i| (i, i + 1)).chain([(0, 15), (5, 25)]));
         let exact: f64 = exact_counts(&g).iter().sum();
         let est = estimate_closure_size(&g, 500, 11);
         let rel = (est - exact).abs() / exact;

@@ -20,16 +20,26 @@
 //! allocation-conscious and deterministic.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+/// Fixed-size bitsets backing the closure computation.
 pub mod bitset;
+/// Exact transitive closure and all-pairs distance oracles.
 pub mod closure;
+/// The compact CSR digraph and its builder.
 pub mod digraph;
+/// Cheap estimators for closure size and descendant counts.
 pub mod estimate;
+/// Greedy size-capped edge-cut graph partitioning.
 pub mod partition;
+/// Tarjan strongly-connected components and condensation.
 pub mod scc;
+/// Spanning forests and "almost a tree" edge-removal analysis.
 pub mod spanning;
+/// Topological ordering of DAGs.
 pub mod topo;
+/// BFS/DFS traversals, shortest paths, and Dijkstra.
 pub mod traversal;
 
 pub use bitset::BitSet;
@@ -38,7 +48,10 @@ pub use digraph::{Digraph, DigraphBuilder, NodeId};
 pub use estimate::{estimate_closure_size, estimate_descendant_counts};
 pub use partition::{partition_greedy, Partitioning};
 pub use scc::{condensation, tarjan_scc, Condensation};
+pub use spanning::is_forest;
 pub use spanning::{spanning_forest, tree_violations, ForestCheck};
 pub use topo::topological_order;
-pub use traversal::{bfs_distances, bfs_from, dfs_preorder, dijkstra, is_reachable, multi_source_bfs, Distance, INFINITE_DISTANCE};
-pub use spanning::is_forest;
+pub use traversal::{
+    bfs_distances, bfs_from, dfs_preorder, dijkstra, is_reachable, multi_source_bfs, Distance,
+    INFINITE_DISTANCE,
+};

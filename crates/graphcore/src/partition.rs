@@ -147,7 +147,10 @@ fn consolidate_small_blocks(g: &Digraph, p: &mut Partitioning, max_size: usize) 
         if size == 0 {
             continue;
         }
-        match bins.iter_mut().find(|(t, s)| *t != b && s + size <= max_size) {
+        match bins
+            .iter_mut()
+            .find(|(t, s)| *t != b && s + size <= max_size)
+        {
             Some((t, s)) => {
                 let moved = std::mem::take(&mut p.parts[b]);
                 for &u in &moved {

@@ -157,10 +157,7 @@ mod tests {
 
     #[test]
     fn condensation_is_acyclic() {
-        let g = Digraph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        );
+        let g = Digraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
         let cond = condensation(&g);
         assert_eq!(cond.component_count(), 2);
         // No component can reach itself through the DAG edges.
@@ -173,18 +170,7 @@ mod tests {
 
     #[test]
     fn mutual_reachability_iff_same_component() {
-        let g = Digraph::from_edges(
-            7,
-            [
-                (0, 1),
-                (1, 2),
-                (2, 0),
-                (2, 3),
-                (3, 4),
-                (4, 3),
-                (5, 6),
-            ],
-        );
+        let g = Digraph::from_edges(7, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3), (5, 6)]);
         let c = tarjan_scc(&g);
         for u in 0..7u32 {
             for v in 0..7u32 {

@@ -48,9 +48,9 @@ pub fn spanning_forest(g: &Digraph) -> ForestCheck {
     let mut queue = std::collections::VecDeque::new();
 
     let grow = |start: NodeId,
-                    visited: &mut Vec<bool>,
-                    parent: &mut Vec<NodeId>,
-                    queue: &mut std::collections::VecDeque<NodeId>| {
+                visited: &mut Vec<bool>,
+                parent: &mut Vec<NodeId>,
+                queue: &mut std::collections::VecDeque<NodeId>| {
         visited[start as usize] = true;
         queue.push_back(start);
         while let Some(u) = queue.pop_front() {
@@ -153,7 +153,16 @@ mod tests {
         // dense-ish graph; removing the reported edges must yield a forest
         let g = Digraph::from_edges(
             6,
-            [(0, 1), (1, 2), (2, 3), (3, 1), (0, 4), (4, 5), (2, 5), (5, 0)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 1),
+                (0, 4),
+                (4, 5),
+                (2, 5),
+                (5, 0),
+            ],
         );
         let check = spanning_forest(&g);
         let kept: Vec<(NodeId, NodeId)> = g

@@ -313,12 +313,168 @@ impl HopiIndex {
         self.stats.total_entries()
     }
 
+    /// Verifies the 2-hop cover against the graph it was built over, by
+    /// exact BFS from a deterministic sample of `samples` source nodes.
+    ///
+    /// For every sampled source `u` and every node `v`, the label-derived
+    /// [`HopiIndex::distance`] must equal the BFS distance (soundness: no
+    /// phantom connections; completeness: the cover admits every real
+    /// connection at its exact distance).
+    ///
+    /// # Errors
+    /// A description of the first disagreement found.
+    pub fn verify_against_graph(&self, g: &Digraph, samples: usize) -> Result<(), String> {
+        let n = self.node_count();
+        if g.node_count() != n {
+            return Err(format!(
+                "graph has {} nodes, index covers {n}",
+                g.node_count()
+            ));
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        let step = (n / samples.max(1)).max(1);
+        for u in (0..n).step_by(step) {
+            let u = u as NodeId;
+            let dist = graphcore::bfs_distances(g, u);
+            for v in 0..n as NodeId {
+                let oracle = dist[v as usize];
+                let oracle = (oracle != graphcore::INFINITE_DISTANCE).then_some(oracle);
+                let indexed = self.distance(u, v);
+                if indexed != oracle {
+                    return Err(format!(
+                        "d({u}, {v}): index says {indexed:?}, BFS says {oracle:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Approximate in-memory footprint in bytes: label sets plus the
     /// inverted center indexes (both are materialised in the database in
     /// the paper's implementation).
     pub fn size_bytes(&self) -> usize {
         // every entry appears once in l_in/l_out and once inverted
         2 * self.stats.total_entries() * 8 + self.node_labels.len() * 4
+    }
+}
+
+impl flixcheck::IntegrityCheck for HopiIndex {
+    /// Audits the 2-hop cover's internal shape: every node carries its
+    /// zero-distance self-entry in both label sets, center lists are
+    /// strictly sorted, the inverted indexes mirror the label sets exactly,
+    /// and the build statistics match the stored entry counts.
+    ///
+    /// Soundness/completeness against the indexed graph needs the graph
+    /// itself (not stored here) — see [`HopiIndex::verify_against_graph`].
+    fn integrity_check(&self) -> Result<flixcheck::IntegrityReport, flixcheck::IntegrityError> {
+        let mut audit = flixcheck::IntegrityChecker::new("HopiIndex");
+        let n = self.l_in.len();
+        audit.check(
+            "parallel arrays same length",
+            self.l_out.len() == n
+                && self.in_index.len() == n
+                && self.out_index.len() == n
+                && self.node_labels.len() == n,
+            || {
+                format!(
+                    "l_in={n} l_out={} in_index={} out_index={} node_labels={}",
+                    self.l_out.len(),
+                    self.in_index.len(),
+                    self.out_index.len(),
+                    self.node_labels.len()
+                )
+            },
+        );
+        if audit.violation_count() > 0 {
+            return audit.finish();
+        }
+
+        let mut first = None;
+        for w in 0..n as NodeId {
+            let self_in = self.l_in[w as usize].iter().any(|&(c, d)| c == w && d == 0);
+            let self_out = self.l_out[w as usize]
+                .iter()
+                .any(|&(c, d)| c == w && d == 0);
+            if !(self_in && self_out) {
+                first = Some(format!("node {w} lacks its (w, 0) self-entry"));
+                break;
+            }
+        }
+        audit.check(
+            "every node holds its zero-distance self-entry",
+            first.is_none(),
+            || first.unwrap_or_default(),
+        );
+
+        let mut first = None;
+        'sorted: for (side, sets) in [("L_in", &self.l_in), ("L_out", &self.l_out)] {
+            for (u, set) in sets.iter().enumerate() {
+                for w in set.windows(2) {
+                    if w[0].0 >= w[1].0 {
+                        first = Some(format!(
+                            "{side}[{u}] not strictly sorted by center at {}",
+                            w[1].0
+                        ));
+                        break 'sorted;
+                    }
+                }
+            }
+        }
+        audit.check(
+            "center lists strictly sorted (no duplicates)",
+            first.is_none(),
+            || first.unwrap_or_default(),
+        );
+
+        // The inverted indexes must be an exact mirror of the label sets.
+        let mut want_in: Vec<Vec<(NodeId, Distance)>> = vec![Vec::new(); n];
+        let mut want_out: Vec<Vec<(NodeId, Distance)>> = vec![Vec::new(); n];
+        for v in 0..n {
+            for &(c, d) in &self.l_in[v] {
+                want_in[c as usize].push((v as NodeId, d));
+            }
+            for &(c, d) in &self.l_out[v] {
+                want_out[c as usize].push((v as NodeId, d));
+            }
+        }
+        let mut first = None;
+        for (w, (want_in, want_out)) in want_in.iter_mut().zip(&mut want_out).enumerate() {
+            let mut got_in = self.in_index[w].clone();
+            got_in.sort_unstable();
+            let mut got_out = self.out_index[w].clone();
+            got_out.sort_unstable();
+            want_in.sort_unstable();
+            want_out.sort_unstable();
+            if got_in != *want_in || got_out != *want_out {
+                first = Some(format!(
+                    "inverted index of center {w} disagrees with the label sets"
+                ));
+                break;
+            }
+        }
+        audit.check(
+            "inverted indexes mirror the label sets",
+            first.is_none(),
+            || first.unwrap_or_default(),
+        );
+
+        let in_total: usize = self.l_in.iter().map(Vec::len).sum();
+        let out_total: usize = self.l_out.iter().map(Vec::len).sum();
+        audit.check(
+            "build stats match stored entry counts",
+            self.stats.in_entries == in_total && self.stats.out_entries == out_total,
+            || {
+                format!(
+                    "stats say {}+{}, stored {in_total}+{out_total}",
+                    self.stats.in_entries, self.stats.out_entries
+                )
+            },
+        );
+
+        audit.finish()
     }
 }
 
@@ -356,10 +512,7 @@ mod tests {
 
     #[test]
     fn exact_on_cyclic_graph() {
-        let g = Digraph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        );
+        let g = Digraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]);
         check_exact(&g, &[0; 6]);
     }
 
@@ -445,5 +598,45 @@ mod tests {
         let idx = HopiIndex::build(&g, &[0; 3]);
         assert!(idx.size_bytes() > 0);
         assert!(idx.stats().visits > 0);
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        use flixcheck::IntegrityCheck;
+        let g = Digraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let idx = HopiIndex::build(&g, &[0; 4]);
+        idx.integrity_check().unwrap();
+        idx.verify_against_graph(&g, 4).unwrap();
+        // dropping a self-entry breaks cover admissibility
+        let mut bad = idx.clone();
+        bad.l_out[0].retain(|&(c, _)| c != 0);
+        assert!(bad.integrity_check().is_err());
+        // an entry missing from the inverted index breaks the mirror
+        let mut bad = idx.clone();
+        for w in 0..bad.in_index.len() {
+            if !bad.in_index[w].is_empty() {
+                bad.in_index[w].pop();
+                break;
+            }
+        }
+        assert!(bad.integrity_check().is_err());
+        // wrong stats are caught
+        let mut bad = idx.clone();
+        bad.stats.in_entries += 1;
+        assert!(bad.integrity_check().is_err());
+        // a corrupted distance passes the shape checks but fails the oracle
+        let mut bad = idx;
+        let mut bumped = false;
+        'bump: for set in bad.l_out.iter_mut().chain(bad.l_in.iter_mut()) {
+            for e in set.iter_mut() {
+                if e.1 > 0 {
+                    e.1 += 1;
+                    bumped = true;
+                    break 'bump;
+                }
+            }
+        }
+        assert!(bumped, "cover has at least one non-self entry");
+        assert!(bad.verify_against_graph(&g, 4).is_err());
     }
 }

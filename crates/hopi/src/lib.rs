@@ -25,6 +25,7 @@
 //!   partition-crossing edges to the caller's run-time link chasing.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod labels;

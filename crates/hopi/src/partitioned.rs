@@ -34,10 +34,7 @@ impl UnconnectedHopi {
             for (local, &global) in mapping.iter().enumerate() {
                 local_of[global as usize] = local as u32;
             }
-            let labels: Vec<u32> = mapping
-                .iter()
-                .map(|&gl| node_labels[gl as usize])
-                .collect();
+            let labels: Vec<u32> = mapping.iter().map(|&gl| node_labels[gl as usize]).collect();
             indexes.push(HopiIndex::build(&sub, &labels));
         }
         let mut crossing: Vec<(NodeId, NodeId)> = g
@@ -119,7 +116,11 @@ impl UnconnectedHopi {
     /// Approximate in-memory footprint: per-partition indexes plus the
     /// crossing-edge table.
     pub fn size_bytes(&self) -> usize {
-        self.indexes.iter().map(HopiIndex::size_bytes).sum::<usize>() + self.crossing.len() * 8
+        self.indexes
+            .iter()
+            .map(HopiIndex::size_bytes)
+            .sum::<usize>()
+            + self.crossing.len() * 8
     }
 }
 
@@ -130,10 +131,7 @@ mod tests {
 
     /// Two triangles bridged by one edge.
     fn bridged() -> Digraph {
-        Digraph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        )
+        Digraph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
     }
 
     #[test]

@@ -9,10 +9,55 @@ use crate::buffer::BufferPool;
 use crate::page::{PageId, PAGE_SIZE};
 use bytes::{Buf, BufMut};
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 use std::sync::Arc;
 
 /// Maximum chunk payload per page (leave room for the slot machinery).
 const CHUNK: usize = PAGE_SIZE - 64;
+
+/// Failures of blob I/O against the underlying pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlobError {
+    /// A chunk did not fit into a freshly allocated page.
+    ChunkOverflow {
+        /// Blob being written.
+        name: String,
+        /// The page that rejected the chunk.
+        page: PageId,
+        /// Bytes the chunk needed.
+        chunk_len: usize,
+    },
+    /// A page listed in the directory no longer holds its chunk record —
+    /// the store is corrupt (e.g. the page was reused or zeroed).
+    MissingChunk {
+        /// Blob being read.
+        name: String,
+        /// The directory page whose record is gone.
+        page: PageId,
+    },
+}
+
+impl fmt::Display for BlobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlobError::ChunkOverflow {
+                name,
+                page,
+                chunk_len,
+            } => write!(
+                f,
+                "blob {name:?}: chunk of {chunk_len} bytes does not fit page {page}"
+            ),
+            BlobError::MissingChunk { name, page } => write!(
+                f,
+                "blob {name:?}: page {page} holds no chunk record (store corrupt)"
+            ),
+        }
+    }
+}
+
+impl Error for BlobError {}
 
 /// A named blob store over a buffer pool.
 pub struct BlobStore {
@@ -36,13 +81,23 @@ impl BlobStore {
     }
 
     /// Writes (or overwrites) blob `name`.
-    pub fn put(&mut self, name: &str, data: &[u8]) {
+    ///
+    /// # Errors
+    /// [`BlobError::ChunkOverflow`] if a chunk does not fit a fresh page
+    /// (cannot happen while `CHUNK < PAGE_SIZE - ` slot overhead, but the
+    /// store reports it rather than trusting the arithmetic).
+    pub fn put(&mut self, name: &str, data: &[u8]) -> Result<(), BlobError> {
         let mut pages = Vec::with_capacity(data.len().div_ceil(CHUNK));
         for chunk in data.chunks(CHUNK.max(1)) {
             let id = self.pool.allocate();
-            self.pool.with_page_mut(id, |pg| {
-                pg.insert(chunk).expect("chunk fits an empty page");
-            });
+            let inserted = self.pool.with_page_mut(id, |pg| pg.insert(chunk).is_some());
+            if !inserted {
+                return Err(BlobError::ChunkOverflow {
+                    name: name.to_string(),
+                    page: id,
+                    chunk_len: chunk.len(),
+                });
+            }
             pages.push(id);
         }
         self.directory.insert(
@@ -52,19 +107,35 @@ impl BlobStore {
                 len: data.len() as u64,
             },
         );
+        Ok(())
     }
 
-    /// Reads blob `name`.
-    pub fn get(&self, name: &str) -> Option<Vec<u8>> {
-        let entry = self.directory.get(name)?;
+    /// Reads blob `name`; `Ok(None)` if no such blob exists.
+    ///
+    /// # Errors
+    /// [`BlobError::MissingChunk`] if a directory page lost its record.
+    pub fn get(&self, name: &str) -> Result<Option<Vec<u8>>, BlobError> {
+        let Some(entry) = self.directory.get(name) else {
+            return Ok(None);
+        };
         let mut out = Vec::with_capacity(entry.len as usize);
         for &page in &entry.pages {
-            self.pool.with_page(page, |pg| {
-                out.extend_from_slice(pg.get(0).expect("blob chunk present"));
+            let present = self.pool.with_page(page, |pg| match pg.get(0) {
+                Some(chunk) => {
+                    out.extend_from_slice(chunk);
+                    true
+                }
+                None => false,
             });
+            if !present {
+                return Err(BlobError::MissingChunk {
+                    name: name.to_string(),
+                    page,
+                });
+            }
         }
         debug_assert_eq!(out.len() as u64, entry.len);
-        Some(out)
+        Ok(Some(out))
     }
 
     /// Removes a blob from the directory (pages are not recycled).
@@ -139,6 +210,59 @@ impl BlobStore {
     }
 }
 
+impl flixcheck::IntegrityCheck for BlobStore {
+    fn integrity_check(&self) -> Result<flixcheck::IntegrityReport, flixcheck::IntegrityError> {
+        let mut audit = flixcheck::IntegrityChecker::new("BlobStore");
+        let mut names: Vec<&String> = self.directory.keys().collect();
+        names.sort();
+        let mut bad_count = None;
+        let mut bad_bytes = None;
+        for name in names {
+            let entry = &self.directory[name];
+            let want_pages = (entry.len as usize).div_ceil(CHUNK);
+            if entry.pages.len() != want_pages && bad_count.is_none() {
+                bad_count = Some(format!(
+                    "blob {name:?}: {} bytes need {want_pages} pages, directory lists {}",
+                    entry.len,
+                    entry.pages.len()
+                ));
+            }
+            if bad_bytes.is_none() {
+                let mut total = 0u64;
+                let mut missing = None;
+                for &page in &entry.pages {
+                    match self.pool.with_page(page, |pg| pg.get(0).map(<[u8]>::len)) {
+                        Some(len) => total += len as u64,
+                        None => {
+                            missing = Some(page);
+                            break;
+                        }
+                    }
+                }
+                if let Some(page) = missing {
+                    bad_bytes = Some(format!("blob {name:?}: page {page} holds no chunk record"));
+                } else if total != entry.len {
+                    bad_bytes = Some(format!(
+                        "blob {name:?}: chunks sum to {total} bytes, directory says {}",
+                        entry.len
+                    ));
+                }
+            }
+        }
+        audit.check(
+            "directory page counts match blob lengths",
+            bad_count.is_none(),
+            || bad_count.unwrap_or_default(),
+        );
+        audit.check(
+            "stored chunks sum to each blob's recorded length",
+            bad_bytes.is_none(),
+            || bad_bytes.unwrap_or_default(),
+        );
+        audit.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,40 +275,40 @@ mod tests {
     #[test]
     fn small_blob_round_trip() {
         let mut s = store();
-        s.put("a", b"hello blob");
-        assert_eq!(s.get("a").as_deref(), Some(&b"hello blob"[..]));
+        s.put("a", b"hello blob").unwrap();
+        assert_eq!(s.get("a").unwrap().as_deref(), Some(&b"hello blob"[..]));
         assert_eq!(s.len_of("a"), Some(10));
-        assert_eq!(s.get("missing"), None);
+        assert_eq!(s.get("missing").unwrap(), None);
     }
 
     #[test]
     fn multi_page_blob() {
         let mut s = store();
         let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
-        s.put("big", &data);
-        assert_eq!(s.get("big").unwrap(), data);
+        s.put("big", &data).unwrap();
+        assert_eq!(s.get("big").unwrap().unwrap(), data);
     }
 
     #[test]
     fn empty_blob() {
         let mut s = store();
-        s.put("empty", b"");
-        assert_eq!(s.get("empty").as_deref(), Some(&b""[..]));
+        s.put("empty", b"").unwrap();
+        assert_eq!(s.get("empty").unwrap().as_deref(), Some(&b""[..]));
     }
 
     #[test]
     fn overwrite_replaces_content() {
         let mut s = store();
-        s.put("k", b"v1");
-        s.put("k", b"v2-longer");
-        assert_eq!(s.get("k").as_deref(), Some(&b"v2-longer"[..]));
+        s.put("k", b"v1").unwrap();
+        s.put("k", b"v2-longer").unwrap();
+        assert_eq!(s.get("k").unwrap().as_deref(), Some(&b"v2-longer"[..]));
     }
 
     #[test]
     fn names_sorted_and_remove() {
         let mut s = store();
-        s.put("zeta", b"1");
-        s.put("alpha", b"2");
+        s.put("zeta", b"1").unwrap();
+        s.put("alpha", b"2").unwrap();
         assert_eq!(s.names(), vec!["alpha", "zeta"]);
         assert!(s.remove("zeta"));
         assert!(!s.remove("zeta"));
@@ -196,12 +320,12 @@ mod tests {
         let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 16));
         let mut s = BlobStore::new(pool.clone());
         let data: Vec<u8> = (0..20_000u32).map(|i| (i % 13) as u8).collect();
-        s.put("idx/meta-0", &data);
-        s.put("idx/meta-1", b"tiny");
+        s.put("idx/meta-0", &data).unwrap();
+        s.put("idx/meta-1", b"tiny").unwrap();
         let dir = s.export_directory();
         let s2 = BlobStore::import_directory(pool, &dir).unwrap();
-        assert_eq!(s2.get("idx/meta-0").unwrap(), data);
-        assert_eq!(s2.get("idx/meta-1").as_deref(), Some(&b"tiny"[..]));
+        assert_eq!(s2.get("idx/meta-0").unwrap().unwrap(), data);
+        assert_eq!(s2.get("idx/meta-1").unwrap().as_deref(), Some(&b"tiny"[..]));
     }
 
     #[test]
@@ -211,5 +335,26 @@ mod tests {
         // valid count but truncated entry
         let bad = 1u32.to_le_bytes().to_vec();
         assert!(BlobStore::import_directory(pool, &bad).is_err());
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        use flixcheck::IntegrityCheck;
+        let mut s = store();
+        s.put("a", b"payload").unwrap();
+        let big: Vec<u8> = vec![9u8; 3 * CHUNK + 17];
+        s.put("big", &big).unwrap();
+        s.integrity_check().unwrap();
+
+        // Directory length out of step with the stored chunks.
+        s.directory.get_mut("a").unwrap().len += 1;
+        assert!(s.integrity_check().is_err());
+        s.directory.get_mut("a").unwrap().len -= 1;
+        s.integrity_check().unwrap();
+
+        // A phantom page appended to a blob's chain.
+        let extra = s.pool.allocate();
+        s.directory.get_mut("big").unwrap().pages.push(extra);
+        assert!(s.integrity_check().is_err());
     }
 }

@@ -65,29 +65,28 @@ impl BufferPool {
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             if inner.frames.len() >= self.capacity {
-                // Evict the least recently used frame.
+                // Evict the least recently used frame (present whenever the
+                // pool is at capacity, since capacity > 0).
                 let victim = inner
                     .frames
                     .iter()
                     .min_by_key(|(_, f)| f.last_used)
-                    .map(|(&pid, _)| pid)
-                    .expect("pool not empty");
-                let frame = inner.frames.remove(&victim).expect("victim present");
-                if frame.dirty {
-                    self.disk.write_page(victim, &frame.page);
+                    .map(|(&pid, _)| pid);
+                if let Some(victim) = victim {
+                    if let Some(frame) = inner.frames.remove(&victim) {
+                        if frame.dirty {
+                            self.disk.write_page(victim, &frame.page);
+                        }
+                    }
                 }
             }
-            let page = self.disk.read_page(id);
-            inner.frames.insert(
-                id,
-                Frame {
-                    page,
-                    dirty: false,
-                    last_used: tick,
-                },
-            );
         }
-        let frame = inner.frames.get_mut(&id).expect("frame just ensured");
+        // Hit or miss, the entry API ensures the frame in one lookup.
+        let frame = inner.frames.entry(id).or_insert_with(|| Frame {
+            page: self.disk.read_page(id),
+            dirty: false,
+            last_used: 0,
+        });
         frame.last_used = tick;
         frame
     }
@@ -129,6 +128,52 @@ impl BufferPool {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+}
+
+impl flixcheck::IntegrityCheck for BufferPool {
+    fn integrity_check(&self) -> Result<flixcheck::IntegrityReport, flixcheck::IntegrityError> {
+        let mut audit = flixcheck::IntegrityChecker::new("BufferPool");
+        let inner = self.inner.lock();
+        audit.check(
+            "resident frames never exceed capacity",
+            inner.frames.len() <= self.capacity,
+            || {
+                format!(
+                    "{} frames resident, capacity {}",
+                    inner.frames.len(),
+                    self.capacity
+                )
+            },
+        );
+        let mut ahead = None;
+        for (&id, frame) in &inner.frames {
+            if frame.last_used > inner.tick {
+                ahead = Some(format!(
+                    "page {id} last used at tick {} but the pool clock is {}",
+                    frame.last_used, inner.tick
+                ));
+                break;
+            }
+        }
+        audit.check(
+            "frame LRU stamps never run ahead of the pool clock",
+            ahead.is_none(),
+            || ahead.unwrap_or_default(),
+        );
+        let mut bad_page = None;
+        for (&id, frame) in &inner.frames {
+            if let Err(err) = frame.page.integrity_check() {
+                bad_page = Some(format!("page {id}: {err}"));
+                break;
+            }
+        }
+        audit.check(
+            "every resident page passes its own audit",
+            bad_page.is_none(),
+            || bad_page.unwrap_or_default(),
+        );
+        audit.finish()
     }
 }
 
@@ -210,5 +255,45 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_rejected() {
         pool(0);
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        use flixcheck::IntegrityCheck;
+        let p = pool(2);
+        let a = p.allocate();
+        p.with_page_mut(a, |pg| {
+            pg.insert(b"live").unwrap();
+        });
+        p.integrity_check().unwrap();
+
+        // An LRU stamp from the future.
+        {
+            let mut inner = p.inner.lock();
+            inner.frames.get_mut(&a).unwrap().last_used = u64::MAX;
+        }
+        assert!(p.integrity_check().is_err());
+        {
+            let mut inner = p.inner.lock();
+            let tick = inner.tick;
+            inner.frames.get_mut(&a).unwrap().last_used = tick;
+        }
+        p.integrity_check().unwrap();
+
+        // More resident frames than the pool has capacity for.
+        {
+            let mut inner = p.inner.lock();
+            for id in 100..103u32 {
+                inner.frames.insert(
+                    id,
+                    Frame {
+                        page: Page::new(),
+                        dirty: false,
+                        last_used: 0,
+                    },
+                );
+            }
+        }
+        assert!(p.integrity_check().is_err());
     }
 }

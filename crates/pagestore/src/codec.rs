@@ -336,17 +336,17 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
     fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let b = self.take(4)?;
         let code = u32::from_le_bytes(b.try_into().expect("4 bytes"));
-        visitor.visit_char(char::from_u32(code).ok_or_else(|| {
-            CodecError(format!("invalid char code point {code:#x}"))
-        })?)
+        visitor.visit_char(
+            char::from_u32(code)
+                .ok_or_else(|| CodecError(format!("invalid char code point {code:#x}")))?,
+        )
     }
 
     fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.read_len()?;
         let bytes = self.take(len)?;
-        visitor.visit_borrowed_str(
-            std::str::from_utf8(bytes).map_err(|e| CodecError(e.to_string()))?,
-        )
+        visitor
+            .visit_borrowed_str(std::str::from_utf8(bytes).map_err(|e| CodecError(e.to_string()))?)
     }
 
     fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
@@ -392,7 +392,10 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.read_len()?;
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -400,7 +403,10 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -414,7 +420,10 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.read_len()?;
-        visitor.visit_map(Counted { de: self, left: len })
+        visitor.visit_map(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -439,11 +448,10 @@ impl<'de> de::Deserializer<'de> for &mut BinDeserializer<'de> {
         Err(CodecError("identifiers are not encoded".into()))
     }
 
-    fn deserialize_ignored_any<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
-        Err(CodecError("cannot skip values in a non-self-describing format".into()))
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
+        Err(CodecError(
+            "cannot skip values in a non-self-describing format".into(),
+        ))
     }
 
     fn is_human_readable(&self) -> bool {
@@ -534,7 +542,11 @@ impl<'a, 'de> de::VariantAccess<'de> for EnumAccess<'a, 'de> {
         seed.deserialize(self.de)
     }
 
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
         de::Deserializer::deserialize_tuple(self.de, len, visitor)
     }
 

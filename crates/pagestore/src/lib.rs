@@ -10,18 +10,25 @@
 //! WAL or recovery because the paper's indexes are rebuilt, not mutated.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+/// Named blob store for serialised index images.
 pub mod blob;
+/// Latching buffer pool with LRU eviction and hit accounting.
 pub mod buffer;
+/// The self-describing binary serialisation format (serde-backed).
 pub mod codec;
+/// Disk abstraction with I/O accounting (memory- and file-backed).
 pub mod disk;
+/// Slotted 8 KiB pages with tombstoning and compaction.
 pub mod page;
+/// Heap tables of variable-length records.
 pub mod table;
 
-pub use blob::BlobStore;
-pub use codec::{from_bytes, to_bytes, CodecError};
+pub use blob::{BlobError, BlobStore};
 pub use buffer::BufferPool;
+pub use codec::{from_bytes, to_bytes, CodecError};
 pub use disk::{DiskManager, DiskStats, FileDisk, MemDisk};
 pub use page::{Page, PageId, SlotId, PAGE_SIZE};
 pub use table::{HeapTable, RecordId};

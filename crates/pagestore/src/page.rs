@@ -141,6 +141,68 @@ impl Page {
     }
 }
 
+impl flixcheck::IntegrityCheck for Page {
+    fn integrity_check(&self) -> Result<flixcheck::IntegrityReport, flixcheck::IntegrityError> {
+        let mut audit = flixcheck::IntegrityChecker::new("Page");
+        audit.check(
+            "frame is exactly PAGE_SIZE bytes",
+            self.data.len() == PAGE_SIZE,
+            || format!("frame holds {} bytes, want {PAGE_SIZE}", self.data.len()),
+        );
+        if self.data.len() != PAGE_SIZE {
+            return audit.finish();
+        }
+        let slots_end = HEADER + self.slot_count() as usize * SLOT_BYTES;
+        let free_end = self.free_end() as usize;
+        audit.check(
+            "free_end sits between the slot directory and the frame end",
+            slots_end <= free_end && free_end <= PAGE_SIZE,
+            || format!("free_end={free_end}, slot directory ends at {slots_end}"),
+        );
+        // Collect live-record extents; they must sit inside the record area
+        // (past free_end) and must not overlap one another.
+        let mut extents: Vec<(usize, usize, u16)> = Vec::new();
+        let mut oob = None;
+        for slot in 0..self.slot_count() {
+            let slot_off = HEADER + slot as usize * SLOT_BYTES;
+            let off = read_u16(&self.data, slot_off) as usize;
+            let len = read_u16(&self.data, slot_off + 2);
+            if len == TOMBSTONE {
+                continue;
+            }
+            let end = off + len as usize;
+            if (off < free_end || end > PAGE_SIZE) && oob.is_none() {
+                oob = Some(format!(
+                    "slot {slot}: record [{off}, {end}) outside [{free_end}, {PAGE_SIZE})"
+                ));
+            }
+            extents.push((off, end, slot));
+        }
+        audit.check(
+            "live records lie inside the record area",
+            oob.is_none(),
+            || oob.unwrap_or_default(),
+        );
+        extents.sort_unstable();
+        let mut overlap = None;
+        for w in extents.windows(2) {
+            if w[1].0 < w[0].1 {
+                overlap = Some(format!(
+                    "slots {} and {} overlap: [{}, {}) vs [{}, {})",
+                    w[0].2, w[1].2, w[0].0, w[0].1, w[1].0, w[1].1
+                ));
+                break;
+            }
+        }
+        audit.check(
+            "live record extents are pairwise disjoint",
+            overlap.is_none(),
+            || overlap.unwrap_or_default(),
+        );
+        audit.finish()
+    }
+}
+
 fn read_u16(data: &[u8], off: usize) -> u16 {
     u16::from_le_bytes([data[off], data[off + 1]])
 }
@@ -225,5 +287,30 @@ mod tests {
     fn oversized_record_rejected() {
         let mut p = Page::new();
         assert!(p.insert(&vec![0u8; PAGE_SIZE]).is_none());
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        use flixcheck::IntegrityCheck;
+        let mut p = Page::new();
+        p.insert(b"first").unwrap();
+        p.insert(b"second").unwrap();
+        p.integrity_check().unwrap();
+
+        // free_end pushed into the slot directory.
+        let mut bad = p.clone();
+        write_u16(&mut bad.data, 2, 2);
+        assert!(bad.integrity_check().is_err());
+
+        // Slot 0's record relocated on top of slot 1's.
+        let mut bad = p.clone();
+        let other = read_u16(&bad.data, HEADER + SLOT_BYTES);
+        write_u16(&mut bad.data, HEADER, other);
+        assert!(bad.integrity_check().is_err());
+
+        // Record length running past the frame end.
+        let mut bad = p.clone();
+        write_u16(&mut bad.data, HEADER + 2, PAGE_SIZE as u16 - 1);
+        assert!(bad.integrity_check().is_err());
     }
 }

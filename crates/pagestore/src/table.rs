@@ -108,6 +108,35 @@ impl HeapTable {
     }
 }
 
+impl flixcheck::IntegrityCheck for HeapTable {
+    fn integrity_check(&self) -> Result<flixcheck::IntegrityReport, flixcheck::IntegrityError> {
+        let mut audit = flixcheck::IntegrityChecker::new("HeapTable");
+        let mut seen = std::collections::HashSet::new();
+        let dup = self.pages.iter().copied().find(|&pg| !seen.insert(pg));
+        audit.check(
+            "page chain lists every page exactly once",
+            dup.is_none(),
+            || {
+                dup.map(|pg| format!("page {pg} appears more than once in the chain"))
+                    .unwrap_or_default()
+            },
+        );
+        let mut bad = None;
+        for &page in &self.pages {
+            if let Err(err) = self.pool.with_page(page, |pg| pg.integrity_check()) {
+                bad = Some(format!("page {page}: {err}"));
+                break;
+            }
+        }
+        audit.check(
+            "every chained page passes its own audit",
+            bad.is_none(),
+            || bad.unwrap_or_default(),
+        );
+        audit.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +205,21 @@ mod tests {
     fn foreign_record_id_rejected() {
         let t = table();
         assert_eq!(t.get(RecordId { page: 42, slot: 0 }), None);
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        use flixcheck::IntegrityCheck;
+        let mut t = table();
+        t.insert(b"rec").unwrap();
+        t.integrity_check().unwrap();
+
+        // The same page listed twice would double-count every record.
+        let first = t.pages[0];
+        t.pages.push(first);
+        let err = t.integrity_check().unwrap_err();
+        assert!(err.to_string().contains("exactly once"), "{err}");
+        t.pages.pop();
+        t.integrity_check().unwrap();
     }
 }

@@ -36,8 +36,8 @@ impl ExtendedPpo {
             }
         }
         let forest = kept.build();
-        let index = PpoIndex::build(&forest, labels)
-            .expect("spanning forest is a forest by construction");
+        let index =
+            PpoIndex::build(&forest, labels).expect("spanning forest is a forest by construction");
         let mut removed = check.removed_edges;
         removed.sort_unstable();
         let mut link_sources: Vec<NodeId> = removed.iter().map(|&(u, _)| u).collect();
@@ -130,6 +130,64 @@ impl ExtendedPpo {
     }
 }
 
+impl flixcheck::IntegrityCheck for ExtendedPpo {
+    /// Audits the residual-edge accounting on top of the forest index:
+    /// removed edges must be sorted, must not duplicate forest edges, and
+    /// `link_sources` must be exactly the deduplicated removed sources.
+    fn integrity_check(&self) -> Result<flixcheck::IntegrityReport, flixcheck::IntegrityError> {
+        let mut audit = flixcheck::IntegrityChecker::new("ExtendedPpo");
+        match self.index.integrity_check() {
+            Ok(_) => audit.check("forest index audit", true, String::new),
+            Err(e) => {
+                for v in e.violations {
+                    audit.violation("forest index audit", v.to_string());
+                }
+            }
+        }
+        let n = self.index.node_count() as NodeId;
+
+        audit.check(
+            "removed edges sorted by source",
+            self.removed.windows(2).all(|w| w[0] <= w[1]),
+            || "removed edge list out of order".to_string(),
+        );
+
+        let mut first = None;
+        for &(u, v) in &self.removed {
+            if u >= n || v >= n {
+                first = Some(format!("removed edge ({u}, {v}) out of range"));
+                break;
+            }
+            if self.index.parent(v) == Some(u) {
+                first = Some(format!("removed edge ({u}, {v}) is also a forest edge"));
+                break;
+            }
+        }
+        audit.check(
+            "removed edges are residual (absent from the forest)",
+            first.is_none(),
+            || first.unwrap_or_default(),
+        );
+
+        let mut expect: Vec<NodeId> = self.removed.iter().map(|&(u, _)| u).collect();
+        expect.sort_unstable();
+        expect.dedup();
+        audit.check(
+            "link_sources = sorted deduplicated removed sources",
+            self.link_sources == expect,
+            || {
+                format!(
+                    "link_sources has {} entries, removed sources dedup to {}",
+                    self.link_sources.len(),
+                    expect.len()
+                )
+            },
+        );
+
+        audit.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,5 +270,32 @@ mod tests {
         assert!(x.is_descendant_or_self(0, 2));
         assert!(!x.is_descendant_or_self(2, 0));
         assert!(x.has_removed_link(2));
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        use flixcheck::IntegrityCheck;
+        let g = linked_graph();
+        let ext = ExtendedPpo::build(&g, &[0; 4]);
+        ext.integrity_check().unwrap();
+        // an out-of-order removed list breaks the sort invariant
+        let mut bad = ext.clone();
+        if bad.removed.len() >= 2 {
+            bad.removed.swap(0, 1);
+            assert!(bad.integrity_check().is_err());
+        }
+        // a forest edge smuggled into the removed list breaks residency
+        let mut bad = ext.clone();
+        if let Some(v) = (0..g.node_count() as NodeId).find(|&v| bad.index.parent(v).is_some()) {
+            let u = bad.index.parent(v).unwrap();
+            bad.removed.push((u, v));
+            bad.removed.sort_unstable();
+            assert!(bad.integrity_check().is_err());
+        }
+        // a phantom link source breaks the dedup invariant
+        let mut bad = ext;
+        bad.link_sources.push(0);
+        bad.link_sources.sort_unstable();
+        assert!(bad.integrity_check().is_err());
     }
 }

@@ -161,8 +161,7 @@ impl PpoIndex {
     /// Classic pre/post formulation of the ancestor test (equivalent to the
     /// interval test; exposed for the paper-faithful axis checks).
     pub fn is_ancestor(&self, x: NodeId, y: NodeId) -> bool {
-        self.pre[x as usize] < self.pre[y as usize]
-            && self.post[x as usize] > self.post[y as usize]
+        self.pre[x as usize] < self.pre[y as usize] && self.post[x as usize] > self.post[y as usize]
     }
 
     /// Hop distance from `u` down to `v`, if `v` is in `u`'s subtree.
@@ -189,7 +188,8 @@ impl PpoIndex {
         label_nodes: Option<&[(u32, NodeId)]>,
         include_self: bool,
     ) -> Vec<(NodeId, Distance)> {
-        self.descendants_with_label_counted(u, label_nodes, include_self).0
+        self.descendants_with_label_counted(u, label_nodes, include_self)
+            .0
     }
 
     /// Like [`Self::descendants_with_label`], also reporting the number of
@@ -290,6 +290,177 @@ impl PpoIndex {
         let n = self.pre.len();
         let label_entries: usize = self.by_label.values().map(Vec::len).sum();
         6 * 4 * n + label_entries * 8
+    }
+}
+
+impl flixcheck::IntegrityCheck for PpoIndex {
+    /// Audits the interval structure: `pre`/`post` must be inverse-mapped
+    /// permutations, parent intervals must strictly nest child intervals,
+    /// depths must increase by one along parent edges, subtree sizes must
+    /// satisfy the size recurrence, and the per-label lists must cover
+    /// every node exactly once in strict preorder.
+    fn integrity_check(&self) -> Result<flixcheck::IntegrityReport, flixcheck::IntegrityError> {
+        let mut audit = flixcheck::IntegrityChecker::new("PpoIndex");
+        let n = self.pre.len();
+        audit.check(
+            "parallel arrays same length",
+            self.post.len() == n
+                && self.depth.len() == n
+                && self.parent.len() == n
+                && self.size.len() == n
+                && self.pre_to_node.len() == n,
+            || {
+                format!(
+                    "pre={n} post={} depth={} parent={} size={} pre_to_node={}",
+                    self.post.len(),
+                    self.depth.len(),
+                    self.parent.len(),
+                    self.size.len(),
+                    self.pre_to_node.len()
+                )
+            },
+        );
+        if audit.violation_count() > 0 {
+            return audit.finish();
+        }
+
+        let mut first = None;
+        for u in 0..n {
+            let r = self.pre[u] as usize;
+            if r >= n || self.pre_to_node[r] != u as NodeId {
+                first = Some(format!(
+                    "node {u}: pre rank {r} not inverted by pre_to_node"
+                ));
+                break;
+            }
+        }
+        audit.check("pre/pre_to_node inverse bijection", first.is_none(), || {
+            first.unwrap_or_default()
+        });
+
+        let mut seen = vec![false; n];
+        let mut first = None;
+        for u in 0..n {
+            let r = self.post[u] as usize;
+            if r >= n || seen[r] {
+                first = Some(format!(
+                    "node {u}: post rank {} out of range or duplicated",
+                    self.post[u]
+                ));
+                break;
+            }
+            seen[r] = true;
+        }
+        audit.check("post is a permutation of 0..n", first.is_none(), || {
+            first.unwrap_or_default()
+        });
+
+        let mut first = None;
+        for u in 0..n {
+            let p = self.parent[u];
+            if p == NodeId::MAX {
+                if self.depth[u] != 0 {
+                    first = Some(format!("root {u} has depth {}", self.depth[u]));
+                    break;
+                }
+                continue;
+            }
+            let p = p as usize;
+            if p >= n || p == u {
+                first = Some(format!("node {u}: parent {p} invalid"));
+                break;
+            }
+            if self.depth[u] != self.depth[p] + 1 {
+                first = Some(format!(
+                    "node {u}: depth {} but parent {p} has depth {}",
+                    self.depth[u], self.depth[p]
+                ));
+                break;
+            }
+            let nested = self.pre[p] < self.pre[u]
+                && self.post[p] > self.post[u]
+                && self.pre[u] + self.size[u] <= self.pre[p] + self.size[p];
+            if !nested {
+                first = Some(format!(
+                    "node {u}: interval [{}, {}) post {} escapes parent {p} [{}, {}) post {}",
+                    self.pre[u],
+                    self.pre[u] + self.size[u],
+                    self.post[u],
+                    self.pre[p],
+                    self.pre[p] + self.size[p],
+                    self.post[p]
+                ));
+                break;
+            }
+        }
+        audit.check(
+            "parent intervals nest children (pre/post/depth consistent)",
+            first.is_none(),
+            || first.unwrap_or_default(),
+        );
+
+        let mut child_sum = vec![0u64; n];
+        for u in 0..n {
+            let p = self.parent[u];
+            if p != NodeId::MAX && (p as usize) < n {
+                child_sum[p as usize] += u64::from(self.size[u]);
+            }
+        }
+        let mut first = None;
+        for (u, &sum) in child_sum.iter().enumerate() {
+            if u64::from(self.size[u]) != sum + 1 {
+                first = Some(format!(
+                    "node {u}: size {} but 1 + children sizes = {}",
+                    self.size[u],
+                    sum + 1
+                ));
+                break;
+            }
+        }
+        audit.check(
+            "subtree sizes satisfy the size recurrence",
+            first.is_none(),
+            || first.unwrap_or_default(),
+        );
+
+        let mut covered = vec![false; n];
+        let mut total = 0usize;
+        let mut first = None;
+        'outer: for (label, list) in &self.by_label {
+            let mut prev: Option<u32> = None;
+            for &(r, v) in list {
+                total += 1;
+                if prev.is_some_and(|p| p >= r) {
+                    first = Some(format!(
+                        "label {label}: list not strictly sorted at pre {r}"
+                    ));
+                    break 'outer;
+                }
+                prev = Some(r);
+                let vu = v as usize;
+                if vu >= n || self.pre[vu] != r {
+                    first = Some(format!(
+                        "label {label}: entry ({r}, {v}) disagrees with pre[]"
+                    ));
+                    break 'outer;
+                }
+                if covered[vu] {
+                    first = Some(format!("node {v} appears under more than one label"));
+                    break 'outer;
+                }
+                covered[vu] = true;
+            }
+        }
+        if first.is_none() && total != n {
+            first = Some(format!("label lists hold {total} entries for {n} nodes"));
+        }
+        audit.check(
+            "label lists partition the nodes in strict preorder",
+            first.is_none(),
+            || first.unwrap_or_default(),
+        );
+
+        audit.finish()
     }
 }
 
@@ -436,5 +607,32 @@ mod tests {
         let (g, labels) = tree();
         let idx = PpoIndex::build(&g, &labels).unwrap();
         assert!(idx.size_bytes() > 0);
+    }
+
+    #[test]
+    fn integrity_detects_corruption() {
+        use flixcheck::IntegrityCheck;
+        let (g, labels) = tree();
+        let idx = PpoIndex::build(&g, &labels).unwrap();
+        idx.integrity_check().unwrap();
+        // swapped preorder ranks break the inverse map
+        let mut bad = idx.clone();
+        bad.pre.swap(0, 1);
+        assert!(bad.integrity_check().is_err());
+        // an inflated subtree size breaks the recurrence
+        let mut bad = idx.clone();
+        bad.size[0] += 1;
+        assert!(bad.integrity_check().is_err());
+        // a dropped label entry breaks node coverage
+        let mut bad = idx.clone();
+        let k = *bad.by_label.keys().next().unwrap();
+        bad.by_label.get_mut(&k).unwrap().pop();
+        assert!(bad.integrity_check().is_err());
+        // a corrupted depth breaks parent consistency
+        let mut bad = idx;
+        if let Some(u) = (0..bad.node_count() as NodeId).find(|&u| bad.parent(u).is_some()) {
+            bad.depth[u as usize] += 7;
+            assert!(bad.integrity_check().is_err());
+        }
     }
 }

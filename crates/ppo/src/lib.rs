@@ -14,6 +14,7 @@
 //!   caller (FliX's query evaluator) can chase them at run time.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod extended;

@@ -83,15 +83,49 @@ const VENUES: [(&str, &str, bool); 6] = [
 ];
 
 const TITLE_WORDS: [&str; 24] = [
-    "Efficient", "Indexing", "XML", "Queries", "Graph", "Reachability", "Distributed", "Joins",
-    "Streams", "Adaptive", "Structures", "Views", "Semistructured", "Data", "Optimization",
-    "Caching", "Recovery", "Transactions", "Mining", "Ranking", "Retrieval", "Ontologies",
-    "Compression", "Partitioning",
+    "Efficient",
+    "Indexing",
+    "XML",
+    "Queries",
+    "Graph",
+    "Reachability",
+    "Distributed",
+    "Joins",
+    "Streams",
+    "Adaptive",
+    "Structures",
+    "Views",
+    "Semistructured",
+    "Data",
+    "Optimization",
+    "Caching",
+    "Recovery",
+    "Transactions",
+    "Mining",
+    "Ranking",
+    "Retrieval",
+    "Ontologies",
+    "Compression",
+    "Partitioning",
 ];
 
 const SURNAMES: [&str; 16] = [
-    "Mohan", "Schenkel", "Theobald", "Weikum", "Grust", "Cohen", "Chung", "Widom", "Goldman",
-    "Fagin", "Shasha", "Ley", "Kaushik", "Cooper", "Sayed", "Amer-Yahia",
+    "Mohan",
+    "Schenkel",
+    "Theobald",
+    "Weikum",
+    "Grust",
+    "Cohen",
+    "Chung",
+    "Widom",
+    "Goldman",
+    "Fagin",
+    "Shasha",
+    "Ley",
+    "Kaushik",
+    "Cooper",
+    "Sayed",
+    "Amer-Yahia",
 ];
 
 /// Generates the corpus.
@@ -168,13 +202,23 @@ pub fn generate_dblp(cfg: &DblpConfig) -> Collection {
 
         let t_ee = c.tags.intern("ee");
         let ee = d.add_element(t_ee, Some(root));
-        d.append_text(ee, &format!("https://doi.example/10.1145/{}.{}", 100000 + i, rng.gen_range(1000..9999)));
+        d.append_text(
+            ee,
+            &format!(
+                "https://doi.example/10.1145/{}.{}",
+                100000 + i,
+                rng.gen_range(1000..9999)
+            ),
+        );
         let t_url = c.tags.intern("url");
         let url = d.add_element(t_url, Some(root));
         d.append_text(url, &format!("https://dblp.example/{}", name));
         let t_month = c.tags.intern("month");
         let month = d.add_element(t_month, Some(root));
-        d.append_text(month, ["January", "March", "June", "September"][rng.gen_range(0..4)]);
+        d.append_text(
+            month,
+            ["January", "March", "June", "September"][rng.gen_range(0..4usize)],
+        );
         let t_note = c.tags.intern("note");
         let note = d.add_element(t_note, Some(root));
         d.append_text(note, "Peer reviewed; camera-ready version of record.");
@@ -188,7 +232,14 @@ pub fn generate_dblp(cfg: &DblpConfig) -> Collection {
         if rng.gen_bool(0.4) {
             let t_cr = c.tags.intern("crossref");
             let cr = d.add_element(t_cr, Some(root));
-            d.append_text(cr, &format!("{}/{}", VENUES[*venue].0, 1988 + (i * 15 / cfg.documents.max(1))));
+            d.append_text(
+                cr,
+                &format!(
+                    "{}/{}",
+                    VENUES[*venue].0,
+                    1988 + (i * 15 / cfg.documents.max(1))
+                ),
+            );
         }
 
         // Citations: only a minority of records carries them ("most
@@ -212,7 +263,11 @@ pub fn generate_dblp(cfg: &DblpConfig) -> Collection {
                     continue;
                 }
                 let cite = d.add_element(t_cite, Some(root));
-                d.set_attr(cite, "xlink:href", format!("{}#p{}", names[target].1, target));
+                d.set_attr(
+                    cite,
+                    "xlink:href",
+                    format!("{}#p{}", names[target].1, target),
+                );
                 let lab = d.add_element(t_label, Some(cite));
                 d.append_text(lab, &format!("[{}]", cited.len()));
             }
@@ -292,8 +347,18 @@ mod tests {
         for (_, d) in c.docs() {
             // every non-root has exactly one parent by construction; check
             // anchors and hrefs were extracted from attributes
-            assert!(d.anchor(&format!("p{}", d.name.split('p').next_back().unwrap()
-                .trim_end_matches(".xml"))).is_some() || !d.is_empty());
+            assert!(
+                d.anchor(&format!(
+                    "p{}",
+                    d.name
+                        .split('p')
+                        .next_back()
+                        .unwrap()
+                        .trim_end_matches(".xml")
+                ))
+                .is_some()
+                    || !d.is_empty()
+            );
             for (src, target) in d.links() {
                 assert!(d.element(*src).attr("xlink:href").is_some());
                 assert!(target.document.is_some());

@@ -20,6 +20,7 @@
 //! All generators are deterministic for a given seed.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod dblp;

@@ -102,7 +102,6 @@ pub fn generate_mixed(cfg: &MixedConfig) -> Collection {
     c
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -111,7 +111,11 @@ mod tests {
         assert_eq!(s.documents, 40);
         assert_eq!(s.elements, 40 * 50);
         // links per doc ≈ intra + inter (minus self-target skips and dedups)
-        assert!(s.links as f64 >= 0.7 * (40 * 10) as f64, "links {}", s.links);
+        assert!(
+            s.links as f64 >= 0.7 * (40 * 10) as f64,
+            "links {}",
+            s.links
+        );
         assert_eq!(s.dangling_links, 0);
         assert!(!graphcore::is_forest(&cg.graph));
     }

@@ -19,6 +19,7 @@
 //!   `xlink:href`, `href`) by which links are recognised.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod links;

@@ -145,7 +145,9 @@ impl Document {
     /// Sets an attribute on an element (appends; duplicate names are the
     /// caller's responsibility, as in raw XML).
     pub fn set_attr(&mut self, el: LocalId, name: impl Into<String>, value: impl Into<String>) {
-        self.elements[el as usize].attrs.push((name.into(), value.into()));
+        self.elements[el as usize]
+            .attrs
+            .push((name.into(), value.into()));
     }
 
     /// Appends text content to an element.
@@ -520,11 +522,7 @@ impl CollectionGraph {
             links: self.link_count(),
             tags: self.collection.tags.len(),
             edges: self.graph.edge_count(),
-            payload_bytes: self
-                .collection
-                .docs()
-                .map(|(_, d)| d.payload_bytes())
-                .sum(),
+            payload_bytes: self.collection.docs().map(|(_, d)| d.payload_bytes()).sum(),
             dangling_links: self.dangling_links,
         }
     }

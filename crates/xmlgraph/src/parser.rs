@@ -384,7 +384,8 @@ mod tests {
 
     #[test]
     fn links_extracted() {
-        let input = r#"<paper><sec id="s1"/><cite xlink:href="other.xml#s9"/><see idref="s1"/></paper>"#;
+        let input =
+            r#"<paper><sec id="s1"/><cite xlink:href="other.xml#s9"/><see idref="s1"/></paper>"#;
         let (doc, _) = parse(input).unwrap();
         assert_eq!(doc.anchor("s1"), Some(1));
         assert_eq!(doc.links().len(), 2);

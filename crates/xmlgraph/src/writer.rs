@@ -45,13 +45,7 @@ pub fn write_document(doc: &Document, tags: &TagInterner) -> String {
     out
 }
 
-fn write_element(
-    doc: &Document,
-    tags: &TagInterner,
-    el: LocalId,
-    depth: usize,
-    out: &mut String,
-) {
+fn write_element(doc: &Document, tags: &TagInterner, el: LocalId, depth: usize, out: &mut String) {
     let e = doc.element(el);
     let indent = "  ".repeat(depth);
     let name = tags.name(e.tag);
@@ -88,13 +82,15 @@ mod tests {
     #[test]
     fn escaping() {
         assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
-        assert_eq!(escape_attr(r#"say "hi" & <go>"#), "say &quot;hi&quot; &amp; &lt;go>");
+        assert_eq!(
+            escape_attr(r#"say "hi" & <go>"#),
+            "say &quot;hi&quot; &amp; &lt;go>"
+        );
     }
 
     #[test]
     fn round_trip_structure() {
-        let input =
-            r#"<paper id="p1"><title>ARIES &amp; friends</title><cite xlink:href="x.xml#a"/></paper>"#;
+        let input = r#"<paper id="p1"><title>ARIES &amp; friends</title><cite xlink:href="x.xml#a"/></paper>"#;
         let mut tags = TagInterner::new();
         let spec = LinkSpec::default();
         let doc = parse_document("p.xml", input, &mut tags, &spec).unwrap();

@@ -4,6 +4,9 @@
 //! the runnable examples (`examples/`) and the cross-crate integration
 //! tests (`tests/`). Re-exports are provided so examples read naturally.
 
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
 pub use apex;
 pub use flix;
 pub use graphcore;

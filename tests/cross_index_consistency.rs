@@ -80,11 +80,7 @@ fn corpora() -> Vec<(&'static str, Arc<CollectionGraph>)> {
 
 /// The oracle answer: all nodes with `tag` reachable from `start`
 /// (excluding `start`), with exact union-graph distances.
-fn oracle_descendants(
-    cg: &CollectionGraph,
-    start: u32,
-    tag: u32,
-) -> Vec<(u32, u32)> {
+fn oracle_descendants(cg: &CollectionGraph, start: u32, tag: u32) -> Vec<(u32, u32)> {
     let dist = bfs_distances(&cg.graph, start);
     let mut out: Vec<(u32, u32)> = (0..cg.node_count() as u32)
         .filter(|&v| v != start && cg.tag_of(v) == tag)

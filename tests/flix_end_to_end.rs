@@ -34,7 +34,10 @@ fn error_rate_definition_counts_out_of_order_results() {
     // The §6 metric: fraction of results returned out of ascending-distance
     // order (counted against the exact distance of each result).
     let cg = Arc::new(generate_dblp(&DblpConfig::tiny(22)).seal());
-    let flix = Flix::build(cg.clone(), FlixConfig::UnconnectedHopi { partition_size: 80 });
+    let flix = Flix::build(
+        cg.clone(),
+        FlixConfig::UnconnectedHopi { partition_size: 80 },
+    );
     let mut total = 0usize;
     let mut out_of_order = 0usize;
     for q in descendant_queries(&cg, 10, 9) {
@@ -75,7 +78,12 @@ fn streaming_equals_batch() {
 #[test]
 fn persistence_round_trip_on_mixed_corpus() {
     let cg = Arc::new(generate_mixed(&MixedConfig::default()).seal());
-    let flix = Flix::build(cg.clone(), FlixConfig::Hybrid { partition_size: 400 });
+    let flix = Flix::build(
+        cg.clone(),
+        FlixConfig::Hybrid {
+            partition_size: 400,
+        },
+    );
     let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 512));
     let mut store = BlobStore::new(pool);
     save_flix(&flix, &mut store, "mixed").unwrap();
@@ -112,7 +120,10 @@ fn vague_queries_rank_by_decayed_similarity() {
             top_k: 50,
         },
     );
-    assert!(!res.is_empty(), "citations must surface similar-tagged pubs");
+    assert!(
+        !res.is_empty(),
+        "citations must surface similar-tagged pubs"
+    );
     assert!(res.windows(2).all(|w| w[0].score >= w[1].score));
     for r in &res {
         let name = cg.collection.tags.name(cg.tag_of(r.node));
@@ -134,8 +145,12 @@ fn all_configs_build_on_paper_shaped_corpus() {
     for config in [
         FlixConfig::Naive,
         FlixConfig::MaximalPpo,
-        FlixConfig::UnconnectedHopi { partition_size: 500 },
-        FlixConfig::Hybrid { partition_size: 500 },
+        FlixConfig::UnconnectedHopi {
+            partition_size: 500,
+        },
+        FlixConfig::Hybrid {
+            partition_size: 500,
+        },
         FlixConfig::Monolithic(StrategyKind::Hopi),
         FlixConfig::Monolithic(StrategyKind::Apex),
     ] {

@@ -25,7 +25,10 @@ fn new_docs(cg: &CollectionGraph, count: usize) -> Vec<Document> {
             let t = d.add_element(title, Some(r));
             d.append_text(t, &format!("Extension Paper {i}"));
             // cite two existing papers and (for i > 0) the previous new one
-            for target in [i % cg.collection.doc_count(), (i * 7) % cg.collection.doc_count()] {
+            for target in [
+                i % cg.collection.doc_count(),
+                (i * 7) % cg.collection.doc_count(),
+            ] {
                 let c = d.add_element(cite, Some(r));
                 d.add_link(
                     c,
@@ -54,10 +57,7 @@ fn new_docs(cg: &CollectionGraph, count: usize) -> Vec<Document> {
 fn extension_preserves_ids_and_resolves_links() {
     let cg = base_corpus();
     let grown = Arc::new(cg.extend(new_docs(&cg, 5)).unwrap());
-    assert_eq!(
-        grown.collection.doc_count(),
-        cg.collection.doc_count() + 5
-    );
+    assert_eq!(grown.collection.doc_count(), cg.collection.doc_count() + 5);
     // old node ids keep their tags
     for u in 0..cg.node_count() as u32 {
         assert_eq!(cg.tag_of(u), grown.tag_of(u));
@@ -65,11 +65,11 @@ fn extension_preserves_ids_and_resolves_links() {
     }
     // new links from new docs into old docs exist
     let new_root = grown.doc_root(cg.collection.doc_count() as u32);
-    assert!(grown
+    assert!(grown.graph.successors(new_root).iter().any(|&v| grown
         .graph
-        .successors(new_root)
+        .successors(v)
         .iter()
-        .any(|&v| grown.graph.successors(v).iter().any(|&t| (t as usize) < cg.node_count())));
+        .any(|&t| (t as usize) < cg.node_count())));
 }
 
 #[test]

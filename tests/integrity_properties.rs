@@ -1,0 +1,140 @@
+//! Property-based deep audits: every index structure must pass its
+//! [`flixcheck::IntegrityCheck`] on randomly generated inputs, and the
+//! assembled FliX framework must pass under every configuration.
+//!
+//! These are the positive half of the integrity story; the negative half
+//! (seeded corruption must be *caught*) lives next to each implementation
+//! as `integrity_detects_corruption` unit tests.
+
+use apex::ApexIndex;
+use flix::{Flix, FlixConfig};
+use flixcheck::IntegrityCheck;
+use graphcore::Digraph;
+use hopi::HopiIndex;
+use ppo::{ExtendedPpo, PpoIndex};
+use proptest::prelude::*;
+use std::sync::Arc;
+use workloads::{generate_mixed, MixedConfig, TreeConfig, WebConfig};
+
+/// An arbitrary sparse digraph: node count and an edge list.
+fn arb_graph(max_nodes: usize, max_edges: usize) -> impl Strategy<Value = Digraph> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_edges)
+            .prop_map(move |edges| Digraph::from_edges(n, edges))
+    })
+}
+
+/// An arbitrary forest: every node > 0 picks a parent among smaller ids,
+/// with some nodes left as roots.
+fn arb_forest(max_nodes: usize) -> impl Strategy<Value = Digraph> {
+    (2..max_nodes).prop_flat_map(move |n| {
+        proptest::collection::vec(proptest::option::of(0..u32::MAX), n - 1).prop_map(
+            move |parents| {
+                let edges: Vec<(u32, u32)> = parents
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| p.map(|p| (p % (i as u32 + 1), i as u32 + 1)))
+                    .collect();
+                Digraph::from_edges(n, edges)
+            },
+        )
+    })
+}
+
+fn arb_labels(g: &Digraph, tags: u32) -> Vec<u32> {
+    (0..g.node_count() as u32)
+        .map(|u| (u * 7 + 3) % tags)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ppo_audit_holds_on_random_forests(g in arb_forest(60)) {
+        let labels = arb_labels(&g, 6);
+        let idx = PpoIndex::build(&g, &labels).expect("forests always index");
+        let report = idx.integrity_check();
+        prop_assert!(report.is_ok(), "{}", report.err().map(|e| e.to_string()).unwrap_or_default());
+    }
+
+    #[test]
+    fn extended_ppo_audit_holds_on_random_graphs(g in arb_graph(50, 140)) {
+        let labels = arb_labels(&g, 6);
+        let idx = ExtendedPpo::build(&g, &labels);
+        let report = idx.integrity_check();
+        prop_assert!(report.is_ok(), "{}", report.err().map(|e| e.to_string()).unwrap_or_default());
+    }
+
+    #[test]
+    fn hopi_audit_and_graph_oracle_hold_on_random_graphs(g in arb_graph(40, 110)) {
+        let labels = arb_labels(&g, 5);
+        let idx = HopiIndex::build(&g, &labels);
+        let report = idx.integrity_check();
+        prop_assert!(report.is_ok(), "{}", report.err().map(|e| e.to_string()).unwrap_or_default());
+        let oracle = idx.verify_against_graph(&g, 12);
+        prop_assert!(oracle.is_ok(), "{}", oracle.err().unwrap_or_default());
+    }
+
+    #[test]
+    fn apex_audit_holds_on_random_graphs(
+        g in arb_graph(40, 110),
+        rounds in 0usize..3,
+    ) {
+        let labels = arb_labels(&g, 5);
+        let idx = ApexIndex::build(&g, &labels, rounds);
+        let report = idx.integrity_check();
+        prop_assert!(report.is_ok(), "{}", report.err().map(|e| e.to_string()).unwrap_or_default());
+    }
+}
+
+proptest! {
+    // Framework audits build four configurations per case, so fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn flix_audit_holds_on_random_collections_under_every_config(
+        tree_docs in 1usize..4,
+        tree_elems in 2usize..10,
+        web_docs in 1usize..4,
+        web_elems in 2usize..8,
+        bridges in 0usize..6,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = MixedConfig {
+            trees: TreeConfig {
+                documents: tree_docs,
+                elements_per_doc: tree_elems,
+                max_fanout: 4,
+                tag_count: 6,
+                seed,
+            },
+            web: WebConfig {
+                documents: web_docs,
+                elements_per_doc: web_elems,
+                intra_links_per_doc: 2,
+                inter_links_per_doc: 2,
+                tag_count: 6,
+                seed: seed ^ 0x9e37,
+            },
+            bridge_links: bridges,
+            seed,
+        };
+        let cg = Arc::new(generate_mixed(&cfg).seal());
+        for config in [
+            FlixConfig::Naive,
+            FlixConfig::MaximalPpo,
+            FlixConfig::UnconnectedHopi { partition_size: 20 },
+            FlixConfig::Monolithic(flix::StrategyKind::Apex),
+        ] {
+            let flix = Flix::build(cg.clone(), config);
+            let report = flix.integrity_check();
+            prop_assert!(
+                report.is_ok(),
+                "config {}: {}",
+                config,
+                report.err().map(|e| e.to_string()).unwrap_or_default()
+            );
+        }
+    }
+}

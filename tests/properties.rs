@@ -35,7 +35,9 @@ fn arb_forest(max_nodes: usize) -> impl Strategy<Value = Digraph> {
 
 fn arb_labels(g: &Digraph, tags: u32) -> Vec<u32> {
     // deterministic pseudo-labels are enough: variety without extra strategy
-    (0..g.node_count() as u32).map(|u| (u * 7 + 3) % tags).collect()
+    (0..g.node_count() as u32)
+        .map(|u| (u * 7 + 3) % tags)
+        .collect()
 }
 
 proptest! {

@@ -91,10 +91,8 @@ fn cached_framework_transparent() {
     let flix = Arc::new(Flix::build(cg.clone(), FlixConfig::Naive));
     let cached = CachedFlix::new(flix.clone(), 32);
     let queries = descendant_queries(&cg, 10, 31);
-    let distinct: std::collections::HashSet<(u32, u32)> = queries
-        .iter()
-        .map(|q| (q.start, q.target_tag))
-        .collect();
+    let distinct: std::collections::HashSet<(u32, u32)> =
+        queries.iter().map(|q| (q.start, q.target_tag)).collect();
     for q in &queries {
         let direct = flix.find_descendants(q.start, q.target_tag, &QueryOptions::default());
         let via_cache = cached.find_descendants(q.start, q.target_tag, &QueryOptions::default());
@@ -123,7 +121,9 @@ fn disk_engine_matches_memory_on_all_configs() {
         for q in descendant_queries(&cg, 5, 41) {
             assert_eq!(
                 flix.find_descendants(q.start, q.target_tag, &QueryOptions::default()),
-                dflix.find_descendants(q.start, q.target_tag, &QueryOptions::default()),
+                dflix
+                    .find_descendants(q.start, q.target_tag, &QueryOptions::default())
+                    .unwrap(),
                 "{config}"
             );
         }
@@ -164,8 +164,11 @@ fn tuning_workflow_improves_lookup_count() {
         monitor2.record(st, n);
         // identical answers after the rebuild
         assert_eq!(
-            flix.find_descendants(s, title, &QueryOptions::default()).len(),
-            rebuilt.find_descendants(s, title, &QueryOptions::default()).len()
+            flix.find_descendants(s, title, &QueryOptions::default())
+                .len(),
+            rebuilt
+                .find_descendants(s, title, &QueryOptions::default())
+                .len()
         );
     }
     assert!(

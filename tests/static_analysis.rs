@@ -1,0 +1,20 @@
+//! Tier-1 gate: the flixcheck static-analysis pass must be clean.
+//!
+//! This runs the same pass as `cargo run -p flixcheck`, so a freshly
+//! introduced `unwrap()` in library code (or a stale allowlist ceiling)
+//! fails `cargo test` with the exact `path:line: rule: message`
+//! diagnostics printed below.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = flixcheck::run_default().expect("lint pass runs");
+    for diag in &report.diagnostics {
+        eprintln!("{diag}");
+    }
+    assert!(
+        report.is_clean(),
+        "{} lint violation(s); see diagnostics above",
+        report.diagnostics.len()
+    );
+    assert!(report.files_scanned > 40, "lint must cover the workspace");
+}

@@ -1,0 +1,61 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// An inclusive-exclusive element-count range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    /// Exclusive upper bound.
+    max: usize,
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            min: r.start,
+            max: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            min: *r.start(),
+            max: *r.end() + 1,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max: n + 1 }
+    }
+}
+
+/// Strategy for `Vec<T>` with an element strategy and a size range.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Builds a `Vec` strategy. Mirrors `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.max - self.size.min) as u64;
+        let len = self.size.min + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

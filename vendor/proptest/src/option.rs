@@ -1,0 +1,27 @@
+//! Option strategies, mirroring `proptest::option`.
+
+use crate::strategy::Strategy;
+use crate::TestRng;
+
+/// Strategy producing `Option<T>` from a `T` strategy.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// Wraps `inner` so roughly 1 in 4 cases is `None`. Mirrors
+/// `proptest::option::of`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! String generation from a small regex-like pattern language.
+//!
+//! Upstream proptest treats `&str` as a full regex strategy. This stand-in
+//! supports the pattern subset the workspace's tests use: literal
+//! characters, character classes `[a-z0-9-]`, the `\PC` printable-character
+//! escape, and `{n}` / `{n,m}` repetition. Unsupported syntax panics with a
+//! clear message so a silently-wrong generator can't slip in.
+
+use crate::TestRng;
+
+enum Atom {
+    /// Inclusive char ranges, e.g. `[a-z0-9-]`.
+    Class(Vec<(char, char)>),
+    /// `\PC`: any printable (non-control) character.
+    Printable,
+    /// One literal character.
+    Literal(char),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = (piece.max - piece.min + 1) as u64;
+        let count = piece.min + rng.below(span) as usize;
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Printable => {
+            // Mostly ASCII printable, occasionally Latin-1/odd printables.
+            match rng.below(10) {
+                0 => char::from_u32(0xA1 + rng.below(0x24F - 0xA1) as u32).unwrap_or('x'),
+                1 => ['ß', '€', '→', '☃'][rng.below(4) as usize],
+                _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u64 - lo as u64 + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = hi as u64 - lo as u64 + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick as u32).unwrap_or(lo);
+                }
+                pick -= span;
+            }
+            ranges[0].0
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern {pattern:?}"));
+                let body = &chars[i + 1..close];
+                i = close + 1;
+                Atom::Class(parse_class(body, pattern))
+            }
+            '\\' => {
+                // Only `\PC` (printable) is supported.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Atom::Printable
+                } else {
+                    panic!(
+                        "unsupported escape at offset {i} in pattern {pattern:?} \
+                         (vendored proptest supports only \\PC)"
+                    );
+                }
+            }
+            '(' | ')' | '|' | '*' | '+' | '?' | '.' => panic!(
+                "unsupported regex operator {:?} in pattern {pattern:?} \
+                 (vendored proptest supports literals, classes, \\PC, and {{n,m}})",
+                chars[i]
+            ),
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| p + i)
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or(0),
+                    hi.trim().parse().unwrap_or(0),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition {{{min},{max}}} in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<(char, char)> {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            ranges.push((body[i], body[i + 2]));
+            i += 3;
+        } else {
+            ranges.push((body[i], body[i]));
+            i += 1;
+        }
+    }
+    ranges
+}

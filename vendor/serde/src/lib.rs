@@ -1,0 +1,17 @@
+#![allow(clippy::all)]
+//! A vendored, minimal re-implementation of the `serde` data model.
+//!
+//! This workspace builds in a fully offline container, so the real
+//! crates.io `serde` cannot be fetched. This crate provides the subset of
+//! the serde API surface the workspace actually uses — the `ser`/`de`
+//! trait system, impls for the std types the indexes persist, and the
+//! `Serialize`/`Deserialize` derive macros (re-exported from the sibling
+//! `serde_derive` stand-in). The trait signatures mirror upstream serde
+//! so the code using them compiles unchanged against either.
+
+pub mod de;
+pub mod ser;
+
+pub use crate::de::{Deserialize, Deserializer};
+pub use crate::ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};

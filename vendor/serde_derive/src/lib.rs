@@ -1,0 +1,568 @@
+#![allow(clippy::all)]
+//! Vendored minimal `#[derive(Serialize, Deserialize)]` implementation.
+//!
+//! The real `serde_derive` (and its `syn`/`quote` dependency stack) cannot
+//! be fetched in this offline build environment, so this crate re-implements
+//! the subset of the derive the workspace needs: non-generic structs with
+//! named fields and non-generic enums (unit / newtype / tuple / struct
+//! variants), plus the `#[serde(skip)]` field attribute. Generated code
+//! targets the vendored `serde` data model, whose trait signatures mirror
+//! upstream serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let code = gen_serialize(&item);
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    let code = gen_deserialize(&item);
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes leading attributes; returns true if `#[serde(skip)]` was seen.
+    fn skip_attrs(&mut self) -> bool {
+        let mut saw_skip = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.next() {
+                saw_skip |= attr_is_serde_skip(&g.stream());
+            }
+        }
+        saw_skip
+    }
+
+    /// Consumes `pub`, `pub(crate)`, `pub(in ...)` etc.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes a type up to a top-level comma (tracking `<`/`>` nesting).
+    fn skip_type(&mut self) {
+        let mut angle_depth: i32 = 0;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    self.next();
+                    return;
+                }
+                _ => {}
+            }
+            self.next();
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+fn parse(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored derive");
+        }
+    }
+    let body = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive: expected a braced body for {name}, found {other:?}"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let skip = c.skip_attrs();
+        c.skip_visibility();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        c.skip_type();
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        let name = c.expect_ident("variant name");
+        let kind = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level_fields(g.stream());
+                c.next();
+                if arity == 1 {
+                    VariantKind::Newtype
+                } else {
+                    VariantKind::Tuple(arity)
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let names = parse_named_fields(g.stream())
+                    .into_iter()
+                    .map(|f| f.name)
+                    .collect();
+                c.next();
+                VariantKind::Struct(names)
+            }
+            _ => VariantKind::Unit,
+        };
+        match c.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => {
+                panic!("serde_derive: unexpected token after variant `{name}`: {other:?}")
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Counts comma-separated items at angle-bracket depth 0 in a field list.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth: i32 = 0;
+    let mut trailing_comma = false;
+    for tok in &tokens {
+        trailing_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                trailing_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+/// Emits the `match seq.next_element()` expression for one positional field.
+fn next_element_expr(owner: &str, field_desc: &str) -> String {
+    format!(
+        "match ::serde::de::SeqAccess::next_element(&mut seq)? {{ \
+             ::core::option::Option::Some(v) => v, \
+             ::core::option::Option::None => return ::core::result::Result::Err(\
+                 ::serde::de::Error::custom(\"{owner} is missing {field_desc}\")), \
+         }}"
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let active: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            write!(
+                out,
+                "#[automatically_derived] \
+                 impl ::serde::ser::Serialize for {name} {{ \
+                   fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S) \
+                       -> ::core::result::Result<S::Ok, S::Error> {{ \
+                     let mut state = ::serde::ser::Serializer::serialize_struct(\
+                         serializer, \"{name}\", {len})?;",
+                name = name,
+                len = active.len()
+            )
+            .expect("write to string");
+            for f in &active {
+                write!(
+                    out,
+                    "::serde::ser::SerializeStruct::serialize_field(\
+                         &mut state, \"{f}\", &self.{f})?;",
+                    f = f.name
+                )
+                .expect("write to string");
+            }
+            out.push_str("::serde::ser::SerializeStruct::end(state) } }");
+        }
+        Item::Enum { name, variants } => {
+            write!(
+                out,
+                "#[automatically_derived] \
+                 impl ::serde::ser::Serialize for {name} {{ \
+                   fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S) \
+                       -> ::core::result::Result<S::Ok, S::Error> {{ \
+                     match self {{"
+            )
+            .expect("write to string");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => write!(
+                        out,
+                        "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(\
+                             serializer, \"{name}\", {idx}u32, \"{vname}\"),"
+                    )
+                    .expect("write to string"),
+                    VariantKind::Newtype => write!(
+                        out,
+                        "{name}::{vname}(__f0) => \
+                             ::serde::ser::Serializer::serialize_newtype_variant(\
+                                 serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),"
+                    )
+                    .expect("write to string"),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        write!(
+                            out,
+                            "{name}::{vname}({binds}) => {{ \
+                                 let mut state = \
+                                     ::serde::ser::Serializer::serialize_tuple_variant(\
+                                         serializer, \"{name}\", {idx}u32, \"{vname}\", {arity})?;",
+                            binds = binds.join(", ")
+                        )
+                        .expect("write to string");
+                        for b in &binds {
+                            write!(
+                                out,
+                                "::serde::ser::SerializeTupleVariant::serialize_field(\
+                                     &mut state, {b})?;"
+                            )
+                            .expect("write to string");
+                        }
+                        out.push_str("::serde::ser::SerializeTupleVariant::end(state) }");
+                    }
+                    VariantKind::Struct(fields) => {
+                        write!(
+                            out,
+                            "{name}::{vname} {{ {binds} }} => {{ \
+                                 let mut state = \
+                                     ::serde::ser::Serializer::serialize_struct_variant(\
+                                         serializer, \"{name}\", {idx}u32, \"{vname}\", {len})?;",
+                            binds = fields.join(", "),
+                            len = fields.len()
+                        )
+                        .expect("write to string");
+                        for f in fields {
+                            write!(
+                                out,
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                     &mut state, \"{f}\", {f})?;"
+                            )
+                            .expect("write to string");
+                        }
+                        out.push_str("::serde::ser::SerializeStructVariant::end(state) }");
+                    }
+                }
+            }
+            out.push_str("} } }");
+        }
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let active: Vec<&str> = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| f.name.as_str())
+                .collect();
+            let field_list = active
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mut build = String::new();
+            for f in fields {
+                if f.skip {
+                    write!(build, "{}: ::core::default::Default::default(),", f.name)
+                        .expect("write to string");
+                } else {
+                    write!(
+                        build,
+                        "{}: {},",
+                        f.name,
+                        next_element_expr(
+                            &format!("struct {name}"),
+                            &format!("field `{}`", f.name)
+                        )
+                    )
+                    .expect("write to string");
+                }
+            }
+            write!(
+                out,
+                "#[automatically_derived] \
+                 impl<'de> ::serde::de::Deserialize<'de> for {name} {{ \
+                   fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D) \
+                       -> ::core::result::Result<Self, D::Error> {{ \
+                     struct __Visitor; \
+                     impl<'de> ::serde::de::Visitor<'de> for __Visitor {{ \
+                       type Value = {name}; \
+                       fn expecting(&self, f: &mut ::core::fmt::Formatter<'_>) \
+                           -> ::core::fmt::Result {{ f.write_str(\"struct {name}\") }} \
+                       fn visit_seq<A: ::serde::de::SeqAccess<'de>>(self, mut seq: A) \
+                           -> ::core::result::Result<Self::Value, A::Error> {{ \
+                         ::core::result::Result::Ok({name} {{ {build} }}) \
+                       }} \
+                     }} \
+                     ::serde::de::Deserializer::deserialize_struct(\
+                         deserializer, \"{name}\", &[{field_list}], __Visitor) \
+                   }} \
+                 }}"
+            )
+            .expect("write to string");
+        }
+        Item::Enum { name, variants } => {
+            let variant_list = variants
+                .iter()
+                .map(|v| format!("\"{}\"", v.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => write!(
+                        arms,
+                        "{idx}u32 => {{ \
+                             ::serde::de::VariantAccess::unit_variant(__variant)?; \
+                             ::core::result::Result::Ok({name}::{vname}) \
+                         }}"
+                    )
+                    .expect("write to string"),
+                    VariantKind::Newtype => write!(
+                        arms,
+                        "{idx}u32 => ::core::result::Result::map(\
+                             ::serde::de::VariantAccess::newtype_variant(__variant), \
+                             {name}::{vname}),"
+                    )
+                    .expect("write to string"),
+                    VariantKind::Tuple(arity) => {
+                        let elems = (0..*arity)
+                            .map(|i| {
+                                next_element_expr(
+                                    &format!("variant {name}::{vname}"),
+                                    &format!("tuple field {i}"),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        write!(
+                            arms,
+                            "{idx}u32 => {{ \
+                               struct __V{idx}; \
+                               impl<'de> ::serde::de::Visitor<'de> for __V{idx} {{ \
+                                 type Value = {name}; \
+                                 fn expecting(&self, f: &mut ::core::fmt::Formatter<'_>) \
+                                     -> ::core::fmt::Result {{ \
+                                   f.write_str(\"variant {name}::{vname}\") }} \
+                                 fn visit_seq<A: ::serde::de::SeqAccess<'de>>(self, mut seq: A) \
+                                     -> ::core::result::Result<Self::Value, A::Error> {{ \
+                                   ::core::result::Result::Ok({name}::{vname}({elems})) \
+                                 }} \
+                               }} \
+                               ::serde::de::VariantAccess::tuple_variant(\
+                                   __variant, {arity}, __V{idx}) \
+                             }}"
+                        )
+                        .expect("write to string");
+                    }
+                    VariantKind::Struct(fields) => {
+                        let field_list = fields
+                            .iter()
+                            .map(|f| format!("\"{f}\""))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let build = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: {}",
+                                    next_element_expr(
+                                        &format!("variant {name}::{vname}"),
+                                        &format!("field `{f}`")
+                                    )
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        write!(
+                            arms,
+                            "{idx}u32 => {{ \
+                               struct __V{idx}; \
+                               impl<'de> ::serde::de::Visitor<'de> for __V{idx} {{ \
+                                 type Value = {name}; \
+                                 fn expecting(&self, f: &mut ::core::fmt::Formatter<'_>) \
+                                     -> ::core::fmt::Result {{ \
+                                   f.write_str(\"variant {name}::{vname}\") }} \
+                                 fn visit_seq<A: ::serde::de::SeqAccess<'de>>(self, mut seq: A) \
+                                     -> ::core::result::Result<Self::Value, A::Error> {{ \
+                                   ::core::result::Result::Ok({name}::{vname} {{ {build} }}) \
+                                 }} \
+                               }} \
+                               ::serde::de::VariantAccess::struct_variant(\
+                                   __variant, &[{field_list}], __V{idx}) \
+                             }}"
+                        )
+                        .expect("write to string");
+                    }
+                }
+            }
+            write!(
+                out,
+                "#[automatically_derived] \
+                 impl<'de> ::serde::de::Deserialize<'de> for {name} {{ \
+                   fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D) \
+                       -> ::core::result::Result<Self, D::Error> {{ \
+                     struct __Visitor; \
+                     impl<'de> ::serde::de::Visitor<'de> for __Visitor {{ \
+                       type Value = {name}; \
+                       fn expecting(&self, f: &mut ::core::fmt::Formatter<'_>) \
+                           -> ::core::fmt::Result {{ f.write_str(\"enum {name}\") }} \
+                       fn visit_enum<A: ::serde::de::EnumAccess<'de>>(self, data: A) \
+                           -> ::core::result::Result<Self::Value, A::Error> {{ \
+                         let (__idx, __variant) = ::serde::de::EnumAccess::variant_seed(\
+                             data, ::core::marker::PhantomData::<u32>)?; \
+                         match __idx {{ \
+                           {arms} \
+                           _ => ::core::result::Result::Err(::serde::de::Error::custom(\
+                               \"invalid variant index for enum {name}\")), \
+                         }} \
+                       }} \
+                     }} \
+                     ::serde::de::Deserializer::deserialize_enum(\
+                         deserializer, \"{name}\", &[{variant_list}], __Visitor) \
+                   }} \
+                 }}"
+            )
+            .expect("write to string");
+        }
+    }
+    out
+}
