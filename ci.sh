@@ -18,4 +18,7 @@ cargo run -q -p flixcheck
 echo "== cargo test (workspace)"
 cargo test -q --workspace
 
+echo "== cargo bench --no-run (benches must keep compiling)"
+cargo bench --no-run --workspace
+
 echo "CI green."

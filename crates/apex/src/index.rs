@@ -257,12 +257,26 @@ impl ApexIndex {
         label: u32,
         include_self: bool,
     ) -> Vec<(NodeId, Distance)> {
+        self.ancestors_by_label_counted(u, label, include_self).0
+    }
+
+    /// [`Self::ancestors_by_label`] plus the number of elements the reverse
+    /// BFS visited — the ancestors mirror of
+    /// [`Self::descendants_by_label_counted`].
+    pub fn ancestors_by_label_counted(
+        &self,
+        u: NodeId,
+        label: u32,
+        include_self: bool,
+    ) -> (Vec<(NodeId, Distance)>, usize) {
         let mut out = Vec::new();
+        let mut visited = 0usize;
         let mut seen = vec![false; self.graph.node_count()];
         let mut queue = VecDeque::new();
         seen[u as usize] = true;
         queue.push_back((u, 0 as Distance));
         while let Some((x, d)) = queue.pop_front() {
+            visited += 1;
             if self.labels[x as usize] == label && (include_self || x != u) {
                 out.push((x, d));
             }
@@ -273,7 +287,7 @@ impl ApexIndex {
                 }
             }
         }
-        out
+        (out, visited)
     }
 
     /// Approximate in-memory footprint: extents, summary edges, the

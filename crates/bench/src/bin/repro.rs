@@ -6,8 +6,12 @@
 //! ```
 //!
 //! Subcommands: `table1`, `figure5`, `errors`, `connect`, `hybrid`,
-//! `ablation-partition`, `ablation-dedup`, `all`. The default corpus is
-//! the paper's scale (6,210 documents); `--scale F` shrinks it.
+//! `ablation-partition`, `ablation-dedup`, `build`, `all`. The default
+//! corpus is the paper's scale (6,210 documents); `--scale F` shrinks it.
+//!
+//! `build` compares sequential vs parallel meta-document index builds,
+//! prints each build's [`flix::BuildReport`], and writes the machine-
+//! readable `BENCH_build.json`.
 //!
 //! `--check` runs the deep [`flixcheck::IntegrityCheck`] audit over every
 //! built framework (alone or alongside experiments) and exits non-zero if
@@ -17,7 +21,7 @@ use bench::{
     emulated_time_to_k, error_rates, figure5_start, figure5_tag, mb, paper_configs, paper_corpus,
     rule, time_median, time_once, time_to_k_results, DbCostModel,
 };
-use flix::{Flix, FlixConfig, QueryOptions};
+use flix::{BuildOptions, Flix, FlixConfig, QueryOptions};
 use flixcheck::IntegrityCheck;
 use graphcore::NodeId;
 use std::collections::HashSet;
@@ -31,7 +35,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut check = false;
     let mut commands: Vec<String> = Vec::new();
-    const KNOWN: [&str; 9] = [
+    const KNOWN: [&str; 10] = [
         "all",
         "table1",
         "figure5",
@@ -41,6 +45,7 @@ fn main() {
         "ablation-partition",
         "ablation-dedup",
         "figure5-disk",
+        "build",
     ];
     const KNOWN_EXTRA: [&str; 2] = ["ablation-exact", "ablation-bidir"];
     let mut it = args.iter();
@@ -146,6 +151,79 @@ fn main() {
     }
     if wants("figure5-disk") {
         figure5_disk(&cg, &built);
+    }
+    if wants("build") {
+        build_bench(&cg);
+    }
+}
+
+/// `build`: sequential vs parallel per-meta index builds over every paper
+/// configuration, reported from the [`flix::BuildReport`] observability
+/// layer and persisted as `BENCH_build.json`.
+fn build_bench(cg: &Arc<CollectionGraph>) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== Build phase: sequential vs parallel meta-document index builds ==");
+    println!("host: {cores} cores (parallel uses one worker per core, capped at the meta count)");
+    rule(100);
+    println!(
+        "{:<12} {:>7} {:>12} {:>12} {:>8} {:>8} {:>12} {:>10} {:>10}",
+        "config", "metas", "seq", "par", "thrds", "speedup", "crit path", "links", "size [MB]"
+    );
+    rule(100);
+    let mut entries: Vec<String> = Vec::new();
+    let mut max_speedup = 0.0f64;
+    for config in paper_configs() {
+        let seq_opts = BuildOptions {
+            build_threads: 1,
+            ..BuildOptions::default()
+        };
+        let par_opts = BuildOptions {
+            build_threads: 0,
+            ..BuildOptions::default()
+        };
+        let (seq, seq_dt) = time_once(|| Flix::build_with(cg.clone(), config, &seq_opts));
+        let (par, par_dt) = time_once(|| Flix::build_with(cg.clone(), config, &par_opts));
+        // Thread count must never change the result.
+        assert!(
+            seq.runtime_links() == par.runtime_links() && seq.meta_count() == par.meta_count(),
+            "parallel build diverged from sequential under {config}"
+        );
+        let report = par.build_report();
+        let measured = seq_dt.as_secs_f64() / par_dt.as_secs_f64().max(1e-9);
+        max_speedup = max_speedup.max(measured);
+        println!(
+            "{:<12} {:>7} {:>12.1?} {:>12.1?} {:>8} {:>7.2}x {:>12.1?} {:>10} {:>10}",
+            config.to_string(),
+            report.per_meta.len(),
+            seq_dt,
+            par_dt,
+            report.threads,
+            measured,
+            Duration::from_micros(report.critical_path_micros()),
+            report.runtime_links,
+            mb(report.index_bytes())
+        );
+        entries.push(format!(
+            "    {{\"config\": \"{config}\", \"seq_micros\": {}, \"par_micros\": {}, \
+             \"measured_speedup\": {measured:.3}, \"report\": {}}}",
+            seq_dt.as_micros(),
+            par_dt.as_micros(),
+            report.to_json()
+        ));
+    }
+    rule(100);
+    println!(
+        "\"speedup\" is measured wall clock (sequential/parallel); \"crit path\" is the single\n\
+         costliest meta-document build — the floor for any schedule. Frameworks are identical\n\
+         regardless of thread count."
+    );
+    let json = format!(
+        "{{\n  \"cores\": {cores},\n  \"max_speedup\": {max_speedup:.3},\n  \"configs\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_build.json", &json) {
+        Ok(()) => println!("wrote BENCH_build.json\n"),
+        Err(e) => eprintln!("warning: could not write BENCH_build.json: {e}"),
     }
 }
 

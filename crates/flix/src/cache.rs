@@ -1,25 +1,35 @@
 //! Result caching for frequent (sub-)queries — the paper's §7 sketch
 //! "caching results of frequent (sub-)queries".
 //!
-//! [`CachedFlix`] wraps a framework with an LRU cache keyed on the full
-//! query (start element, target tag, options). Cached result vectors are
-//! shared (`Arc`), so repeated hot queries cost one map lookup and no
-//! allocation. The cache is latch-protected and safe to share across the
-//! client threads of the paper's multithreaded architecture.
+//! [`CachedFlix`] wraps a framework with an LRU cache keyed on the query
+//! semantics (start element, target tag, distance bound, ordering flags).
+//! `max_results` is deliberately *not* part of the key: evaluation with a
+//! result cap returns a prefix of the unrestricted run (results stream in
+//! block order), so the cache stores the full result vector once and serves
+//! any `k` by slicing. Cached vectors are shared (`Arc`), so repeated hot
+//! queries cost one map lookup and at worst one prefix copy.
+//!
+//! A generation counter guards correctness across rebuilds: [`CachedFlix::
+//! attach`] swaps in a new framework and bumps the generation, and every
+//! lookup rejects entries from older generations, so a rebuilt (or
+//! extended) framework can never serve answers computed over the old one.
+//! The cache is latch-protected and safe to share across the client threads
+//! of the paper's multithreaded architecture.
 
 use crate::framework::Flix;
 use crate::pee::{QueryOptions, QueryResult};
 use graphcore::{Distance, NodeId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 use xmlgraph::TagId;
 
-/// Hashable image of [`QueryOptions`].
+/// Hashable image of the semantically relevant part of [`QueryOptions`].
+/// `max_results` is excluded: it selects a prefix of the same answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct OptsKey {
     max_distance: Option<Distance>,
-    max_results: Option<usize>,
     include_start: bool,
     exact_order: bool,
 }
@@ -28,7 +38,6 @@ impl From<&QueryOptions> for OptsKey {
     fn from(o: &QueryOptions) -> Self {
         Self {
             max_distance: o.max_distance,
-            max_results: o.max_results,
             include_start: o.include_start,
             exact_order: o.exact_order,
         }
@@ -37,18 +46,38 @@ impl From<&QueryOptions> for OptsKey {
 
 type Key = (NodeId, TagId, OptsKey);
 
+struct Entry {
+    /// Full (uncapped) result vector for the keyed query.
+    results: Arc<Vec<QueryResult>>,
+    /// Framework generation the results were computed under.
+    generation: u64,
+    /// LRU stamp.
+    stamp: u64,
+}
+
 struct CacheInner {
-    map: HashMap<Key, (Arc<Vec<QueryResult>>, u64)>,
+    map: HashMap<Key, Entry>,
     tick: u64,
 }
 
-/// A FliX framework with an LRU descendants-query cache.
+/// A FliX framework with an LRU descendants-query cache that survives
+/// framework rebuilds (see [`CachedFlix::attach`]).
 pub struct CachedFlix {
-    flix: Arc<Flix>,
+    flix: Mutex<Arc<Flix>>,
+    generation: AtomicU64,
     capacity: usize,
     inner: Mutex<CacheInner>,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Serves `opts.max_results` from the full cached vector: a capped run
+/// returns exactly the first `k` results of the uncapped one.
+fn clip(full: Arc<Vec<QueryResult>>, max_results: Option<usize>) -> Arc<Vec<QueryResult>> {
+    match max_results {
+        Some(k) if k < full.len() => Arc::new(full[..k].to_vec()),
+        _ => full,
+    }
 }
 
 impl CachedFlix {
@@ -59,20 +88,38 @@ impl CachedFlix {
     pub fn new(flix: Arc<Flix>, capacity: usize) -> Self {
         assert!(capacity > 0, "cache needs capacity");
         Self {
-            flix,
+            flix: Mutex::new(flix),
+            generation: AtomicU64::new(0),
             capacity,
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
                 tick: 0,
             }),
-            hits: std::sync::atomic::AtomicU64::new(0),
-            misses: std::sync::atomic::AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
-    /// The wrapped framework.
-    pub fn framework(&self) -> &Arc<Flix> {
-        &self.flix
+    /// The currently attached framework.
+    pub fn framework(&self) -> Arc<Flix> {
+        Arc::clone(&self.flix.lock())
+    }
+
+    /// Swaps in a rebuilt (or extended) framework. All entries cached for
+    /// the previous framework become unservable immediately: the generation
+    /// bump outlives them, and lookups drop stale-generation entries.
+    pub fn attach(&self, flix: Arc<Flix>) {
+        // Order matters: swap the framework first, then bump. A racing
+        // query can then at worst insert results from the *old* framework
+        // under the *old* generation — already unservable — never results
+        // from the old framework under the new generation.
+        *self.flix.lock() = flix;
+        self.generation.fetch_add(1, Relaxed);
+    }
+
+    /// The current framework generation (bumped by [`Self::attach`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Relaxed)
     }
 
     /// Cached `a//B` evaluation.
@@ -82,44 +129,67 @@ impl CachedFlix {
         target: TagId,
         opts: &QueryOptions,
     ) -> Arc<Vec<QueryResult>> {
-        use std::sync::atomic::Ordering::Relaxed;
+        // Read the generation before the framework: if an `attach` lands in
+        // between, the fresh results are tagged with the older generation
+        // and correctly discarded on the next lookup.
+        let generation = self.generation.load(Relaxed);
         let key: Key = (start, target, OptsKey::from(opts));
         {
             let mut inner = self.inner.lock();
             inner.tick += 1;
             let tick = inner.tick;
-            if let Some((cached, stamp)) = inner.map.get_mut(&key) {
-                *stamp = tick;
-                self.hits.fetch_add(1, Relaxed);
-                return Arc::clone(cached);
+            match inner.map.get_mut(&key) {
+                Some(entry) if entry.generation == generation => {
+                    entry.stamp = tick;
+                    self.hits.fetch_add(1, Relaxed);
+                    return clip(Arc::clone(&entry.results), opts.max_results);
+                }
+                Some(_) => {
+                    // Computed under an older framework: never serve it.
+                    inner.map.remove(&key);
+                }
+                None => {}
             }
         }
         self.misses.fetch_add(1, Relaxed);
-        let fresh = Arc::new(self.flix.find_descendants(start, target, opts));
+        let flix = self.framework();
+        // Evaluate uncapped so one entry serves every `max_results`.
+        let full_opts = QueryOptions {
+            max_results: None,
+            ..*opts
+        };
+        let fresh = Arc::new(flix.find_descendants(start, target, &full_opts));
         let mut inner = self.inner.lock();
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
             if let Some(victim) = inner
                 .map
                 .iter()
-                .min_by_key(|(_, (_, stamp))| *stamp)
+                .min_by_key(|(_, entry)| entry.stamp)
                 .map(|(k, _)| *k)
             {
                 inner.map.remove(&victim);
             }
         }
         let tick = inner.tick;
-        inner.map.insert(key, (Arc::clone(&fresh), tick));
-        fresh
+        inner.map.insert(
+            key,
+            Entry {
+                results: Arc::clone(&fresh),
+                generation,
+                stamp: tick,
+            },
+        );
+        clip(fresh, opts.max_results)
     }
 
-    /// Drops every cached result (call after a rebuild).
+    /// Drops every cached result immediately (entries from superseded
+    /// frameworks are also dropped lazily, on lookup).
     pub fn invalidate(&self) {
         self.inner.lock().map.clear();
     }
 
     /// `(hits, misses)` counters.
     pub fn stats(&self) -> (u64, u64) {
-        use std::sync::atomic::Ordering::Relaxed;
         (self.hits.load(Relaxed), self.misses.load(Relaxed))
     }
 
@@ -137,10 +207,10 @@ impl CachedFlix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::FlixConfig;
-    use xmlgraph::{Collection, Document, LinkTarget};
+    use crate::config::{BuildOptions, FlixConfig};
+    use xmlgraph::{Collection, CollectionGraph, Document, LinkTarget};
 
-    fn small() -> (Arc<Flix>, TagId) {
+    fn small_graph() -> Arc<CollectionGraph> {
         let mut c = Collection::new();
         let t = c.tags.intern("t");
         let mut d0 = Document::new("a.xml");
@@ -157,7 +227,12 @@ mod tests {
         d1.add_element(t, None);
         c.add_document(d0).unwrap();
         c.add_document(d1).unwrap();
-        let cg = Arc::new(c.seal());
+        Arc::new(c.seal())
+    }
+
+    fn small() -> (Arc<Flix>, TagId) {
+        let cg = small_graph();
+        let t = cg.collection.tags.get("t").unwrap();
         (Arc::new(Flix::build(cg, FlixConfig::Naive)), t)
     }
 
@@ -177,9 +252,74 @@ mod tests {
         let (flix, t) = small();
         let cached = CachedFlix::new(flix, 8);
         cached.find_descendants(0, t, &QueryOptions::default());
-        cached.find_descendants(0, t, &QueryOptions::top_k(1));
+        cached.find_descendants(0, t, &QueryOptions::within(1));
         assert_eq!(cached.len(), 2);
         assert_eq!(cached.stats(), (0, 2));
+    }
+
+    #[test]
+    fn max_results_shares_one_entry() {
+        let (flix, t) = small();
+        let cached = CachedFlix::new(flix.clone(), 8);
+        let ten = cached.find_descendants(0, t, &QueryOptions::top_k(10));
+        // A smaller k on the same query must be a HIT, served by slicing.
+        let five = cached.find_descendants(0, t, &QueryOptions::top_k(5));
+        assert_eq!(cached.len(), 1, "one entry serves every k");
+        assert_eq!(cached.stats(), (1, 1));
+        assert_eq!(
+            *ten,
+            flix.find_descendants(0, t, &QueryOptions::top_k(10)),
+            "cached k=10 answers match the uncached evaluation"
+        );
+        assert_eq!(
+            *five,
+            flix.find_descendants(0, t, &QueryOptions::top_k(5)),
+            "sliced k=5 answers match the uncached evaluation"
+        );
+        // And the unrestricted query is also served from the same entry.
+        let all = cached.find_descendants(0, t, &QueryOptions::default());
+        assert_eq!(cached.stats(), (2, 1));
+        assert_eq!(*all, flix.find_descendants(0, t, &QueryOptions::default()));
+    }
+
+    #[test]
+    fn attach_invalidates_stale_answers() {
+        let (flix, t) = small();
+        let cached = CachedFlix::new(flix, 8);
+        let before = cached.find_descendants(0, t, &QueryOptions::default());
+        assert_eq!(before.len(), 2, "own child plus the linked root");
+
+        // Rebuild over a grown collection: same query, more answers.
+        let grown = {
+            let cg = cached.framework().collection_arc();
+            let tag = cg.collection.tags.get("t").unwrap();
+            let mut d = Document::new("c.xml");
+            d.add_element(tag, None);
+            let mut linked = Document::new("b2.xml");
+            let r = linked.add_element(tag, None);
+            linked.add_element(tag, Some(r));
+            Arc::new(cg.extend(vec![d, linked]).unwrap())
+        };
+        let rebuilt = Arc::new(Flix::build_with(
+            grown,
+            FlixConfig::Naive,
+            &BuildOptions::default(),
+        ));
+        let gen_before = cached.generation();
+        cached.attach(rebuilt.clone());
+        assert_eq!(cached.generation(), gen_before + 1);
+
+        // The old entry must NOT be served: the lookup sees the generation
+        // mismatch, drops it, and re-evaluates on the new framework.
+        let after = cached.find_descendants(0, t, &QueryOptions::default());
+        assert_eq!(
+            *after,
+            rebuilt.find_descendants(0, t, &QueryOptions::default())
+        );
+        assert_eq!(cached.stats(), (0, 2), "post-attach lookup is a miss");
+        // ... and the re-cached entry serves hits again.
+        cached.find_descendants(0, t, &QueryOptions::default());
+        assert_eq!(cached.stats(), (1, 2));
     }
 
     #[test]

@@ -119,6 +119,24 @@ pub struct BuildOptions {
     pub selector: StrategySelector,
     /// Refinement rounds for APEX-backed meta documents.
     pub apex_refine_rounds: usize,
+    /// Worker threads for the per-meta index-build stage. `0` means "one
+    /// per available core"; `1` forces a sequential build. Either way the
+    /// built framework is byte-identical — threads only change wall clock.
+    pub build_threads: usize,
+}
+
+impl BuildOptions {
+    /// Resolves [`Self::build_threads`] against the host and the number of
+    /// build jobs: `0` becomes the core count, and the result never exceeds
+    /// the job count (spawning idle workers is pure overhead).
+    pub fn effective_build_threads(&self, jobs: usize) -> usize {
+        let requested = if self.build_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.build_threads
+        };
+        requested.min(jobs).max(1)
+    }
 }
 
 impl Default for BuildOptions {
@@ -126,6 +144,7 @@ impl Default for BuildOptions {
         Self {
             selector: StrategySelector::default(),
             apex_refine_rounds: 1,
+            build_threads: 0,
         }
     }
 }
@@ -169,6 +188,19 @@ mod tests {
     fn empty_graph_gets_ppo() {
         let g = Digraph::from_edges(3, []);
         assert_eq!(StrategySelector::default().select(&g), StrategyKind::Ppo);
+    }
+
+    #[test]
+    fn effective_threads_clamp_to_jobs_and_floor_at_one() {
+        let opts = BuildOptions {
+            build_threads: 8,
+            ..BuildOptions::default()
+        };
+        assert_eq!(opts.effective_build_threads(3), 3);
+        assert_eq!(opts.effective_build_threads(0), 1);
+        // auto (0): at least one, at most `jobs`
+        let auto = BuildOptions::default().effective_build_threads(2);
+        assert!((1..=2).contains(&auto));
     }
 
     #[test]

@@ -1,12 +1,60 @@
 //! The build phase: from a sealed collection to a queryable framework.
 
 use crate::config::{BuildOptions, FlixConfig, StrategyKind};
-use crate::mdb::build_meta_documents;
+use crate::mdb::{build_meta_documents, plan_build_order};
 use crate::meta::{MetaDocument, MetaIndex};
+use crate::report::{BuildReport, MetaBuildReport};
 use graphcore::NodeId;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xmlgraph::CollectionGraph;
+
+/// Output of one per-meta build job: everything `build_with` needs to merge
+/// the meta document into the framework, independent of build order.
+struct BuiltMeta {
+    /// Local-to-global node mapping of the meta document.
+    mapping: Vec<NodeId>,
+    index: MetaIndex,
+    /// PPO-removed edges, already translated to global ids.
+    extra_links: Vec<(NodeId, NodeId)>,
+    report: MetaBuildReport,
+}
+
+/// Builds one meta document's index. Pure with respect to the framework:
+/// reads only the shared collection graph, so jobs for disjoint node sets
+/// can run on any thread in any order and still produce identical output.
+fn build_one(
+    graph: &CollectionGraph,
+    nodes: &[NodeId],
+    pinned: Option<StrategyKind>,
+    opts: &BuildOptions,
+) -> BuiltMeta {
+    let started = Instant::now();
+    let (sub, mapping) = graph.graph.induced_subgraph(nodes);
+    let labels: Vec<u32> = mapping.iter().map(|&g| graph.tag_of(g)).collect();
+    let kind = pinned.unwrap_or_else(|| opts.selector.select(&sub));
+    let edges = sub.edge_count();
+    let (index, extra) = MetaIndex::build(kind, &sub, &labels, opts.apex_refine_rounds);
+    let extra_links: Vec<(NodeId, NodeId)> = extra
+        .into_iter()
+        .map(|(lu, lv)| (mapping[lu as usize], mapping[lv as usize]))
+        .collect();
+    let report = MetaBuildReport {
+        strategy: index.kind(),
+        nodes: mapping.len(),
+        edges,
+        build_micros: started.elapsed().as_micros() as u64,
+        index_bytes: index.size_bytes(),
+        dropped_links: extra_links.len(),
+    };
+    BuiltMeta {
+        mapping,
+        index,
+        extra_links,
+        report,
+    }
+}
 
 /// A built FliX framework: meta documents, their indexes, and the runtime
 /// link table the query evaluator chases.
@@ -25,6 +73,8 @@ pub struct Flix {
     /// The same links as `(target, source)`, sorted by target.
     runtime_links_rev: Vec<(NodeId, NodeId)>,
     build_time: Duration,
+    /// Observability record of the build that produced this framework.
+    report: BuildReport,
 }
 
 impl Flix {
@@ -34,36 +84,84 @@ impl Flix {
     }
 
     /// Builds the framework: plans meta documents, selects strategies,
-    /// builds per-meta indexes, and wires the runtime link table.
+    /// builds per-meta indexes on a scoped worker pool, and wires the
+    /// runtime link table.
+    ///
+    /// Per-meta jobs touch disjoint node sets and only read the shared
+    /// collection graph, so [`BuildOptions::build_threads`] changes wall
+    /// clock but never the result: the merged framework (and its persisted
+    /// image) is byte-identical to a sequential build.
     pub fn build_with(
         graph: Arc<CollectionGraph>,
         config: FlixConfig,
         opts: &BuildOptions,
     ) -> Self {
-        let started = std::time::Instant::now();
+        let started = Instant::now();
         let n = graph.node_count();
         let plans = build_meta_documents(&graph, config);
+        let planning_micros = started.elapsed().as_micros() as u64;
+
+        let indexing_started = Instant::now();
+        let threads = opts.effective_build_threads(plans.len());
+        let mut built: Vec<(usize, BuiltMeta)> = Vec::with_capacity(plans.len());
+        if threads <= 1 {
+            for (mi, plan) in plans.iter().enumerate() {
+                built.push((mi, build_one(&graph, &plan.nodes, plan.strategy, opts)));
+            }
+        } else {
+            // Workers pull jobs largest-first off a shared cursor and send
+            // finished metas back tagged with their plan index; the merge
+            // below restores plan order, so scheduling is invisible.
+            let order = plan_build_order(&plans);
+            let cursor = AtomicUsize::new(0);
+            let (tx, rx) = crossbeam::channel::unbounded();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    let tx = tx.clone();
+                    let (graph, plans, order, cursor) = (&graph, &plans, &order, &cursor);
+                    s.spawn(move || loop {
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&mi) = order.get(slot) else { break };
+                        let plan = &plans[mi];
+                        let job = build_one(graph, &plan.nodes, plan.strategy, opts);
+                        if tx.send((mi, job)).is_err() {
+                            break;
+                        }
+                    });
+                }
+                drop(tx);
+            });
+            // The scope joined every worker, so the queue is complete.
+            while let Ok(item) = rx.try_recv() {
+                built.push(item);
+            }
+            built.sort_unstable_by_key(|&(mi, _)| mi);
+            assert!(
+                built.len() == plans.len(),
+                "parallel build produced {} of {} meta documents",
+                built.len(),
+                plans.len()
+            );
+        }
+        let indexing_micros = indexing_started.elapsed().as_micros() as u64;
+
+        let wiring_started = Instant::now();
         let mut meta_of = vec![u32::MAX; n];
         let mut local_of = vec![u32::MAX; n];
-        let mut metas = Vec::with_capacity(plans.len());
+        let mut metas = Vec::with_capacity(built.len());
+        let mut per_meta = Vec::with_capacity(built.len());
         let mut runtime_links: Vec<(NodeId, NodeId)> = Vec::new();
-
-        for (mi, plan) in plans.into_iter().enumerate() {
-            let (sub, mapping) = graph.graph.induced_subgraph(&plan.nodes);
-            for (local, &global) in mapping.iter().enumerate() {
+        for (mi, job) in built {
+            for (local, &global) in job.mapping.iter().enumerate() {
                 meta_of[global as usize] = mi as u32;
                 local_of[global as usize] = local as u32;
             }
-            let labels: Vec<u32> = mapping.iter().map(|&g| graph.tag_of(g)).collect();
-            let kind = plan.strategy.unwrap_or_else(|| opts.selector.select(&sub));
-            let (index, extra) = MetaIndex::build(kind, &sub, &labels, opts.apex_refine_rounds);
-            // PPO-removed edges become runtime links, in global ids.
-            for (lu, lv) in extra {
-                runtime_links.push((mapping[lu as usize], mapping[lv as usize]));
-            }
+            // PPO-removed edges become runtime links (already global ids).
+            runtime_links.extend(job.extra_links);
+            per_meta.push(job.report);
             metas.push(MetaDocument {
-                nodes: mapping,
-                index,
+                nodes: job.mapping,
+                index: job.index,
                 link_sources: Vec::new(),
                 link_targets: Vec::new(),
             });
@@ -94,7 +192,19 @@ impl Flix {
             m.link_targets.sort_unstable();
             m.link_targets.dedup();
         }
+        let wiring_micros = wiring_started.elapsed().as_micros() as u64;
 
+        let build_time = started.elapsed();
+        let report = BuildReport {
+            config,
+            threads,
+            planning_micros,
+            indexing_micros,
+            wiring_micros,
+            total_micros: build_time.as_micros() as u64,
+            runtime_links: runtime_links.len(),
+            per_meta,
+        };
         Self {
             graph,
             config,
@@ -103,7 +213,8 @@ impl Flix {
             local_of,
             runtime_links,
             runtime_links_rev,
-            build_time: started.elapsed(),
+            build_time,
+            report,
         }
     }
 
@@ -115,6 +226,7 @@ impl Flix {
         meta_of: Vec<u32>,
         local_of: Vec<u32>,
         runtime_links: Vec<(NodeId, NodeId)>,
+        report: BuildReport,
     ) -> Self {
         let mut runtime_links_rev: Vec<(NodeId, NodeId)> =
             runtime_links.iter().map(|&(u, v)| (v, u)).collect();
@@ -128,6 +240,7 @@ impl Flix {
             runtime_links,
             runtime_links_rev,
             build_time: Duration::ZERO,
+            report,
         }
     }
 
@@ -172,25 +285,37 @@ impl Flix {
             .filter(|&(u, v)| meta_of[u as usize] == meta_of[v as usize])
             .collect();
 
+        // Carry the per-meta records of the kept metas forward so report
+        // indices keep matching meta-document ids; frameworks loaded from a
+        // store without report blobs get zero-cost placeholder entries.
+        let mut per_meta = self.report.per_meta.clone();
+        per_meta.truncate(metas.len());
+        while per_meta.len() < metas.len() {
+            let m = &metas[per_meta.len()];
+            per_meta.push(MetaBuildReport {
+                strategy: m.index.kind(),
+                nodes: m.len(),
+                edges: 0,
+                build_micros: 0,
+                index_bytes: m.index.size_bytes(),
+                dropped_links: 0,
+            });
+        }
         let old_docs = self.graph.collection.doc_count() as u32;
         for d in old_docs..new_graph.collection.doc_count() as u32 {
             let nodes: Vec<NodeId> =
                 (new_graph.node_base[d as usize]..new_graph.node_base[d as usize + 1]).collect();
-            let (sub, mapping) = new_graph.graph.induced_subgraph(&nodes);
             let mi = metas.len() as u32;
-            for (local, &global) in mapping.iter().enumerate() {
+            let job = build_one(&new_graph, &nodes, None, opts);
+            for (local, &global) in job.mapping.iter().enumerate() {
                 meta_of[global as usize] = mi;
                 local_of[global as usize] = local as u32;
             }
-            let labels: Vec<u32> = mapping.iter().map(|&g| new_graph.tag_of(g)).collect();
-            let kind = opts.selector.select(&sub);
-            let (index, extra) = MetaIndex::build(kind, &sub, &labels, opts.apex_refine_rounds);
-            for (lu, lv) in extra {
-                runtime_links.push((mapping[lu as usize], mapping[lv as usize]));
-            }
+            runtime_links.extend(job.extra_links);
+            per_meta.push(job.report);
             metas.push(MetaDocument {
-                nodes: mapping,
-                index,
+                nodes: job.mapping,
+                index: job.index,
                 link_sources: Vec::new(),
                 link_targets: Vec::new(),
             });
@@ -240,6 +365,17 @@ impl Flix {
             arcs.push(Arc::new(m));
         }
 
+        let build_time = started.elapsed();
+        let report = BuildReport {
+            config: self.config,
+            threads: 1,
+            planning_micros: 0,
+            indexing_micros: build_time.as_micros() as u64,
+            wiring_micros: 0,
+            total_micros: build_time.as_micros() as u64,
+            runtime_links: runtime_links.len(),
+            per_meta,
+        };
         Ok(Flix {
             graph: new_graph,
             config: self.config,
@@ -248,7 +384,8 @@ impl Flix {
             local_of,
             runtime_links,
             runtime_links_rev,
-            build_time: started.elapsed(),
+            build_time,
+            report,
         })
     }
 
@@ -314,6 +451,12 @@ impl Flix {
     /// All runtime links, sorted by source.
     pub fn runtime_links(&self) -> &[(NodeId, NodeId)] {
         &self.runtime_links
+    }
+
+    /// The observability record of the build that produced this framework
+    /// (zeroed for frameworks loaded from a store without a report blob).
+    pub fn build_report(&self) -> &BuildReport {
+        &self.report
     }
 
     /// Build statistics for reporting (Table-1 style).
@@ -688,6 +831,84 @@ mod tests {
             .meta(m1)
             .link_targets
             .contains(&flix.local_of(cg.global(1, 0))));
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let cg = sample();
+        for config in [
+            FlixConfig::Naive,
+            FlixConfig::MaximalPpo,
+            FlixConfig::UnconnectedHopi { partition_size: 3 },
+        ] {
+            let seq = BuildOptions {
+                build_threads: 1,
+                ..BuildOptions::default()
+            };
+            let par = BuildOptions {
+                build_threads: 4,
+                ..BuildOptions::default()
+            };
+            let a = Flix::build_with(cg.clone(), config, &seq);
+            let b = Flix::build_with(cg.clone(), config, &par);
+            assert_eq!(a.meta_of, b.meta_of, "{config}");
+            assert_eq!(a.local_of, b.local_of, "{config}");
+            assert_eq!(a.runtime_links, b.runtime_links, "{config}");
+            assert_eq!(a.runtime_links_rev, b.runtime_links_rev, "{config}");
+            assert_eq!(a.meta_count(), b.meta_count(), "{config}");
+            for mi in 0..a.meta_count() as u32 {
+                let (ma, mb) = (a.meta(mi), b.meta(mi));
+                assert_eq!(ma.nodes, mb.nodes, "{config} meta {mi}");
+                assert_eq!(ma.index.kind(), mb.index.kind(), "{config} meta {mi}");
+                assert_eq!(ma.link_sources, mb.link_sources, "{config} meta {mi}");
+                assert_eq!(ma.link_targets, mb.link_targets, "{config} meta {mi}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_report_records_every_meta() {
+        let cg = sample();
+        let flix = Flix::build(cg, FlixConfig::Naive);
+        let r = flix.build_report();
+        assert_eq!(r.config, FlixConfig::Naive);
+        assert!(r.threads >= 1);
+        assert_eq!(r.per_meta.len(), flix.meta_count());
+        assert_eq!(r.runtime_links, flix.runtime_links().len());
+        let s = flix.stats();
+        assert_eq!(
+            r.strategy_counts(),
+            (s.ppo_metas, s.hopi_metas, s.apex_metas)
+        );
+        assert_eq!(
+            r.index_bytes() + flix.runtime_links().len() * 16,
+            s.index_bytes,
+            "report and stats agree on the index footprint"
+        );
+        for (mi, m) in r.per_meta.iter().enumerate() {
+            assert_eq!(m.nodes, flix.meta(mi as u32).len(), "meta {mi}");
+            assert_eq!(m.strategy, flix.meta(mi as u32).index.kind(), "meta {mi}");
+        }
+    }
+
+    #[test]
+    fn extend_carries_report_forward() {
+        let cg = sample();
+        let flix = Flix::build(cg.clone(), FlixConfig::Naive);
+        let t = cg.collection.tags.get("a").unwrap();
+        let mut d = Document::new("d3.xml");
+        let r = d.add_element(t, None);
+        d.add_element(t, Some(r));
+        let grown = Arc::new(cg.extend(vec![d]).unwrap());
+        let bigger = flix.extend(grown, &BuildOptions::default()).unwrap();
+        let report = bigger.build_report();
+        assert_eq!(report.per_meta.len(), bigger.meta_count());
+        assert_eq!(
+            report.per_meta[..flix.meta_count()],
+            flix.build_report().per_meta[..],
+            "kept metas keep their original build records"
+        );
+        assert_eq!(report.runtime_links, bigger.runtime_links().len());
     }
 
     #[test]

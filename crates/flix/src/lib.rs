@@ -79,6 +79,8 @@ pub mod pee;
 pub mod persist;
 /// Multi-step path query plans over the framework.
 pub mod query;
+/// Build observability: per-meta and aggregate build reports.
+pub mod report;
 /// Top-k aggregation (NRA) over scored result streams.
 pub mod topk;
 /// Workload monitoring and reconfiguration recommendations.
@@ -93,6 +95,7 @@ pub use framework::{Flix, FlixStats, MetaDocStats};
 pub use meta::{MetaDocument, MetaIndex};
 pub use pee::{PeeStats, QueryOptions, QueryResult, ResultStream};
 pub use query::{PathQuery, QueryBinding, QueryEngine};
+pub use report::{BuildReport, MetaBuildReport};
 pub use topk::{top_k_nra, Aggregation, TopKResult};
 pub use tuning::{LoadMonitor, Recommendation};
 pub use vague::{ScoredResult, TagSimilarity, VagueEvaluator, VagueQuery};

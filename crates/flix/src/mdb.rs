@@ -35,6 +35,16 @@ pub fn build_meta_documents(cg: &CollectionGraph, config: FlixConfig) -> Vec<Met
     }
 }
 
+/// Schedules plan indices for the build worker pool: largest node sets
+/// first (ties broken by ascending index). Feeding the pool biggest-first
+/// keeps the indexing stage's tail short — a large meta document started
+/// last would otherwise run alone while every other worker idles.
+pub fn plan_build_order(plans: &[MetaPlan]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..plans.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(plans[i].nodes.len()), i));
+    order
+}
+
 fn doc_nodes(cg: &CollectionGraph, d: u32) -> Vec<NodeId> {
     (cg.node_base[d as usize]..cg.node_base[d as usize + 1]).collect()
 }
@@ -309,6 +319,17 @@ mod tests {
             .sum();
         assert_eq!(ppo_nodes, 6, "three tree docs");
         assert_eq!(hopi_nodes, 3, "the cyclic doc");
+    }
+
+    #[test]
+    fn build_order_is_largest_first_with_stable_ties() {
+        let plan = |n: usize| MetaPlan {
+            nodes: (0..n as NodeId).collect(),
+            strategy: None,
+        };
+        let plans = vec![plan(2), plan(5), plan(2), plan(9)];
+        assert_eq!(plan_build_order(&plans), vec![3, 1, 0, 2]);
+        assert!(plan_build_order(&[]).is_empty());
     }
 
     #[test]

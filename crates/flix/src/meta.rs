@@ -101,9 +101,26 @@ impl MetaIndex {
         include_self: bool,
     ) -> Vec<(u32, Distance)> {
         match self {
-            MetaIndex::Ppo(i) => i.forest_index().ancestors_by_label(u, label, include_self),
+            MetaIndex::Ppo(i) => i.ancestors_by_label(u, label, include_self),
             MetaIndex::Hopi(i) => i.ancestors_by_label(u, label, include_self),
             MetaIndex::Apex(i) => i.ancestors_by_label(u, label, include_self),
+        }
+    }
+
+    /// [`Self::ancestors_by_label`] plus the number of index rows (or
+    /// traversal steps, for APEX) the lookup touched — the ancestors mirror
+    /// of [`Self::descendants_by_label_counted`], so both axes charge the
+    /// paper's per-row cost model symmetrically.
+    pub fn ancestors_by_label_counted(
+        &self,
+        u: u32,
+        label: u32,
+        include_self: bool,
+    ) -> (Vec<(u32, Distance)>, usize) {
+        match self {
+            MetaIndex::Ppo(i) => i.ancestors_by_label_counted(u, label, include_self),
+            MetaIndex::Hopi(i) => i.ancestors_by_label_counted(u, label, include_self),
+            MetaIndex::Apex(i) => i.ancestors_by_label_counted(u, label, include_self),
         }
     }
 

@@ -96,6 +96,17 @@ pub struct PeeStats {
     pub links_expanded: usize,
 }
 
+impl PeeStats {
+    /// Adds `other`'s counters into `self` — used to combine the two sides
+    /// of a bidirectional connection test into one per-query record.
+    pub fn absorb(&mut self, other: PeeStats) {
+        self.entries_popped += other.entries_popped;
+        self.entries_subsumed += other.entries_subsumed;
+        self.block_results_scanned += other.block_results_scanned;
+        self.links_expanded += other.links_expanded;
+    }
+}
+
 /// Direction of an axis evaluation.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Axis {
@@ -212,8 +223,21 @@ impl Flix {
         to: NodeId,
         opts: &QueryOptions,
     ) -> Option<Distance> {
+        self.connection_test_traced(from, to, opts).0
+    }
+
+    /// [`Self::connection_test`] plus the evaluation counters, so the §7
+    /// load monitor can account connection workloads like axis queries
+    /// (every pop is an index lookup, every distance probe a row fetch).
+    pub fn connection_test_traced(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        opts: &QueryOptions,
+    ) -> (Option<Distance>, PeeStats) {
+        let mut stats = PeeStats::default();
         if from == to {
-            return Some(0);
+            return (Some(0), stats);
         }
         let to_meta = self.meta_of(to);
         let to_local = self.local_of(to);
@@ -239,9 +263,13 @@ impl Flix {
                 .iter()
                 .any(|&p| md.index.is_reachable(p, local))
             {
+                stats.entries_subsumed += 1;
                 continue; // subsumed by an earlier entry
             }
+            stats.entries_popped += 1;
             if meta == to_meta {
+                // one in-meta distance probe = one row fetch
+                stats.block_results_scanned += 1;
                 if let Some(dd) = md.index.distance(local, to_local) {
                     let cand = d + dd;
                     if best.map_or(true, |b| cand < b) {
@@ -252,12 +280,16 @@ impl Flix {
             for (ls, dls) in md.reachable_link_sources(local) {
                 let global_src = self.global_of(meta, ls);
                 for &(_, tgt) in self.links_out_of(global_src) {
+                    stats.links_expanded += 1;
                     queue.push(Reverse((d + dls + 1, tgt)));
                 }
             }
             entries[meta as usize].push(local);
         }
-        best.filter(|&b| opts.max_distance.map_or(true, |m| b <= m))
+        (
+            best.filter(|&b| opts.max_distance.map_or(true, |m| b <= m)),
+            stats,
+        )
     }
 
     /// Bidirectional connection test (§5.2's sketched optimisation): one
@@ -274,24 +306,40 @@ impl Flix {
         to: NodeId,
         opts: &QueryOptions,
     ) -> Option<Distance> {
+        self.connection_test_bidirectional_traced(from, to, opts).0
+    }
+
+    /// [`Self::connection_test_bidirectional`] plus the combined counters
+    /// of both search directions.
+    pub fn connection_test_bidirectional_traced(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        opts: &QueryOptions,
+    ) -> (Option<Distance>, PeeStats) {
         if from == to {
-            return Some(0);
+            return (Some(0), PeeStats::default());
         }
         let mut fwd = ConnectionSearch::new(self, from, to, Axis::Descendants, opts.max_distance);
         let mut bwd = ConnectionSearch::new(self, to, from, Axis::Ancestors, opts.max_distance);
+        let combined = |fwd: &ConnectionSearch<'_>, bwd: &ConnectionSearch<'_>| {
+            let mut s = fwd.stats;
+            s.absorb(bwd.stats);
+            s
+        };
         loop {
             match fwd.step() {
-                SearchStep::Confirmed(d) => return Some(d),
+                SearchStep::Confirmed(d) => return (Some(d), combined(&fwd, &bwd)),
                 SearchStep::Exhausted => {
                     // forward saw everything reachable: its verdict is final
-                    return fwd.best;
+                    return (fwd.best, combined(&fwd, &bwd));
                 }
                 SearchStep::Progress => {}
             }
             match bwd.step() {
-                SearchStep::Confirmed(d) => return Some(d),
+                SearchStep::Confirmed(d) => return (Some(d), combined(&fwd, &bwd)),
                 SearchStep::Exhausted => {
-                    return bwd.best;
+                    return (bwd.best, combined(&fwd, &bwd));
                 }
                 SearchStep::Progress => {}
             }
@@ -408,8 +456,10 @@ impl Flix {
                     block
                 }
                 Axis::Ancestors => {
-                    let block = md.index.ancestors_by_label(local, target, include_self);
-                    stats.block_results_scanned += block.len();
+                    let (block, work) =
+                        md.index
+                            .ancestors_by_label_counted(local, target, include_self);
+                    stats.block_results_scanned += work;
                     block
                 }
             };
@@ -520,6 +570,7 @@ struct ConnectionSearch<'f> {
     queue: BinaryHeap<Reverse<(Distance, NodeId)>>,
     entries: Vec<Vec<u32>>,
     best: Option<Distance>,
+    stats: PeeStats,
 }
 
 impl<'f> ConnectionSearch<'f> {
@@ -540,6 +591,7 @@ impl<'f> ConnectionSearch<'f> {
             queue,
             entries: vec![Vec::new(); flix.meta_count()],
             best: None,
+            stats: PeeStats::default(),
         }
     }
 
@@ -565,9 +617,12 @@ impl<'f> ConnectionSearch<'f> {
                 Axis::Ancestors => md.index.is_reachable(local, p),
             });
         if subsumed {
+            self.stats.entries_subsumed += 1;
             return SearchStep::Progress;
         }
+        self.stats.entries_popped += 1;
         if meta == self.flix.meta_of(self.target) {
+            self.stats.block_results_scanned += 1;
             let t_local = self.flix.local_of(self.target);
             let found = match self.axis {
                 Axis::Descendants => md.index.distance(local, t_local),
@@ -587,6 +642,7 @@ impl<'f> ConnectionSearch<'f> {
                 for (ls, dls) in md.reachable_link_sources(local) {
                     let src = self.flix.global_of(meta, ls);
                     for &(_, tgt) in self.flix.links_out_of(src) {
+                        self.stats.links_expanded += 1;
                         self.queue.push(Reverse((d + dls + 1, tgt)));
                     }
                 }
@@ -595,6 +651,7 @@ impl<'f> ConnectionSearch<'f> {
                 for (lt, dlt) in md.reaching_link_targets(local) {
                     let tgt = self.flix.global_of(meta, lt);
                     for &(_, src) in self.flix.links_into(tgt) {
+                        self.stats.links_expanded += 1;
                         self.queue.push(Reverse((d + dlt + 1, src)));
                     }
                 }
@@ -1007,6 +1064,87 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn connection_tests_report_stats_to_the_load_monitor() {
+        use crate::tuning::LoadMonitor;
+        let cg = chain3();
+        for config in all_configs() {
+            let flix = Flix::build(cg.clone(), config);
+            if flix.meta_count() == 1 {
+                continue; // one meta document: nothing crosses links
+            }
+            let mut monitor = LoadMonitor::new();
+
+            let (dist, stats) = flix.connection_test_traced(0, 6, &QueryOptions::default());
+            assert_eq!(dist, Some(6), "config {config}");
+            assert!(stats.entries_popped > 0, "config {config}: {stats:?}");
+            assert!(stats.links_expanded > 0, "config {config}: {stats:?}");
+            assert!(
+                stats.block_results_scanned > 0,
+                "config {config}: {stats:?}"
+            );
+            monitor.record(stats, usize::from(dist.is_some()));
+
+            let (dist, stats) =
+                flix.connection_test_bidirectional_traced(0, 6, &QueryOptions::default());
+            assert_eq!(dist, Some(6), "config {config}");
+            assert!(stats.entries_popped > 0, "config {config}: {stats:?}");
+            assert!(stats.links_expanded > 0, "config {config}: {stats:?}");
+            monitor.record(stats, usize::from(dist.is_some()));
+
+            assert_eq!(monitor.queries(), 2);
+            assert!(monitor.avg_lookups() > 0.0, "config {config}");
+            assert!(monitor.avg_links() > 0.0, "config {config}");
+        }
+    }
+
+    #[test]
+    fn traced_connection_tests_agree_with_untraced() {
+        let cg = chain3();
+        for config in all_configs() {
+            let flix = Flix::build(cg.clone(), config);
+            for from in 0..7u32 {
+                for to in 0..7u32 {
+                    let plain = flix.connection_test(from, to, &QueryOptions::default());
+                    let (traced, _) =
+                        flix.connection_test_traced(from, to, &QueryOptions::default());
+                    assert_eq!(plain, traced, "{from}->{to} under {config}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ancestor_blocks_charge_scanned_work() {
+        let cg = chain3();
+        let a = cg.collection.tags.get("a").unwrap();
+        for config in all_configs() {
+            let flix = Flix::build(cg.clone(), config);
+            let mut stats = PeeStats::default();
+            let mut out = Vec::new();
+            flix.evaluate_axis_traced(
+                &[(5, 0)],
+                a,
+                &QueryOptions::default(),
+                Axis::Ancestors,
+                &mut stats,
+                |r, _| {
+                    out.push(r);
+                    ControlFlow::Continue(())
+                },
+            );
+            assert_eq!(out.len(), 2, "config {config}");
+            // counted symmetry: the work charged covers at least the rows
+            // returned, exactly like the descendants direction
+            assert!(
+                stats.block_results_scanned >= out.len(),
+                "config {config}: scanned {} < returned {}",
+                stats.block_results_scanned,
+                out.len()
+            );
         }
     }
 

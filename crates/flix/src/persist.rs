@@ -11,6 +11,7 @@
 use crate::config::FlixConfig;
 use crate::framework::Flix;
 use crate::meta::MetaDocument;
+use crate::report::BuildReport;
 use graphcore::NodeId;
 use pagestore::BlobStore;
 use serde::{Deserialize, Serialize};
@@ -51,6 +52,13 @@ pub fn save_flix(flix: &Flix, store: &mut BlobStore, name: &str) -> Result<(), S
             .put(&format!("{name}/meta-{mi}"), &bytes)
             .map_err(|e| e.to_string())?;
     }
+    // The build report lives in its own blob: it carries wall-clock timings
+    // that differ between otherwise identical builds, and keeping it out of
+    // the manifest keeps persisted index images byte-comparable.
+    let bytes = pagestore::to_bytes(flix.build_report()).map_err(|e| e.to_string())?;
+    store
+        .put(&format!("{name}/report"), &bytes)
+        .map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -85,6 +93,15 @@ pub fn load_flix(
         let md: MetaDocument = pagestore::from_bytes(&bytes).map_err(|e| e.to_string())?;
         metas.push(md);
     }
+    // Stores written before reports existed simply lack the blob; a zeroed
+    // report keeps them loadable.
+    let report = match store
+        .get(&format!("{name}/report"))
+        .map_err(|e| e.to_string())?
+    {
+        Some(bytes) => pagestore::from_bytes(&bytes).map_err(|e| e.to_string())?,
+        None => BuildReport::empty(manifest.config),
+    };
     Ok(Flix::from_raw_parts(
         graph,
         manifest.config,
@@ -92,6 +109,7 @@ pub fn load_flix(
         manifest.meta_of,
         manifest.local_of,
         manifest.runtime_links,
+        report,
     ))
 }
 
@@ -147,6 +165,30 @@ mod tests {
             let got = loaded.find_descendants(0, b, &QueryOptions::default());
             assert_eq!(want, got, "config {config}");
         }
+    }
+
+    #[test]
+    fn build_report_survives_save_load() {
+        let cg = sample();
+        let flix = Flix::build(cg.clone(), FlixConfig::Naive);
+        let mut st = store();
+        save_flix(&flix, &mut st, "fw").unwrap();
+        let loaded = load_flix(&st, "fw", cg).unwrap();
+        assert_eq!(loaded.build_report(), flix.build_report());
+    }
+
+    #[test]
+    fn store_without_report_blob_still_loads() {
+        let cg = sample();
+        let flix = Flix::build(cg.clone(), FlixConfig::Naive);
+        let mut st = store();
+        save_flix(&flix, &mut st, "fw").unwrap();
+        assert!(st.remove("fw/report"), "report blob should exist");
+        let loaded = load_flix(&st, "fw", cg).unwrap();
+        assert_eq!(
+            loaded.build_report(),
+            &BuildReport::empty(FlixConfig::Naive)
+        );
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Build observability: what the build phase did, per meta document and in
+//! aggregate.
+//!
+//! [`BuildReport`] is produced by every [`crate::framework::Flix`] build. It
+//! records the strategy chosen for each meta document, its size, its index
+//! build cost and footprint, plus stage timings and the parallelism the
+//! scoped worker pool achieved. The bench harness renders it as the human
+//! build table and as `BENCH_build.json`; the §7 self-tuning loop uses it to
+//! justify rebuild recommendations with real per-meta costs.
+
+use crate::config::{FlixConfig, StrategyKind};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Build record for one meta document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetaBuildReport {
+    /// Strategy the meta document was indexed with.
+    pub strategy: StrategyKind,
+    /// Elements in the meta document's subgraph.
+    pub nodes: usize,
+    /// Edges of the meta document's subgraph.
+    pub edges: usize,
+    /// Wall-clock build time of this meta document's index, in microseconds
+    /// (an integer so reports serialize deterministically).
+    pub build_micros: u64,
+    /// Estimated index footprint in bytes.
+    pub index_bytes: usize,
+    /// Runtime links this meta document contributed (PPO-removed edges).
+    pub dropped_links: usize,
+}
+
+impl MetaBuildReport {
+    /// The build time as a [`Duration`].
+    pub fn build_time(&self) -> Duration {
+        Duration::from_micros(self.build_micros)
+    }
+}
+
+/// Aggregate report of one framework build: stage timings, parallelism, and
+/// the per-meta-document breakdown.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildReport {
+    /// The configuration that was built.
+    pub config: FlixConfig,
+    /// Worker threads used for the index-build stage.
+    pub threads: usize,
+    /// Wall-clock microseconds spent planning meta documents (§4.1).
+    pub planning_micros: u64,
+    /// Wall-clock microseconds of the (parallel) index-build stage.
+    pub indexing_micros: u64,
+    /// Wall-clock microseconds spent wiring the runtime link table.
+    pub wiring_micros: u64,
+    /// Wall-clock microseconds of the whole build.
+    pub total_micros: u64,
+    /// Entries in the final runtime link table.
+    pub runtime_links: usize,
+    /// Per-meta-document breakdown, in meta-document order.
+    pub per_meta: Vec<MetaBuildReport>,
+}
+
+impl BuildReport {
+    /// A zeroed placeholder (for persisted frameworks whose store predates
+    /// report blobs).
+    pub fn empty(config: FlixConfig) -> Self {
+        Self {
+            config,
+            threads: 0,
+            planning_micros: 0,
+            indexing_micros: 0,
+            wiring_micros: 0,
+            total_micros: 0,
+            runtime_links: 0,
+            per_meta: Vec::new(),
+        }
+    }
+
+    /// Sum of per-meta index-build times: the work a one-thread build pays
+    /// sequentially.
+    pub fn cpu_micros(&self) -> u64 {
+        self.per_meta.iter().map(|m| m.build_micros).sum()
+    }
+
+    /// The single most expensive meta-document build — no parallel schedule
+    /// can finish the indexing stage faster than this.
+    pub fn critical_path_micros(&self) -> u64 {
+        self.per_meta
+            .iter()
+            .map(|m| m.build_micros)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Ratio of summed per-meta build time to the indexing stage's wall
+    /// clock — the speedup the worker pool realised (1.0 when sequential).
+    pub fn parallel_speedup(&self) -> f64 {
+        if self.indexing_micros == 0 {
+            1.0
+        } else {
+            self.cpu_micros() as f64 / self.indexing_micros as f64
+        }
+    }
+
+    /// Index of and record for the costliest meta document, if any.
+    pub fn costliest_meta(&self) -> Option<(usize, &MetaBuildReport)> {
+        self.per_meta
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, m)| m.build_micros)
+    }
+
+    /// Total estimated index footprint across meta documents, in bytes.
+    pub fn index_bytes(&self) -> usize {
+        self.per_meta.iter().map(|m| m.index_bytes).sum()
+    }
+
+    /// `(ppo, hopi, apex)` meta-document counts.
+    pub fn strategy_counts(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for m in &self.per_meta {
+            match m.strategy {
+                StrategyKind::Ppo => counts.0 += 1,
+                StrategyKind::Hopi => counts.1 += 1,
+                StrategyKind::Apex => counts.2 += 1,
+            }
+        }
+        counts
+    }
+
+    /// JSON image of the report (hand-rolled: the workspace vendors no JSON
+    /// serializer). Per-meta entries are kept in meta-document order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.per_meta.len() * 128);
+        out.push_str("{\n");
+        out.push_str(&format!(
+            "  \"config\": \"{}\",\n  \"threads\": {},\n",
+            self.config, self.threads
+        ));
+        out.push_str(&format!(
+            "  \"planning_micros\": {},\n  \"indexing_micros\": {},\n  \"wiring_micros\": {},\n  \"total_micros\": {},\n",
+            self.planning_micros, self.indexing_micros, self.wiring_micros, self.total_micros
+        ));
+        out.push_str(&format!(
+            "  \"cpu_micros\": {},\n  \"critical_path_micros\": {},\n  \"parallel_speedup\": {:.3},\n",
+            self.cpu_micros(),
+            self.critical_path_micros(),
+            self.parallel_speedup()
+        ));
+        out.push_str(&format!(
+            "  \"runtime_links\": {},\n  \"index_bytes\": {},\n  \"meta_docs\": {},\n",
+            self.runtime_links,
+            self.index_bytes(),
+            self.per_meta.len()
+        ));
+        out.push_str("  \"per_meta\": [\n");
+        for (i, m) in self.per_meta.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"strategy\": \"{}\", \"nodes\": {}, \"edges\": {}, \"build_micros\": {}, \"index_bytes\": {}, \"dropped_links\": {}}}{}\n",
+                m.strategy,
+                m.nodes,
+                m.edges,
+                m.build_micros,
+                m.index_bytes,
+                m.dropped_links,
+                if i + 1 < self.per_meta.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(strategy: StrategyKind, micros: u64) -> MetaBuildReport {
+        MetaBuildReport {
+            strategy,
+            nodes: 10,
+            edges: 9,
+            build_micros: micros,
+            index_bytes: 100,
+            dropped_links: 1,
+        }
+    }
+
+    fn sample() -> BuildReport {
+        BuildReport {
+            config: FlixConfig::Naive,
+            threads: 4,
+            planning_micros: 5,
+            indexing_micros: 40,
+            wiring_micros: 5,
+            total_micros: 50,
+            runtime_links: 2,
+            per_meta: vec![
+                meta(StrategyKind::Ppo, 30),
+                meta(StrategyKind::Hopi, 70),
+                meta(StrategyKind::Apex, 20),
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = sample();
+        assert_eq!(r.cpu_micros(), 120);
+        assert_eq!(r.critical_path_micros(), 70);
+        assert!((r.parallel_speedup() - 3.0).abs() < 1e-9);
+        assert_eq!(r.index_bytes(), 300);
+        assert_eq!(r.strategy_counts(), (1, 1, 1));
+        let (idx, costliest) = r.costliest_meta().unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(costliest.strategy, StrategyKind::Hopi);
+        assert_eq!(costliest.build_time(), Duration::from_micros(70));
+    }
+
+    #[test]
+    fn empty_report_is_inert() {
+        let r = BuildReport::empty(FlixConfig::MaximalPpo);
+        assert_eq!(r.cpu_micros(), 0);
+        assert_eq!(r.critical_path_micros(), 0);
+        assert!((r.parallel_speedup() - 1.0).abs() < 1e-9);
+        assert!(r.costliest_meta().is_none());
+    }
+
+    #[test]
+    fn json_shape() {
+        let j = sample().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"config\": \"PPO-naive\""), "{j}");
+        assert!(j.contains("\"parallel_speedup\": 3.000"), "{j}");
+        assert!(j.contains("\"per_meta\": ["), "{j}");
+        assert_eq!(j.matches("\"strategy\":").count(), 3, "{j}");
+        // commas separate entries but never trail
+        assert!(!j.contains("},\n  ]"), "{j}");
+    }
+
+    #[test]
+    fn round_trips_through_pagestore_codec() {
+        let r = sample();
+        let bytes = pagestore::to_bytes(&r).expect("serialize");
+        let back: BuildReport = pagestore::from_bytes(&bytes).expect("deserialize");
+        assert_eq!(r, back);
+    }
+}

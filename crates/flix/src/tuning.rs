@@ -14,6 +14,7 @@
 
 use crate::config::{FlixConfig, StrategyKind};
 use crate::pee::PeeStats;
+use crate::report::BuildReport;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated query-load statistics.
@@ -129,6 +130,38 @@ impl LoadMonitor {
         }
         Recommendation::Keep
     }
+
+    /// [`Self::recommend`], with the rebuild justification grounded in what
+    /// the last build actually cost: a rebuild recommendation cites the
+    /// measured build time, the meta-document count, and the costliest
+    /// single meta document from `report`, so the operator can weigh the
+    /// query-time win against the rebuild price.
+    pub fn recommend_with_report(
+        &self,
+        current: FlixConfig,
+        min_queries: u64,
+        report: &BuildReport,
+    ) -> Recommendation {
+        match self.recommend(current, min_queries) {
+            Recommendation::Keep => Recommendation::Keep,
+            Recommendation::Rebuild { suggestion, reason } => {
+                let mut reason = format!(
+                    "{reason}; last build took {:.1} ms over {} meta documents",
+                    report.total_micros as f64 / 1_000.0,
+                    report.per_meta.len(),
+                );
+                if let Some((mi, costliest)) = report.costliest_meta() {
+                    reason.push_str(&format!(
+                        " (costliest: meta {mi}, {} over {} elements in {:.1} ms)",
+                        costliest.strategy,
+                        costliest.nodes,
+                        costliest.build_micros as f64 / 1_000.0,
+                    ));
+                }
+                Recommendation::Rebuild { suggestion, reason }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +244,53 @@ mod tests {
             ),
             r => panic!("expected rebuild, got {r:?}"),
         }
+    }
+
+    #[test]
+    fn report_grounds_rebuild_reason_in_measured_costs() {
+        use crate::report::MetaBuildReport;
+        let mut m = LoadMonitor::new();
+        for _ in 0..20 {
+            m.record(stats(40, 120), 10);
+        }
+        let mut report = BuildReport::empty(FlixConfig::Naive);
+        report.total_micros = 12_500;
+        report.per_meta = vec![
+            MetaBuildReport {
+                strategy: StrategyKind::Ppo,
+                nodes: 10,
+                edges: 9,
+                build_micros: 2_000,
+                index_bytes: 80,
+                dropped_links: 0,
+            },
+            MetaBuildReport {
+                strategy: StrategyKind::Hopi,
+                nodes: 400,
+                edges: 900,
+                build_micros: 9_000,
+                index_bytes: 4_000,
+                dropped_links: 3,
+            },
+        ];
+        match m.recommend_with_report(FlixConfig::Naive, 10, &report) {
+            Recommendation::Rebuild { suggestion, reason } => {
+                assert_eq!(suggestion, FlixConfig::MaximalPpo);
+                assert!(reason.contains("12.5 ms"), "{reason}");
+                assert!(reason.contains("2 meta documents"), "{reason}");
+                assert!(
+                    reason.contains("meta 1, HOPI over 400 elements"),
+                    "{reason}"
+                );
+            }
+            r => panic!("expected rebuild, got {r:?}"),
+        }
+        // Keep verdicts pass through untouched.
+        let quiet = LoadMonitor::new();
+        assert_eq!(
+            quiet.recommend_with_report(FlixConfig::Naive, 10, &report),
+            Recommendation::Keep
+        );
     }
 
     #[test]

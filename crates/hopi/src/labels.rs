@@ -290,9 +290,22 @@ impl HopiIndex {
         label: u32,
         include_self: bool,
     ) -> Vec<(NodeId, Distance)> {
-        let mut out = self.ancestors(u, include_self);
+        self.ancestors_by_label_counted(u, label, include_self).0
+    }
+
+    /// [`Self::ancestors_by_label`] plus the label-table rows merged to
+    /// answer it — the ancestors mirror of
+    /// [`Self::descendants_by_label_counted`].
+    pub fn ancestors_by_label_counted(
+        &self,
+        u: NodeId,
+        label: u32,
+        include_self: bool,
+    ) -> (Vec<(NodeId, Distance)>, usize) {
+        let (mut out, work) =
+            self.collect_closure(&self.l_in[u as usize], &self.out_index, u, include_self);
         out.retain(|&(v, _)| self.node_labels[v as usize] == label);
-        out
+        (out, work)
     }
 
     /// Descendants of `u` that satisfy `keep`, ascending by distance (used

@@ -118,6 +118,27 @@ impl ExtendedPpo {
             .descendants_with_label_counted(u, self.index.label_list(label), include_self)
     }
 
+    /// Forest-only ancestors with a label, ascending by distance.
+    pub fn ancestors_by_label(
+        &self,
+        u: NodeId,
+        label: u32,
+        include_self: bool,
+    ) -> Vec<(NodeId, Distance)> {
+        self.index.ancestors_by_label(u, label, include_self)
+    }
+
+    /// [`Self::ancestors_by_label`] plus the parent-chain nodes probed.
+    pub fn ancestors_by_label_counted(
+        &self,
+        u: NodeId,
+        label: u32,
+        include_self: bool,
+    ) -> (Vec<(NodeId, Distance)>, usize) {
+        self.index
+            .ancestors_by_label_counted(u, label, include_self)
+    }
+
     /// Number of removed edges (quality signal for the strategy selector:
     /// high counts mean PPO is a bad fit for this partition).
     pub fn removed_count(&self) -> usize {

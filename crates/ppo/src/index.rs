@@ -2,7 +2,7 @@
 
 use graphcore::{Digraph, Distance, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Errors raised when the input graph is not a forest.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,8 +44,10 @@ pub struct PpoIndex {
     size: Vec<u32>,
     /// `pre_to_node[r]` = node with preorder rank `r`.
     pre_to_node: Vec<NodeId>,
-    /// label -> sorted `(pre, node)` pairs.
-    by_label: HashMap<u32, Vec<(u32, NodeId)>>,
+    /// label -> sorted `(pre, node)` pairs. A `BTreeMap` so the serialized
+    /// image is deterministic (persisted frameworks must be byte-identical
+    /// across builds of the same collection).
+    by_label: BTreeMap<u32, Vec<(u32, NodeId)>>,
 }
 
 impl PpoIndex {
@@ -104,7 +106,7 @@ impl PpoIndex {
             // an in-degree<=1 graph means a cycle.
             return Err(PpoError::Cyclic);
         }
-        let mut by_label: HashMap<u32, Vec<(u32, NodeId)>> = HashMap::new();
+        let mut by_label: BTreeMap<u32, Vec<(u32, NodeId)>> = BTreeMap::new();
         for u in 0..n {
             by_label
                 .entry(labels[u])
@@ -252,16 +254,34 @@ impl PpoIndex {
         label: u32,
         include_self: bool,
     ) -> Vec<(NodeId, Distance)> {
+        self.ancestors_by_label_counted(u, label, include_self).0
+    }
+
+    /// [`Self::ancestors_by_label`] plus the number of nodes probed on the
+    /// parent chain (each probe is one row fetch in a database-backed
+    /// deployment) — the ancestors mirror of
+    /// [`Self::descendants_with_label_counted`].
+    pub fn ancestors_by_label_counted(
+        &self,
+        u: NodeId,
+        label: u32,
+        include_self: bool,
+    ) -> (Vec<(NodeId, Distance)>, usize) {
         let mut out = Vec::new();
-        if include_self && self.node_label_matches(u, label) {
-            out.push((u, 0));
+        let mut probed = 0usize;
+        if include_self {
+            probed += 1;
+            if self.node_label_matches(u, label) {
+                out.push((u, 0));
+            }
         }
         for (a, d) in self.ancestors(u) {
+            probed += 1;
             if self.node_label_matches(a, label) {
                 out.push((a, d));
             }
         }
-        out
+        (out, probed)
     }
 
     fn node_label_matches(&self, u: NodeId, label: u32) -> bool {

@@ -174,6 +174,36 @@ proptest! {
     }
 
     #[test]
+    fn counted_ancestor_lookups_cover_returned_results(g in arb_graph(30, 80)) {
+        // Work accounting must be symmetric with the descendants axis: the
+        // counted variant agrees with the plain one and never reports less
+        // work than results returned, for every backend.
+        use flix::{MetaIndex, StrategyKind};
+        let labels = arb_labels(&g, 4);
+        for kind in [StrategyKind::Ppo, StrategyKind::Hopi, StrategyKind::Apex] {
+            let (idx, _extra) = MetaIndex::build(kind, &g, &labels, 1);
+            for u in 0..g.node_count() as u32 {
+                for label in 0..4u32 {
+                    for include_self in [false, true] {
+                        let plain = idx.ancestors_by_label(u, label, include_self);
+                        let (counted, work) =
+                            idx.ancestors_by_label_counted(u, label, include_self);
+                        prop_assert_eq!(
+                            &plain, &counted,
+                            "{:?}: ancestors of {} with label {}", kind, u, label
+                        );
+                        prop_assert!(
+                            work >= counted.len(),
+                            "{:?}: {} results but only {} lookups charged for {} / {}",
+                            kind, counted.len(), work, u, label
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn codec_round_trips_nested_values(
         v in proptest::collection::vec(
             (any::<u32>(), proptest::collection::vec(any::<u16>(), 0..8), any::<Option<String>>()),
