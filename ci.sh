@@ -15,8 +15,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== flixcheck (static analysis: unwrap/panic/unsafe/docs)"
 cargo run -q -p flixcheck
 
-echo "== cargo test (workspace)"
-cargo test -q --workspace
+echo "== cargo test (workspace, sequential builds: FLIX_BUILD_THREADS=1)"
+FLIX_BUILD_THREADS=1 cargo test -q --workspace
+
+echo "== cargo test (workspace, parallel builds: FLIX_BUILD_THREADS=0)"
+FLIX_BUILD_THREADS=0 cargo test -q --workspace
 
 echo "== cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run --workspace

@@ -6,12 +6,17 @@
 //! ```
 //!
 //! Subcommands: `table1`, `figure5`, `errors`, `connect`, `hybrid`,
-//! `ablation-partition`, `ablation-dedup`, `build`, `all`. The default
-//! corpus is the paper's scale (6,210 documents); `--scale F` shrinks it.
+//! `ablation-partition`, `ablation-dedup`, `build`, `hopi`, `all`. The
+//! default corpus is the paper's scale (6,210 documents); `--scale F`
+//! shrinks it.
 //!
 //! `build` compares sequential vs parallel meta-document index builds,
 //! prints each build's [`flix::BuildReport`], and writes the machine-
 //! readable `BENCH_build.json`.
+//!
+//! `hopi` sweeps the staged HOPI cover pipeline's thread count over the
+//! whole element graph, verifies the serialized index is byte-identical
+//! at every thread count, and writes `BENCH_hopi.json`.
 //!
 //! `--check` runs the deep [`flixcheck::IntegrityCheck`] audit over every
 //! built framework (alone or alongside experiments) and exits non-zero if
@@ -35,7 +40,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut check = false;
     let mut commands: Vec<String> = Vec::new();
-    const KNOWN: [&str; 10] = [
+    const KNOWN: [&str; 11] = [
         "all",
         "table1",
         "figure5",
@@ -46,6 +51,7 @@ fn main() {
         "ablation-dedup",
         "figure5-disk",
         "build",
+        "hopi",
     ];
     const KNOWN_EXTRA: [&str; 2] = ["ablation-exact", "ablation-bidir"];
     let mut it = args.iter();
@@ -154,6 +160,107 @@ fn main() {
     }
     if wants("build") {
         build_bench(&cg);
+    }
+    if wants("hopi") {
+        hopi_bench(&cg);
+    }
+}
+
+/// `hopi`: thread-count sweep of the staged HOPI cover pipeline (rank /
+/// merge / parallel per-partition cover) over the whole element graph.
+/// Verifies the serialized index image is byte-identical at every thread
+/// count and writes `BENCH_hopi.json`.
+fn hopi_bench(cg: &Arc<CollectionGraph>) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== Staged HOPI cover pipeline: thread-count sweep (host: {cores} cores) ==");
+    let labels: Vec<u32> = (0..cg.node_count() as NodeId)
+        .map(|u| cg.tag_of(u))
+        .collect();
+    rule(108);
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>10} {:>10} {:>8}",
+        "threads",
+        "total",
+        "rank",
+        "merge",
+        "cover",
+        "parts",
+        "borders",
+        "entries",
+        "visits",
+        "image"
+    );
+    rule(108);
+    let mut baseline: Option<(Duration, Vec<u8>)> = None;
+    let mut entries: Vec<String> = Vec::new();
+    let mut best_speedup = 1.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let opts = hopi::CoverOptions {
+            threads,
+            ..hopi::CoverOptions::default()
+        };
+        let ((idx, stages), dt) =
+            time_once(|| hopi::HopiIndex::build_staged(&cg.graph, &labels, &opts));
+        let image = match pagestore::to_bytes(&idx) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: could not serialize index: {e}");
+                std::process::exit(1);
+            }
+        };
+        let identical = match &baseline {
+            None => {
+                baseline = Some((dt, image.clone()));
+                true
+            }
+            Some((_, base)) => *base == image,
+        };
+        assert!(
+            identical,
+            "index image diverged at {threads} threads — staged build is not deterministic"
+        );
+        let seq = baseline.as_ref().map_or(dt, |(d, _)| *d);
+        let speedup = seq.as_secs_f64() / dt.as_secs_f64().max(1e-9);
+        best_speedup = best_speedup.max(speedup);
+        println!(
+            "{:<8} {:>12.1?} {:>12.1?} {:>12.1?} {:>12.1?} {:>8} {:>8} {:>10} {:>10} {:>8}",
+            threads,
+            dt,
+            Duration::from_micros(stages.rank_micros),
+            Duration::from_micros(stages.merge_micros),
+            Duration::from_micros(stages.cover_micros),
+            stages.partitions,
+            stages.border_centers,
+            idx.label_entries(),
+            idx.stats().visits,
+            if identical { "same" } else { "DIFF" }
+        );
+        entries.push(format!(
+            "    {{\"threads\": {threads}, \"total_micros\": {}, \"rank_micros\": {}, \
+             \"merge_micros\": {}, \"cover_micros\": {}, \"partitions\": {}, \
+             \"border_centers\": {}, \"label_entries\": {}, \"image_identical\": {identical}}}",
+            dt.as_micros(),
+            stages.rank_micros,
+            stages.merge_micros,
+            stages.cover_micros,
+            stages.partitions,
+            stages.border_centers,
+            idx.label_entries()
+        ));
+    }
+    rule(108);
+    println!(
+        "the serialized index is byte-identical at every thread count; only wall clock changes\n\
+         (best measured speedup over the 1-thread staged build: {best_speedup:.2}x)"
+    );
+    let json = format!(
+        "{{\n  \"cores\": {cores},\n  \"nodes\": {},\n  \"best_speedup\": {best_speedup:.3},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        cg.node_count(),
+        entries.join(",\n")
+    );
+    match std::fs::write("BENCH_hopi.json", &json) {
+        Ok(()) => println!("wrote BENCH_hopi.json\n"),
+        Err(e) => eprintln!("warning: could not write BENCH_hopi.json: {e}"),
     }
 }
 

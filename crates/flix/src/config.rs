@@ -119,32 +119,48 @@ pub struct BuildOptions {
     pub selector: StrategySelector,
     /// Refinement rounds for APEX-backed meta documents.
     pub apex_refine_rounds: usize,
-    /// Worker threads for the per-meta index-build stage. `0` means "one
-    /// per available core"; `1` forces a sequential build. Either way the
-    /// built framework is byte-identical — threads only change wall clock.
+    /// Total worker-thread budget for the build. `0` means "one per
+    /// available core"; `1` forces a fully sequential build. The budget is
+    /// split between the per-meta build stage and each HOPI meta document's
+    /// intra-build parallelism (see [`graphcore::pool::split_budget`]), so
+    /// the two layers together never oversubscribe it. Either way the built
+    /// framework is byte-identical — threads only change wall clock.
     pub build_threads: usize,
 }
 
 impl BuildOptions {
-    /// Resolves [`Self::build_threads`] against the host and the number of
-    /// build jobs: `0` becomes the core count, and the result never exceeds
-    /// the job count (spawning idle workers is pure overhead).
-    pub fn effective_build_threads(&self, jobs: usize) -> usize {
-        let requested = if self.build_threads == 0 {
+    /// Resolves [`Self::build_threads`] against the host: `0` becomes the
+    /// core count; anything else is taken as-is. This is the total budget
+    /// the build splits across its stages.
+    pub fn resolved_build_threads(&self) -> usize {
+        if self.build_threads == 0 {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         } else {
             self.build_threads
-        };
-        requested.min(jobs).max(1)
+        }
+    }
+
+    /// [`Self::resolved_build_threads`] clamped to the number of build
+    /// jobs (spawning idle workers is pure overhead).
+    pub fn effective_build_threads(&self, jobs: usize) -> usize {
+        self.resolved_build_threads().min(jobs).max(1)
     }
 }
 
 impl Default for BuildOptions {
+    /// The default thread budget honours the `FLIX_BUILD_THREADS`
+    /// environment variable (unset or unparsable means `0` = one thread
+    /// per core), so test suites and CI can pin the build shape without
+    /// touching call sites.
     fn default() -> Self {
+        let build_threads = std::env::var("FLIX_BUILD_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
         Self {
             selector: StrategySelector::default(),
             apex_refine_rounds: 1,
-            build_threads: 0,
+            build_threads,
         }
     }
 }

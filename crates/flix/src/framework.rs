@@ -4,8 +4,7 @@ use crate::config::{BuildOptions, FlixConfig, StrategyKind};
 use crate::mdb::{build_meta_documents, plan_build_order};
 use crate::meta::{MetaDocument, MetaIndex};
 use crate::report::{BuildReport, MetaBuildReport};
-use graphcore::NodeId;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use graphcore::{pool, NodeId};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use xmlgraph::CollectionGraph;
@@ -29,13 +28,15 @@ fn build_one(
     nodes: &[NodeId],
     pinned: Option<StrategyKind>,
     opts: &BuildOptions,
+    hopi_threads: usize,
 ) -> BuiltMeta {
     let started = Instant::now();
     let (sub, mapping) = graph.graph.induced_subgraph(nodes);
     let labels: Vec<u32> = mapping.iter().map(|&g| graph.tag_of(g)).collect();
     let kind = pinned.unwrap_or_else(|| opts.selector.select(&sub));
     let edges = sub.edge_count();
-    let (index, extra) = MetaIndex::build(kind, &sub, &labels, opts.apex_refine_rounds);
+    let (index, extra, stages) =
+        MetaIndex::build_with_threads(kind, &sub, &labels, opts.apex_refine_rounds, hopi_threads);
     let extra_links: Vec<(NodeId, NodeId)> = extra
         .into_iter()
         .map(|(lu, lv)| (mapping[lu as usize], mapping[lv as usize]))
@@ -47,6 +48,7 @@ fn build_one(
         build_micros: started.elapsed().as_micros() as u64,
         index_bytes: index.size_bytes(),
         dropped_links: extra_links.len(),
+        stages,
     };
     BuiltMeta {
         mapping,
@@ -91,6 +93,12 @@ impl Flix {
     /// collection graph, so [`BuildOptions::build_threads`] changes wall
     /// clock but never the result: the merged framework (and its persisted
     /// image) is byte-identical to a sequential build.
+    ///
+    /// The thread budget is split between this per-meta stage and each
+    /// HOPI meta document's staged cover pipeline with
+    /// [`pool::split_budget`]: a monolithic plan hands the whole budget to
+    /// HOPI's intra-build parallelism, many small metas saturate the
+    /// budget at the per-meta level.
     pub fn build_with(
         graph: Arc<CollectionGraph>,
         config: FlixConfig,
@@ -102,47 +110,16 @@ impl Flix {
         let planning_micros = started.elapsed().as_micros() as u64;
 
         let indexing_started = Instant::now();
-        let threads = opts.effective_build_threads(plans.len());
-        let mut built: Vec<(usize, BuiltMeta)> = Vec::with_capacity(plans.len());
-        if threads <= 1 {
-            for (mi, plan) in plans.iter().enumerate() {
-                built.push((mi, build_one(&graph, &plan.nodes, plan.strategy, opts)));
-            }
-        } else {
-            // Workers pull jobs largest-first off a shared cursor and send
-            // finished metas back tagged with their plan index; the merge
-            // below restores plan order, so scheduling is invisible.
-            let order = plan_build_order(&plans);
-            let cursor = AtomicUsize::new(0);
-            let (tx, rx) = crossbeam::channel::unbounded();
-            std::thread::scope(|s| {
-                for _ in 0..threads {
-                    let tx = tx.clone();
-                    let (graph, plans, order, cursor) = (&graph, &plans, &order, &cursor);
-                    s.spawn(move || loop {
-                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&mi) = order.get(slot) else { break };
-                        let plan = &plans[mi];
-                        let job = build_one(graph, &plan.nodes, plan.strategy, opts);
-                        if tx.send((mi, job)).is_err() {
-                            break;
-                        }
-                    });
-                }
-                drop(tx);
-            });
-            // The scope joined every worker, so the queue is complete.
-            while let Ok(item) = rx.try_recv() {
-                built.push(item);
-            }
-            built.sort_unstable_by_key(|&(mi, _)| mi);
-            assert!(
-                built.len() == plans.len(),
-                "parallel build produced {} of {} meta documents",
-                built.len(),
-                plans.len()
-            );
-        }
+        // Split the budget between the per-meta level and HOPI's staged
+        // pipeline: a monolithic plan keeps everything for the latter.
+        let (threads, hopi_threads) =
+            pool::split_budget(opts.resolved_build_threads(), plans.len());
+        // Workers pull jobs largest-first off a shared cursor; the pool
+        // returns finished metas in plan order, so scheduling is invisible.
+        let built = pool::run_scheduled(threads, &plan_build_order(&plans), |mi| {
+            let plan = &plans[mi];
+            build_one(&graph, &plan.nodes, plan.strategy, opts, hopi_threads)
+        });
         let indexing_micros = indexing_started.elapsed().as_micros() as u64;
 
         let wiring_started = Instant::now();
@@ -151,7 +128,7 @@ impl Flix {
         let mut metas = Vec::with_capacity(built.len());
         let mut per_meta = Vec::with_capacity(built.len());
         let mut runtime_links: Vec<(NodeId, NodeId)> = Vec::new();
-        for (mi, job) in built {
+        for (mi, job) in built.into_iter().enumerate() {
             for (local, &global) in job.mapping.iter().enumerate() {
                 meta_of[global as usize] = mi as u32;
                 local_of[global as usize] = local as u32;
@@ -299,6 +276,7 @@ impl Flix {
                 build_micros: 0,
                 index_bytes: m.index.size_bytes(),
                 dropped_links: 0,
+                stages: None,
             });
         }
         let old_docs = self.graph.collection.doc_count() as u32;
@@ -306,7 +284,7 @@ impl Flix {
             let nodes: Vec<NodeId> =
                 (new_graph.node_base[d as usize]..new_graph.node_base[d as usize + 1]).collect();
             let mi = metas.len() as u32;
-            let job = build_one(&new_graph, &nodes, None, opts);
+            let job = build_one(&new_graph, &nodes, None, opts, 1);
             for (local, &global) in job.mapping.iter().enumerate() {
                 meta_of[global as usize] = mi;
                 local_of[global as usize] = local as u32;

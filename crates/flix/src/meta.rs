@@ -33,16 +33,39 @@ impl MetaIndex {
         labels: &[u32],
         apex_refine_rounds: usize,
     ) -> (Self, Vec<(u32, u32)>) {
+        let (index, extra, _) =
+            Self::build_with_threads(kind, subgraph, labels, apex_refine_rounds, 1);
+        (index, extra)
+    }
+
+    /// [`Self::build`] with an intra-build thread budget for HOPI-backed
+    /// meta documents (PPO and APEX builds are sequential either way), plus
+    /// the staged pipeline's [`hopi::StageReport`] when HOPI ran.
+    ///
+    /// The thread count never changes the built index — HOPI's staged
+    /// pipeline is deterministic by construction — so callers can hand
+    /// whatever budget [`graphcore::pool::split_budget`] grants them.
+    pub fn build_with_threads(
+        kind: StrategyKind,
+        subgraph: &Digraph,
+        labels: &[u32],
+        apex_refine_rounds: usize,
+        hopi_threads: usize,
+    ) -> (Self, Vec<(u32, u32)>, Option<hopi::StageReport>) {
         match kind {
             StrategyKind::Ppo => {
                 let idx = ExtendedPpo::build(subgraph, labels);
                 let extra = idx.removed_edges().to_vec();
-                (MetaIndex::Ppo(Box::new(idx)), extra)
+                (MetaIndex::Ppo(Box::new(idx)), extra, None)
             }
-            StrategyKind::Hopi => (
-                MetaIndex::Hopi(Box::new(HopiIndex::build(subgraph, labels))),
-                Vec::new(),
-            ),
+            StrategyKind::Hopi => {
+                let opts = hopi::CoverOptions {
+                    threads: hopi_threads,
+                    ..hopi::CoverOptions::default()
+                };
+                let (idx, stages) = HopiIndex::build_staged(subgraph, labels, &opts);
+                (MetaIndex::Hopi(Box::new(idx)), Vec::new(), Some(stages))
+            }
             StrategyKind::Apex => (
                 MetaIndex::Apex(Box::new(ApexIndex::build(
                     subgraph,
@@ -50,6 +73,7 @@ impl MetaIndex {
                     apex_refine_rounds,
                 ))),
                 Vec::new(),
+                None,
             ),
         }
     }

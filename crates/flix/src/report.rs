@@ -28,6 +28,10 @@ pub struct MetaBuildReport {
     pub index_bytes: usize,
     /// Runtime links this meta document contributed (PPO-removed edges).
     pub dropped_links: usize,
+    /// Per-stage breakdown of the staged HOPI cover pipeline (rank /
+    /// merge / cover timings, partition and border counts). `None` for
+    /// PPO- and APEX-backed meta documents.
+    pub stages: Option<hopi::StageReport>,
 }
 
 impl MetaBuildReport {
@@ -114,6 +118,21 @@ impl BuildReport {
         self.per_meta.iter().map(|m| m.index_bytes).sum()
     }
 
+    /// Staged-pipeline totals across every HOPI-backed meta document
+    /// (timings and partition counts summed, threads maxed), or `None` if
+    /// no meta document went through the staged builder.
+    pub fn hopi_stage_totals(&self) -> Option<hopi::StageReport> {
+        let mut total: Option<hopi::StageReport> = None;
+        for m in &self.per_meta {
+            if let Some(s) = m.stages {
+                total
+                    .get_or_insert_with(hopi::StageReport::default)
+                    .absorb(s);
+            }
+        }
+        total
+    }
+
     /// `(ppo, hopi, apex)` meta-document counts.
     pub fn strategy_counts(&self) -> (usize, usize, usize) {
         let mut counts = (0, 0, 0);
@@ -152,22 +171,39 @@ impl BuildReport {
             self.index_bytes(),
             self.per_meta.len()
         ));
+        if let Some(s) = self.hopi_stage_totals() {
+            out.push_str(&format!("  \"hopi_stages\": {},\n", stage_json(&s)));
+        }
         out.push_str("  \"per_meta\": [\n");
         for (i, m) in self.per_meta.iter().enumerate() {
+            let stages = m
+                .stages
+                .map(|s| format!(", \"stages\": {}", stage_json(&s)))
+                .unwrap_or_default();
             out.push_str(&format!(
-                "    {{\"strategy\": \"{}\", \"nodes\": {}, \"edges\": {}, \"build_micros\": {}, \"index_bytes\": {}, \"dropped_links\": {}}}{}\n",
+                "    {{\"strategy\": \"{}\", \"nodes\": {}, \"edges\": {}, \"build_micros\": {}, \"index_bytes\": {}, \"dropped_links\": {}{}}}{}\n",
                 m.strategy,
                 m.nodes,
                 m.edges,
                 m.build_micros,
                 m.index_bytes,
                 m.dropped_links,
+                stages,
                 if i + 1 < self.per_meta.len() { "," } else { "" }
             ));
         }
         out.push_str("  ]\n}");
         out
     }
+}
+
+/// JSON object for one [`hopi::StageReport`] (shared by the aggregate and
+/// per-meta renderings).
+fn stage_json(s: &hopi::StageReport) -> String {
+    format!(
+        "{{\"rank_micros\": {}, \"merge_micros\": {}, \"cover_micros\": {}, \"partitions\": {}, \"border_centers\": {}, \"threads\": {}}}",
+        s.rank_micros, s.merge_micros, s.cover_micros, s.partitions, s.border_centers, s.threads
+    )
 }
 
 #[cfg(test)]
@@ -182,6 +218,14 @@ mod tests {
             build_micros: micros,
             index_bytes: 100,
             dropped_links: 1,
+            stages: (strategy == StrategyKind::Hopi).then_some(hopi::StageReport {
+                rank_micros: 3,
+                merge_micros: 4,
+                cover_micros: 5,
+                partitions: 2,
+                border_centers: 1,
+                threads: 2,
+            }),
         }
     }
 
@@ -233,8 +277,35 @@ mod tests {
         assert!(j.contains("\"parallel_speedup\": 3.000"), "{j}");
         assert!(j.contains("\"per_meta\": ["), "{j}");
         assert_eq!(j.matches("\"strategy\":").count(), 3, "{j}");
+        // the one HOPI meta carries stages; the aggregate mirrors it
+        assert!(j.contains("\"hopi_stages\": {\"rank_micros\": 3"), "{j}");
+        assert_eq!(j.matches("\"stages\":").count(), 1, "{j}");
         // commas separate entries but never trail
         assert!(!j.contains("},\n  ]"), "{j}");
+    }
+
+    #[test]
+    fn stage_totals_aggregate_hopi_metas_only() {
+        let mut r = sample();
+        assert_eq!(
+            r.hopi_stage_totals(),
+            Some(hopi::StageReport {
+                rank_micros: 3,
+                merge_micros: 4,
+                cover_micros: 5,
+                partitions: 2,
+                border_centers: 1,
+                threads: 2,
+            })
+        );
+        r.per_meta.push(meta(StrategyKind::Hopi, 10));
+        let total = r.hopi_stage_totals().unwrap();
+        assert_eq!(total.rank_micros, 6);
+        assert_eq!(total.partitions, 4);
+        assert_eq!(total.threads, 2, "threads are maxed, not summed");
+        r.per_meta.retain(|m| m.strategy != StrategyKind::Hopi);
+        assert_eq!(r.hopi_stage_totals(), None);
+        assert!(!r.to_json().contains("hopi_stages"));
     }
 
     #[test]

@@ -263,6 +263,7 @@ mod tests {
                 build_micros: 2_000,
                 index_bytes: 80,
                 dropped_links: 0,
+                stages: None,
             },
             MetaBuildReport {
                 strategy: StrategyKind::Hopi,
@@ -271,6 +272,7 @@ mod tests {
                 build_micros: 9_000,
                 index_bytes: 4_000,
                 dropped_links: 3,
+                stages: None,
             },
         ];
         match m.recommend_with_report(FlixConfig::Naive, 10, &report) {

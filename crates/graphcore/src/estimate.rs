@@ -70,6 +70,17 @@ pub fn estimate_descendant_counts(g: &Digraph, rounds: usize, seed: u64) -> Vec<
         .collect()
 }
 
+/// Estimates `|ancestors-or-self(v)|` for every node: the mirror of
+/// [`estimate_descendant_counts`], computed over the reversed graph.
+///
+/// HOPI's staged cover builder ranks centers by the product of the two
+/// estimates — a node can serve as the 2-hop midpoint for (up to) one pair
+/// per (ancestor, descendant) combination, so the product approximates a
+/// center's covering power far better than raw degree.
+pub fn estimate_ancestor_counts(g: &Digraph, rounds: usize, seed: u64) -> Vec<f64> {
+    estimate_descendant_counts(&g.reversed(), rounds, seed)
+}
+
 /// Estimates the number of pairs in the transitive closure (the size the
 /// paper says HOPI must be estimated against).
 pub fn estimate_closure_size(g: &Digraph, rounds: usize, seed: u64) -> f64 {
@@ -132,6 +143,19 @@ mod tests {
         let est = estimate_closure_size(&g, 500, 11);
         let rel = (est - exact).abs() / exact;
         assert!(rel < 0.2, "est {est:.1} vs exact {exact} (rel {rel:.3})");
+    }
+
+    #[test]
+    fn ancestor_counts_mirror_descendants() {
+        // On a chain, ancestors of node i are exactly descendants of node
+        // (n-1-i) in the reversed direction.
+        let g = Digraph::from_edges(20, (0..19u32).map(|i| (i, i + 1)));
+        let anc = estimate_ancestor_counts(&g, 300, 9);
+        let desc = estimate_descendant_counts(&g, 300, 9);
+        // head has few ancestors, many descendants; tail the opposite
+        assert!(anc[0] < anc[19]);
+        assert!(desc[0] > desc[19]);
+        assert!((anc[0] - 1.0).abs() < 0.5, "source has only itself above");
     }
 
     #[test]

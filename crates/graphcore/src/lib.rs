@@ -11,7 +11,11 @@
 //!   "almost a tree" edge-removal analysis used by FliX's *Maximal PPO*
 //!   configuration,
 //! * [`partition`]: the greedy size-capped edge-cut partitioner used by
-//!   HOPI's divide-and-conquer index builder,
+//!   HOPI's divide-and-conquer index builder, plus a condensation-aware
+//!   variant that never splits an SCC,
+//! * [`pool`]: a scoped worker pool with deterministic job-ordered results,
+//!   shared by every parallel build stage so one thread budget governs the
+//!   whole build,
 //! * [`closure`]: exact transitive closure and all-pairs distances, used as
 //!   a correctness oracle by tests and by the error-rate experiment,
 //! * [`bitset`]: a small fixed-size bitset backing the closure computation.
@@ -33,6 +37,8 @@ pub mod digraph;
 pub mod estimate;
 /// Greedy size-capped edge-cut graph partitioning.
 pub mod partition;
+/// Scoped worker pool with deterministic, job-ordered results.
+pub mod pool;
 /// Tarjan strongly-connected components and condensation.
 pub mod scc;
 /// Spanning forests and "almost a tree" edge-removal analysis.
@@ -45,8 +51,8 @@ pub mod traversal;
 pub use bitset::BitSet;
 pub use closure::{DistanceOracle, TransitiveClosure};
 pub use digraph::{Digraph, DigraphBuilder, NodeId};
-pub use estimate::{estimate_closure_size, estimate_descendant_counts};
-pub use partition::{partition_greedy, Partitioning};
+pub use estimate::{estimate_ancestor_counts, estimate_closure_size, estimate_descendant_counts};
+pub use partition::{partition_condensation, partition_greedy, Partitioning};
 pub use scc::{condensation, tarjan_scc, Condensation};
 pub use spanning::is_forest;
 pub use spanning::{spanning_forest, tree_violations, ForestCheck};

@@ -1,0 +1,162 @@
+//! A small scoped worker pool for deterministic parallel builds.
+//!
+//! Both the per-meta-document build stage in `flix` and the per-partition
+//! stage of HOPI's staged cover pipeline pull their jobs through this
+//! module, so one `build_threads` budget governs the whole build instead of
+//! each layer spawning its own workers and oversubscribing the machine
+//! (see [`split_budget`]).
+//!
+//! [`run_scheduled`] always returns results in ascending job-id order, no
+//! matter the schedule or thread count. As long as the jobs themselves are
+//! pure functions of their id, a caller that merges results sequentially is
+//! oblivious to scheduling: any thread count produces identical — for
+//! serialized consumers, byte-identical — output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Resolves a requested thread count against the host and the job count:
+/// `0` means one thread per available core, and the result never exceeds
+/// `jobs` (idle workers are pure overhead) nor drops below 1.
+pub fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let threads = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    };
+    threads.min(jobs).max(1)
+}
+
+/// Splits a resolved thread budget between an outer stage running
+/// `outer_jobs` concurrent jobs and the nested parallelism each job may run
+/// itself. Returns `(outer_workers, inner_threads_per_job)`.
+///
+/// A monolithic outer stage (`outer_jobs == 1`) hands the whole budget to
+/// the single job's inner stages; many small outer jobs saturate the budget
+/// at the outer level and get one inner thread each. In every case
+/// `outer_workers * inner_threads_per_job <= max(total, 1)`, so the two
+/// layers together never oversubscribe the budget.
+pub fn split_budget(total: usize, outer_jobs: usize) -> (usize, usize) {
+    let total = total.max(1);
+    let outer = total.min(outer_jobs).max(1);
+    (outer, (total / outer).max(1))
+}
+
+/// Runs the jobs named by `schedule` (a permutation of `0..n`) on `threads`
+/// scoped workers and returns one result per job, in **ascending job-id
+/// order** regardless of schedule or thread count.
+///
+/// Workers claim schedule slots off a shared atomic cursor, so an
+/// expensive-jobs-first schedule keeps the pool busy to the end. With
+/// `threads <= 1` the jobs run inline in schedule order — same results, no
+/// thread spawns.
+pub fn run_scheduled<T, F>(threads: usize, schedule: &[usize], job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(schedule.len());
+    if threads <= 1 || schedule.len() <= 1 {
+        for &id in schedule {
+            tagged.push((id, job(id)));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let tx = tx.clone();
+                let (cursor, job) = (&cursor, &job);
+                s.spawn(move || loop {
+                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&id) = schedule.get(slot) else { break };
+                    let out = job(id);
+                    if tx.send((id, out)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+        });
+        // The scope joined every worker, so the queue holds every job.
+        while let Ok(item) = rx.try_recv() {
+            tagged.push(item);
+        }
+        assert!(
+            tagged.len() == schedule.len(),
+            "worker pool produced {} of {} jobs",
+            tagged.len(),
+            schedule.len()
+        );
+    }
+    tagged.sort_by_key(|&(id, _)| id);
+    tagged.into_iter().map(|(_, out)| out).collect()
+}
+
+/// [`run_scheduled`] over the identity schedule `0..jobs`.
+pub fn run_jobs<T, F>(threads: usize, jobs: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let schedule: Vec<usize> = (0..jobs).collect();
+    run_scheduled(threads, &schedule, job)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for threads in [1, 2, 8] {
+            let out = run_jobs(threads, 20, |i| i * i);
+            assert_eq!(out, (0..20).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn schedule_order_is_invisible() {
+        let mut schedule: Vec<usize> = (0..16).collect();
+        schedule.reverse();
+        for threads in [1, 3] {
+            let out = run_scheduled(threads, &schedule, |i| format!("job-{i}"));
+            for (i, s) in out.iter().enumerate() {
+                assert_eq!(s, &format!("job-{i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_job() {
+        let out: Vec<u32> = run_jobs(4, 0, |_| unreachable!());
+        assert!(out.is_empty());
+        assert_eq!(run_jobs(4, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn effective_threads_clamps() {
+        assert_eq!(effective_threads(8, 3), 3);
+        assert_eq!(effective_threads(8, 0), 1);
+        assert_eq!(effective_threads(2, 100), 2);
+        // auto (0): at least one, at most `jobs`
+        let auto = effective_threads(0, 2);
+        assert!((1..=2).contains(&auto));
+    }
+
+    #[test]
+    fn budget_split_never_oversubscribes() {
+        assert_eq!(split_budget(8, 1), (1, 8), "monolithic keeps the budget");
+        assert_eq!(split_budget(8, 100), (8, 1), "wide stages get the budget");
+        assert_eq!(split_budget(8, 3), (3, 2));
+        assert_eq!(split_budget(0, 5), (1, 1));
+        assert_eq!(split_budget(1, 1), (1, 1));
+        for total in 1..16 {
+            for jobs in 1..16 {
+                let (outer, inner) = split_budget(total, jobs);
+                assert!(outer * inner <= total.max(1), "{total}/{jobs}");
+                assert!(outer >= 1 && inner >= 1);
+            }
+        }
+    }
+}

@@ -1,5 +1,11 @@
 //! The 2-hop label index: construction, queries, enumeration.
+//!
+//! Construction runs the staged pipeline in [`crate::cover`] (rank →
+//! partition → merge → parallel per-partition cover) and finishes the raw
+//! label sets into a queryable index here: sorting by center id, building
+//! the inverted center indexes, and computing [`BuildStats`].
 
+use crate::cover::{self, CoverOptions, StageReport};
 use graphcore::{Digraph, Distance, NodeId, INFINITE_DISTANCE};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -19,6 +25,14 @@ impl BuildStats {
     /// Total label entries.
     pub fn total_entries(&self) -> usize {
         self.in_entries + self.out_entries
+    }
+
+    /// Accumulates another build's statistics (used by the partitioned
+    /// builder to aggregate over its per-partition indexes).
+    pub fn absorb(&mut self, other: BuildStats) {
+        self.in_entries += other.in_entries;
+        self.out_entries += other.out_entries;
+        self.visits += other.visits;
     }
 }
 
@@ -43,115 +57,33 @@ pub struct HopiIndex {
 }
 
 impl HopiIndex {
-    /// Builds the index over `g` with one opaque label per node.
+    /// Builds the index over `g` with one opaque label per node, using the
+    /// default (sequential, auto-partitioned) staged pipeline.
     pub fn build(g: &Digraph, node_labels: &[u32]) -> Self {
+        Self::build_staged(g, node_labels, &CoverOptions::default()).0
+    }
+
+    /// [`Self::build`] with explicit pipeline options (thread count,
+    /// partition cap, ranking rounds). The produced index is identical for
+    /// every `threads` value — see the determinism notes on [`crate::cover`].
+    pub fn build_with(g: &Digraph, node_labels: &[u32], opts: &CoverOptions) -> Self {
+        Self::build_staged(g, node_labels, opts).0
+    }
+
+    /// Runs the staged pipeline and additionally returns its out-of-band
+    /// [`StageReport`] (per-stage timings, partition/border counts). The
+    /// report is *not* part of the index, so serialized indexes stay
+    /// byte-identical across runs and thread counts.
+    pub fn build_staged(
+        g: &Digraph,
+        node_labels: &[u32],
+        opts: &CoverOptions,
+    ) -> (Self, StageReport) {
         assert_eq!(node_labels.len(), g.node_count(), "one label per node");
         let n = g.node_count();
-        let mut l_in: Vec<Vec<(NodeId, Distance)>> = vec![Vec::new(); n];
-        let mut l_out: Vec<Vec<(NodeId, Distance)>> = vec![Vec::new(); n];
-        let mut visits = 0usize;
-
-        // Center order: descending total degree (hubs first shrink labels).
-        // Ties break on the bit-reversed id: on degree-uniform regions (long
-        // chains, grids) that approximates the balanced middle-first order
-        // and keeps labels near n·log n instead of n²/2.
-        let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-        order.sort_by_key(|&u| {
-            (
-                std::cmp::Reverse(g.out_degree(u) + g.in_degree(u)),
-                u.reverse_bits(),
-                u,
-            )
-        });
-
-        let rev = g.reversed();
-        let mut dist = vec![INFINITE_DISTANCE; n];
-        let mut queue = std::collections::VecDeque::new();
-        let mut touched: Vec<NodeId> = Vec::new();
-
-        // Scratch array for the pruning query: `center_dist[c]` holds the
-        // distance between the current BFS center `w` and center `c`
-        // through the labels of `w` (the standard trick that makes each
-        // pruning test O(|label of u|) without sorted lists).
-        let mut center_dist = vec![INFINITE_DISTANCE; n];
-
-        for &w in &order {
-            // ---- Forward pruned BFS: L_in(v) gains (w, d(w, v)). ----
-            // Load w's out-labels: pair (w -> c at cost d) means a candidate
-            // 2-hop path w -> c -> u whenever c ∈ L_in(u).
-            for &(c, d) in &l_out[w as usize] {
-                center_dist[c as usize] = d;
-            }
-            center_dist[w as usize] = 0;
-            dist[w as usize] = 0;
-            touched.push(w);
-            queue.push_back(w);
-            while let Some(u) = queue.pop_front() {
-                let d = dist[u as usize];
-                visits += 1;
-                // Prune if d(w, u) <= d is already answerable from the
-                // labels of earlier (higher-ranked) centers.
-                let covered = l_in[u as usize].iter().any(|&(c, dc)| {
-                    center_dist[c as usize] != INFINITE_DISTANCE
-                        && center_dist[c as usize] + dc <= d
-                });
-                if covered {
-                    continue;
-                }
-                l_in[u as usize].push((w, d));
-                for &v in g.successors(u) {
-                    if dist[v as usize] == INFINITE_DISTANCE {
-                        dist[v as usize] = d + 1;
-                        touched.push(v);
-                        queue.push_back(v);
-                    }
-                }
-            }
-            for &t in &touched {
-                dist[t as usize] = INFINITE_DISTANCE;
-            }
-            touched.clear();
-            for &(c, _) in &l_out[w as usize] {
-                center_dist[c as usize] = INFINITE_DISTANCE;
-            }
-            center_dist[w as usize] = INFINITE_DISTANCE;
-
-            // ---- Backward pruned BFS: L_out(u) gains (w, d(u, w)). ----
-            for &(c, d) in &l_in[w as usize] {
-                center_dist[c as usize] = d;
-            }
-            center_dist[w as usize] = 0;
-            dist[w as usize] = 0;
-            touched.push(w);
-            queue.push_back(w);
-            while let Some(u) = queue.pop_front() {
-                let d = dist[u as usize];
-                visits += 1;
-                let covered = l_out[u as usize].iter().any(|&(c, dc)| {
-                    center_dist[c as usize] != INFINITE_DISTANCE
-                        && dc + center_dist[c as usize] <= d
-                });
-                if covered {
-                    continue;
-                }
-                l_out[u as usize].push((w, d));
-                for &v in rev.successors(u) {
-                    if dist[v as usize] == INFINITE_DISTANCE {
-                        dist[v as usize] = d + 1;
-                        touched.push(v);
-                        queue.push_back(v);
-                    }
-                }
-            }
-            for &t in &touched {
-                dist[t as usize] = INFINITE_DISTANCE;
-            }
-            touched.clear();
-            for &(c, _) in &l_in[w as usize] {
-                center_dist[c as usize] = INFINITE_DISTANCE;
-            }
-            center_dist[w as usize] = INFINITE_DISTANCE;
-        }
+        let cover = cover::build_cover(g, opts);
+        let report = cover.report;
+        let (mut l_in, mut l_out, visits) = (cover.l_in, cover.l_out, cover.visits);
 
         // Label lists were appended in center-rank order; queries need them
         // sorted by center id for the merge intersection.
@@ -175,14 +107,15 @@ impl HopiIndex {
             out_entries: l_out.iter().map(Vec::len).sum(),
             visits,
         };
-        Self {
+        let index = Self {
             l_in,
             l_out,
             in_index,
             out_index,
             node_labels: node_labels.to_vec(),
             stats,
-        }
+        };
+        (index, report)
     }
 
     /// Number of indexed nodes.

@@ -12,13 +12,18 @@
 //! HOPI computes an approximate minimum 2-hop cover with a set-cover greedy
 //! over densest subgraphs of the transitive closure, made tractable by a
 //! divide-and-conquer partitioning step. We build the same label structure
-//! with pruned breadth-first searches from centers in descending-degree
-//! order (the technique later formalised as pruned landmark labelling).
-//! The resulting index has identical query semantics, *exact* distances,
-//! and the same asymptotic size behaviour (small for tree-like data,
-//! growing with link density), while being robustly fast to build — which
-//! is what the paper's experiments need from the HOPI building block.
+//! with pruned breadth-first searches from ranked centers (the technique
+//! later formalised as pruned landmark labelling), staged over the SCC
+//! condensation exactly as the paper's divide-and-conquer prescribes:
+//! partition, cover each partition (in parallel), merge across
+//! partition-crossing edges (see [`cover`]). The resulting index has
+//! identical query semantics, *exact* distances, and the same asymptotic
+//! size behaviour (small for tree-like data, growing with link density),
+//! while being robustly fast to build — which is what the paper's
+//! experiments need from the HOPI building block.
 //!
+//! * [`cover`] — the staged (rank / partition / merge / parallel cover)
+//!   construction pipeline and its [`StageReport`].
 //! * [`labels::HopiIndex`] — the index: build, query, enumerate, size.
 //! * [`partitioned::UnconnectedHopi`] — the paper's §4.3 *Unconnected
 //!   HOPI*: partition the graph, index each partition separately, and leave
@@ -28,8 +33,10 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+pub mod cover;
 pub mod labels;
 pub mod partitioned;
 
+pub use cover::{CoverOptions, StageReport};
 pub use labels::{BuildStats, HopiIndex};
 pub use partitioned::UnconnectedHopi;

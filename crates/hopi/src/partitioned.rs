@@ -7,7 +7,7 @@
 //! partition-crossing edges are left to the query evaluator, exactly like
 //! FliX's cross-meta-document links. This type packages steps one and two.
 
-use crate::labels::HopiIndex;
+use crate::labels::{BuildStats, HopiIndex};
 use graphcore::{partition_greedy, Digraph, Distance, NodeId, Partitioning};
 
 /// Per-partition HOPI indexes plus the crossing edges.
@@ -20,6 +20,8 @@ pub struct UnconnectedHopi {
     local_of: Vec<u32>,
     /// Partition-crossing edges in global ids, sorted by source.
     crossing: Vec<(NodeId, NodeId)>,
+    /// Construction statistics summed over the per-partition builds.
+    stats: BuildStats,
 }
 
 impl UnconnectedHopi {
@@ -29,13 +31,16 @@ impl UnconnectedHopi {
         let partitioning = partition_greedy(g, max_size);
         let mut local_of = vec![0u32; g.node_count()];
         let mut indexes = Vec::with_capacity(partitioning.len());
+        let mut stats = BuildStats::default();
         for block in &partitioning.parts {
             let (sub, mapping) = g.induced_subgraph(block);
             for (local, &global) in mapping.iter().enumerate() {
                 local_of[global as usize] = local as u32;
             }
             let labels: Vec<u32> = mapping.iter().map(|&gl| node_labels[gl as usize]).collect();
-            indexes.push(HopiIndex::build(&sub, &labels));
+            let index = HopiIndex::build(&sub, &labels);
+            stats.absorb(index.stats());
+            indexes.push(index);
         }
         let mut crossing: Vec<(NodeId, NodeId)> = g
             .edges()
@@ -47,7 +52,14 @@ impl UnconnectedHopi {
             indexes,
             local_of,
             crossing,
+            stats,
         }
+    }
+
+    /// Construction statistics aggregated across every partition's build
+    /// (entry counts and BFS visits summed in partition order).
+    pub fn stats(&self) -> BuildStats {
+        self.stats
     }
 
     /// The partitioning used.
@@ -195,6 +207,21 @@ mod tests {
             let p = uh.partition_of(u);
             assert_eq!(uh.global_id(p, uh.local_id(u)), u);
         }
+    }
+
+    #[test]
+    fn stats_aggregate_across_partitions() {
+        let g = bridged();
+        let uh = UnconnectedHopi::build(&g, &[0; 6], 3);
+        let summed = (0..uh.partitioning().len() as u32)
+            .map(|p| uh.index_of_partition(p).stats())
+            .fold(BuildStats::default(), |mut acc, s| {
+                acc.absorb(s);
+                acc
+            });
+        assert_eq!(uh.stats(), summed);
+        assert_eq!(uh.stats().total_entries(), uh.label_entries());
+        assert!(uh.stats().visits > 0);
     }
 
     #[test]

@@ -58,6 +58,38 @@ proptest! {
     }
 
     #[test]
+    fn staged_hopi_cover_matches_oracle_across_partitions(
+        g in arb_graph(40, 120),
+        cap in 2usize..10,
+        threads in 1usize..5,
+    ) {
+        // Tiny partition caps guarantee the staged pipeline's merge stage
+        // (border sweeps over partition-crossing edges) does real work:
+        // correctness of the merged cover is exactly what's under test.
+        let labels = arb_labels(&g, 5);
+        let opts = hopi::CoverOptions {
+            threads,
+            partition_cap: cap,
+            ..hopi::CoverOptions::default()
+        };
+        let (idx, report) = HopiIndex::build_staged(&g, &labels, &opts);
+        let tc = TransitiveClosure::build(&g);
+        let oracle = DistanceOracle::new(&g);
+        for u in 0..g.node_count() as u32 {
+            for v in 0..g.node_count() as u32 {
+                prop_assert_eq!(
+                    idx.is_reachable(u, v), tc.reaches(u, v),
+                    "reach {} -> {} (cap {}, {} partitions, {} borders)",
+                    u, v, cap, report.partitions, report.border_centers
+                );
+                let want = oracle.distance(u, v);
+                let got = idx.distance(u, v).unwrap_or(INFINITE_DISTANCE);
+                prop_assert_eq!(got, want, "distance {} -> {} (cap {})", u, v, cap);
+            }
+        }
+    }
+
+    #[test]
     fn hopi_descendants_sorted_and_complete(g in arb_graph(30, 80)) {
         let labels = arb_labels(&g, 4);
         let idx = HopiIndex::build(&g, &labels);
