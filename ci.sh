@@ -24,4 +24,7 @@ FLIX_BUILD_THREADS=0 cargo test -q --workspace
 echo "== cargo bench --no-run (benches must keep compiling)"
 cargo bench --no-run --workspace
 
+echo "== repro query smoke test (observability layer end to end)"
+cargo run -q -p bench --bin repro -- query --scale 0.02
+
 echo "CI green."

@@ -6,9 +6,16 @@
 //! ```
 //!
 //! Subcommands: `table1`, `figure5`, `errors`, `connect`, `hybrid`,
-//! `ablation-partition`, `ablation-dedup`, `build`, `hopi`, `all`. The
-//! default corpus is the paper's scale (6,210 documents); `--scale F`
-//! shrinks it.
+//! `ablation-partition`, `ablation-dedup`, `query`, `build`, `hopi`,
+//! `all`. The default corpus is the paper's scale (6,210 documents);
+//! `--scale F` shrinks it.
+//!
+//! `query` exercises the query-path observability layer: every strategy
+//! runs the same DBLP and random-cyclic workloads under one shared
+//! [`flixobs::MetricsRegistry`], the table reports latency percentiles
+//! straight from the histogram snapshots, the slow-query log surfaces the
+//! worst traces, and the registry is persisted to `BENCH_query.json`
+//! together with a Prometheus text exposition.
 //!
 //! `build` compares sequential vs parallel meta-document index builds,
 //! prints each build's [`flix::BuildReport`], and writes the machine-
@@ -40,7 +47,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut check = false;
     let mut commands: Vec<String> = Vec::new();
-    const KNOWN: [&str; 11] = [
+    const KNOWN: [&str; 12] = [
         "all",
         "table1",
         "figure5",
@@ -50,6 +57,7 @@ fn main() {
         "ablation-partition",
         "ablation-dedup",
         "figure5-disk",
+        "query",
         "build",
         "hopi",
     ];
@@ -158,6 +166,9 @@ fn main() {
     if wants("figure5-disk") {
         figure5_disk(&cg, &built);
     }
+    if wants("query") {
+        query_bench(&cg, &built, scale);
+    }
     if wants("build") {
         build_bench(&cg);
     }
@@ -261,6 +272,248 @@ fn hopi_bench(cg: &Arc<CollectionGraph>) {
     match std::fs::write("BENCH_hopi.json", &json) {
         Ok(()) => println!("wrote BENCH_hopi.json\n"),
         Err(e) => eprintln!("warning: could not write BENCH_hopi.json: {e}"),
+    }
+}
+
+/// `query`: the query-path observability layer end to end. Every strategy
+/// runs the same DBLP and random-cyclic web workloads under one shared
+/// [`flixobs::MetricsRegistry`]; the table reads latency percentiles from
+/// the histogram snapshots; the slow-query log surfaces the worst traces;
+/// the query cache, the index buffer pool, and the §7 load monitor publish
+/// into the same registry; and the whole snapshot lands in
+/// `BENCH_query.json` (percentiles per strategy plus the Prometheus text
+/// exposition).
+fn query_bench(cg: &Arc<CollectionGraph>, built: &[(FlixConfig, Arc<Flix>, Duration)], scale: f64) {
+    use flix::{CachedFlix, DiskFlix, LoadMonitor, QueryPathMetrics, Recommendation};
+    use flixobs::registry::json_escape;
+    use flixobs::{MetricsRegistry, SlowQuery};
+    use pagestore::{BlobStore, BufferPool, DiskManager, MemDisk};
+    use std::ops::ControlFlow;
+    use workloads::{generate_web, ConnectionPair, WebConfig};
+
+    println!("== Query-path observability: metrics registry, traces, slow-query log ==");
+    let registry = MetricsRegistry::new();
+
+    // Workload 1: the paper's DBLP corpus — mixed descendant queries, the
+    // Figure-5 query, and a batch of connection tests.
+    let mut dblp_queries: Vec<(NodeId, u32)> = descendant_queries(cg, 24, 11)
+        .into_iter()
+        .map(|q| (q.start, q.target_tag))
+        .collect();
+    dblp_queries.push((figure5_start(cg), figure5_tag(cg)));
+    let dblp_pairs = connection_pairs(cg, 12, 17);
+
+    // Workload 2: a random-cyclic web collection — the graph shape the
+    // paper's HOPI partitioning exists for.
+    let web_cfg = WebConfig {
+        documents: ((150.0 * scale) as usize).max(20),
+        elements_per_doc: 50,
+        ..WebConfig::default()
+    };
+    let web_cg = Arc::new(generate_web(&web_cfg).seal());
+    let ws = web_cg.stats();
+    println!(
+        "web workload corpus: {} docs, {} elements, {} links",
+        ws.documents, ws.elements, ws.links
+    );
+    let web_built: Vec<(FlixConfig, Arc<Flix>)> = paper_configs()
+        .into_iter()
+        .map(|c| (c, Arc::new(Flix::build(web_cg.clone(), c))))
+        .collect();
+    let web_queries: Vec<(NodeId, u32)> = descendant_queries(&web_cg, 16, 7)
+        .into_iter()
+        .map(|q| (q.start, q.target_tag))
+        .collect();
+    let web_pairs = connection_pairs(&web_cg, 8, 9);
+
+    fn run_workload(
+        flix: &Flix,
+        obs: &QueryPathMetrics,
+        queries: &[(NodeId, u32)],
+        pairs: &[ConnectionPair],
+    ) {
+        for &(start, tag) in queries {
+            let label = format!("{start}//tag{tag}");
+            let _ = obs.find_descendants(flix, start, tag, &QueryOptions::default(), &label);
+        }
+        for p in pairs {
+            let label = format!("{}=>{}", p.from, p.to);
+            let _ = obs.connection_test(flix, p.from, p.to, &QueryOptions::default(), &label);
+        }
+    }
+
+    let mut observed: Vec<(&'static str, String, QueryPathMetrics)> = Vec::new();
+    for (config, flix, _) in built {
+        let name = config.to_string();
+        let obs = QueryPathMetrics::register(&registry, &[("config", &name), ("workload", "dblp")]);
+        run_workload(flix, &obs, &dblp_queries, &dblp_pairs);
+        observed.push(("dblp", name, obs));
+    }
+    for (config, flix) in &web_built {
+        let name = config.to_string();
+        let obs = QueryPathMetrics::register(&registry, &[("config", &name), ("workload", "web")]);
+        run_workload(flix, &obs, &web_queries, &web_pairs);
+        observed.push(("web", name, obs));
+    }
+
+    rule(112);
+    println!(
+        "{:<12} {:<6} {:>4} {:>11} {:>11} {:>11} {:>11} {:>9} {:>9} {:>9}",
+        "config", "load", "q", "p50", "p95", "p99", "max", "pops/q", "rows/q", "res/q"
+    );
+    rule(112);
+    let counter = |name: &str, config: &str, workload: &str| {
+        registry
+            .counter_with(name, &[("config", config), ("workload", workload)])
+            .get()
+    };
+    for (workload, name, obs) in &observed {
+        let lat = obs.latency().snapshot();
+        let q = obs.queries().max(1) as f64;
+        println!(
+            "{:<12} {:<6} {:>4} {:>11.1?} {:>11.1?} {:>11.1?} {:>11.1?} {:>9.1} {:>9.1} {:>9.1}",
+            name,
+            workload,
+            obs.queries(),
+            Duration::from_micros(lat.p50()),
+            Duration::from_micros(lat.p95()),
+            Duration::from_micros(lat.p99()),
+            Duration::from_micros(lat.max),
+            counter("flix_entries_popped_total", name, workload) as f64 / q,
+            counter("flix_rows_scanned_total", name, workload) as f64 / q,
+            counter("flix_results_total", name, workload) as f64 / q,
+        );
+    }
+    rule(112);
+    println!(
+        "percentiles come from the shared registry's log2-bucket histograms; the same numbers\n\
+         are in BENCH_query.json and the Prometheus exposition below it\n"
+    );
+
+    // The worst traces across every strategy and workload, from the
+    // per-path slow-query logs.
+    let mut worst: Vec<(String, SlowQuery)> = Vec::new();
+    for (workload, name, obs) in &observed {
+        for sq in obs.slow_queries() {
+            worst.push((format!("{name}/{workload}"), sq));
+        }
+    }
+    worst.sort_by_key(|w| std::cmp::Reverse(w.1.trace.total_micros()));
+    println!(
+        "slow-query log (worst {} of {} retained traces):",
+        worst.len().min(5),
+        worst.len()
+    );
+    for (who, sq) in worst.iter().take(5) {
+        println!("  [{who}] {}", sq.trace.summary());
+    }
+    println!();
+
+    // A repeat-heavy client in front of the deployed strategy: the query
+    // cache publishes its live counters into the same registry.
+    let (deployed_cfg, deployed, _) = &built[built.len() - 1];
+    let cache = CachedFlix::new(Arc::clone(deployed), 8);
+    cache.publish_metrics(&registry, &[("cache", "query")]);
+    for _ in 0..3 {
+        for &(start, tag) in dblp_queries.iter().take(6) {
+            let _ = cache.find_descendants(start, tag, &QueryOptions::default());
+        }
+    }
+    for &(start, tag) in dblp_queries.iter().take(12) {
+        let _ = cache.find_descendants(start, tag, &QueryOptions::default());
+    }
+    let cs = cache.cache_stats();
+    println!(
+        "query cache in front of {}: {} hits, {} misses, {} evictions, {} invalidations",
+        deployed_cfg, cs.hits, cs.misses, cs.evictions, cs.invalidations
+    );
+
+    // The same strategy served from the page store through a small buffer
+    // pool: pool and disk I/O counters land in the registry too.
+    let disk = Arc::new(MemDisk::new());
+    let pool = Arc::new(BufferPool::new(disk.clone(), 64));
+    let store = BlobStore::new(pool.clone());
+    match DiskFlix::save_and_open(deployed, store, "fw", 4) {
+        Ok(dflix) => {
+            let results = dflix
+                .find_descendants(figure5_start(cg), figure5_tag(cg), &QueryOptions::default())
+                .map_or(0, |r| r.len());
+            pool.publish_metrics(&registry, &[("pool", "index")]);
+            let ps = pool.pool_stats();
+            println!(
+                "disk-resident {}: {} results; pool {} hits / {} misses / {} evictions, \
+                 {} pages read from disk",
+                deployed_cfg,
+                results,
+                ps.hits,
+                ps.misses,
+                ps.evictions,
+                disk.stats().reads
+            );
+        }
+        Err(e) => println!("disk-resident {deployed_cfg}: persist failed: {e}"),
+    }
+
+    // §7's self-tuning loop reads the same query load the metrics describe.
+    let mut monitor = LoadMonitor::new();
+    for &(start, tag) in &dblp_queries {
+        let mut results = 0usize;
+        let stats =
+            deployed.for_each_descendant_traced(start, tag, &QueryOptions::default(), |_, _| {
+                results += 1;
+                ControlFlow::Continue(())
+            });
+        monitor.record(stats, results);
+    }
+    monitor.publish(&registry);
+    match monitor.recommend(*deployed_cfg, 10) {
+        Recommendation::Keep => {
+            println!(
+                "load monitor: keep {deployed_cfg} (lookups/q {:.1}, rows/result {:.1})\n",
+                monitor.avg_lookups(),
+                monitor.rows_per_result()
+            );
+        }
+        Recommendation::Rebuild { suggestion, reason } => {
+            println!("load monitor: rebuild {deployed_cfg} as {suggestion} — {reason}\n");
+        }
+    }
+
+    // Persist: per-strategy percentile entries, the full snapshot, and the
+    // Prometheus text exposition (escaped into one JSON string).
+    let snapshot = registry.snapshot();
+    let mut entries: Vec<String> = Vec::new();
+    for (workload, name, obs) in &observed {
+        let lat = obs.latency().snapshot();
+        entries.push(format!(
+            "    {{\"config\": \"{}\", \"workload\": \"{workload}\", \"queries\": {}, \
+             \"p50_micros\": {}, \"p95_micros\": {}, \"p99_micros\": {}, \"max_micros\": {}, \
+             \"mean_micros\": {:.1}, \"entries_popped\": {}, \"entries_subsumed\": {}, \
+             \"rows_scanned\": {}, \"links_expanded\": {}, \"results\": {}}}",
+            json_escape(name),
+            obs.queries(),
+            lat.p50(),
+            lat.p95(),
+            lat.p99(),
+            lat.max,
+            lat.mean(),
+            counter("flix_entries_popped_total", name, workload),
+            counter("flix_entries_subsumed_total", name, workload),
+            counter("flix_rows_scanned_total", name, workload),
+            counter("flix_links_expanded_total", name, workload),
+            counter("flix_results_total", name, workload),
+        ));
+    }
+    let snapshot_json = snapshot.to_json().replace('\n', "\n  ");
+    let json = format!(
+        "{{\n  \"strategies\": [\n{}\n  ],\n  \"snapshot\": {snapshot_json},\n  \
+         \"prometheus\": \"{}\"\n}}\n",
+        entries.join(",\n"),
+        json_escape(&snapshot.to_prometheus())
+    );
+    match std::fs::write("BENCH_query.json", &json) {
+        Ok(()) => println!("wrote BENCH_query.json\n"),
+        Err(e) => eprintln!("warning: could not write BENCH_query.json: {e}"),
     }
 }
 

@@ -7,10 +7,11 @@
 #![warn(missing_docs)]
 
 use flix::{Flix, FlixConfig, PeeStats, QueryOptions, StrategyKind};
+use flixobs::Stopwatch;
 use graphcore::{bfs_distances, NodeId};
 use std::ops::ControlFlow;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use workloads::{generate_dblp, DblpConfig};
 use xmlgraph::CollectionGraph;
 
@@ -81,7 +82,7 @@ pub fn figure5_tag(cg: &CollectionGraph) -> u32 {
 
 /// Wall-clock of one closure.
 pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let r = f();
     (r, t0.elapsed())
 }
@@ -90,7 +91,7 @@ pub fn time_once<R>(f: impl FnOnce() -> R) -> (R, Duration) {
 pub fn time_median(runs: usize, mut f: impl FnMut()) -> Duration {
     let mut samples: Vec<Duration> = (0..runs.max(1))
         .map(|_| {
-            let t0 = Instant::now();
+            let t0 = Stopwatch::start();
             f();
             t0.elapsed()
         })
@@ -109,7 +110,7 @@ pub fn time_to_k_results(
     ks: &[usize],
 ) -> Vec<(usize, Duration)> {
     let mut stamps: Vec<Duration> = Vec::new();
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     flix.for_each_descendant(start, tag, &QueryOptions::default(), |_| {
         stamps.push(t0.elapsed());
         ControlFlow::Continue(())

@@ -18,6 +18,7 @@
 
 use crate::framework::Flix;
 use crate::pee::{QueryOptions, QueryResult};
+use flixobs::{Counter, MetricId, MetricsRegistry};
 use graphcore::{Distance, NodeId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -67,8 +68,25 @@ pub struct CachedFlix {
     generation: AtomicU64,
     capacity: usize,
     inner: Mutex<CacheInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    invalidations: Counter,
+}
+
+/// Point-in-time cache counters: how lookups resolved and why entries
+/// left the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to evaluate the query.
+    pub misses: u64,
+    /// Entries displaced by LRU pressure at capacity.
+    pub evictions: u64,
+    /// Entries dropped on lookup because they were computed under an
+    /// older framework generation (see [`CachedFlix::attach`]).
+    pub invalidations: u64,
 }
 
 /// Serves `opts.max_results` from the full cached vector: a capped run
@@ -95,8 +113,10 @@ impl CachedFlix {
                 map: HashMap::new(),
                 tick: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            invalidations: Counter::new(),
         }
     }
 
@@ -141,17 +161,18 @@ impl CachedFlix {
             match inner.map.get_mut(&key) {
                 Some(entry) if entry.generation == generation => {
                     entry.stamp = tick;
-                    self.hits.fetch_add(1, Relaxed);
+                    self.hits.inc();
                     return clip(Arc::clone(&entry.results), opts.max_results);
                 }
                 Some(_) => {
                     // Computed under an older framework: never serve it.
                     inner.map.remove(&key);
+                    self.invalidations.inc();
                 }
                 None => {}
             }
         }
-        self.misses.fetch_add(1, Relaxed);
+        self.misses.inc();
         let flix = self.framework();
         // Evaluate uncapped so one entry serves every `max_results`.
         let full_opts = QueryOptions {
@@ -168,6 +189,7 @@ impl CachedFlix {
                 .map(|(k, _)| *k)
             {
                 inner.map.remove(&victim);
+                self.evictions.inc();
             }
         }
         let tick = inner.tick;
@@ -188,9 +210,35 @@ impl CachedFlix {
         self.inner.lock().map.clear();
     }
 
-    /// `(hits, misses)` counters.
+    /// `(hits, misses)` counters (kept for callers that predate
+    /// [`Self::cache_stats`]).
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// All cache counters, including why entries left the cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            invalidations: self.invalidations.get(),
+        }
+    }
+
+    /// Binds the cache's live counters into `registry` as
+    /// `flix_cache_{hits,misses,evictions,invalidations}_total`, tagged
+    /// with the given labels. The counters keep accumulating in place —
+    /// later snapshots see later values without re-binding.
+    pub fn publish_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        for (name, counter) in [
+            ("flix_cache_hits_total", &self.hits),
+            ("flix_cache_misses_total", &self.misses),
+            ("flix_cache_evictions_total", &self.evictions),
+            ("flix_cache_invalidations_total", &self.invalidations),
+        ] {
+            registry.bind_counter(MetricId::with_labels(name, labels), counter);
+        }
     }
 
     /// Number of cached queries.
@@ -317,6 +365,11 @@ mod tests {
             rebuilt.find_descendants(0, t, &QueryOptions::default())
         );
         assert_eq!(cached.stats(), (0, 2), "post-attach lookup is a miss");
+        // The stale entry is counted as a generation-mismatch invalidation,
+        // distinct from LRU evictions.
+        let s = cached.cache_stats();
+        assert_eq!(s.invalidations, 1, "stale entry dropped on lookup");
+        assert_eq!(s.evictions, 0, "no capacity pressure in this test");
         // ... and the re-cached entry serves hits again.
         cached.find_descendants(0, t, &QueryOptions::default());
         assert_eq!(cached.stats(), (1, 2));
@@ -331,11 +384,44 @@ mod tests {
         cached.find_descendants(0, t, &QueryOptions::default()); // touch A
         cached.find_descendants(2, t, &QueryOptions::default()); // evicts B
         assert_eq!(cached.len(), 2);
+        assert_eq!(cached.cache_stats().evictions, 1, "B displaced by LRU");
         let (h0, _) = cached.stats();
         cached.find_descendants(0, t, &QueryOptions::default()); // A still hot
         assert_eq!(cached.stats().0, h0 + 1);
         cached.find_descendants(1, t, &QueryOptions::default()); // B gone: miss
         assert_eq!(cached.stats().1, 4);
+        // Re-inserting B at capacity displaces another victim.
+        let s = cached.cache_stats();
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.invalidations, 0, "no generation changes in this test");
+    }
+
+    #[test]
+    fn publish_metrics_exports_live_counters() {
+        let (flix, t) = small();
+        let cached = CachedFlix::new(flix, 2);
+        let registry = MetricsRegistry::new();
+        cached.publish_metrics(&registry, &[("cache", "query")]);
+        cached.find_descendants(0, t, &QueryOptions::default());
+        cached.find_descendants(0, t, &QueryOptions::default());
+        // Counters bound before the traffic still see it: they share cells.
+        assert_eq!(
+            registry
+                .counter_with("flix_cache_hits_total", &[("cache", "query")])
+                .get(),
+            1
+        );
+        assert_eq!(
+            registry
+                .counter_with("flix_cache_misses_total", &[("cache", "query")])
+                .get(),
+            1
+        );
+        let text = registry.snapshot().to_prometheus();
+        assert!(
+            text.contains("flix_cache_hits_total{cache=\"query\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

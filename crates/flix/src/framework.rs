@@ -4,9 +4,10 @@ use crate::config::{BuildOptions, FlixConfig, StrategyKind};
 use crate::mdb::{build_meta_documents, plan_build_order};
 use crate::meta::{MetaDocument, MetaIndex};
 use crate::report::{BuildReport, MetaBuildReport};
+use flixobs::Stopwatch;
 use graphcore::{pool, NodeId};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use xmlgraph::CollectionGraph;
 
 /// Output of one per-meta build job: everything `build_with` needs to merge
@@ -30,7 +31,7 @@ fn build_one(
     opts: &BuildOptions,
     hopi_threads: usize,
 ) -> BuiltMeta {
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let (sub, mapping) = graph.graph.induced_subgraph(nodes);
     let labels: Vec<u32> = mapping.iter().map(|&g| graph.tag_of(g)).collect();
     let kind = pinned.unwrap_or_else(|| opts.selector.select(&sub));
@@ -45,7 +46,7 @@ fn build_one(
         strategy: index.kind(),
         nodes: mapping.len(),
         edges,
-        build_micros: started.elapsed().as_micros() as u64,
+        build_micros: started.elapsed_micros(),
         index_bytes: index.size_bytes(),
         dropped_links: extra_links.len(),
         stages,
@@ -104,12 +105,12 @@ impl Flix {
         config: FlixConfig,
         opts: &BuildOptions,
     ) -> Self {
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let n = graph.node_count();
         let plans = build_meta_documents(&graph, config);
-        let planning_micros = started.elapsed().as_micros() as u64;
+        let planning_micros = started.elapsed_micros();
 
-        let indexing_started = Instant::now();
+        let indexing_started = Stopwatch::start();
         // Split the budget between the per-meta level and HOPI's staged
         // pipeline: a monolithic plan keeps everything for the latter.
         let (threads, hopi_threads) =
@@ -120,9 +121,9 @@ impl Flix {
             let plan = &plans[mi];
             build_one(&graph, &plan.nodes, plan.strategy, opts, hopi_threads)
         });
-        let indexing_micros = indexing_started.elapsed().as_micros() as u64;
+        let indexing_micros = indexing_started.elapsed_micros();
 
-        let wiring_started = Instant::now();
+        let wiring_started = Stopwatch::start();
         let mut meta_of = vec![u32::MAX; n];
         let mut local_of = vec![u32::MAX; n];
         let mut metas = Vec::with_capacity(built.len());
@@ -169,7 +170,7 @@ impl Flix {
             m.link_targets.sort_unstable();
             m.link_targets.dedup();
         }
-        let wiring_micros = wiring_started.elapsed().as_micros() as u64;
+        let wiring_micros = wiring_started.elapsed_micros();
 
         let build_time = started.elapsed();
         let report = BuildReport {
@@ -247,7 +248,7 @@ impl Flix {
         {
             return Err("new graph is not an extension of the indexed collection".into());
         }
-        let started = std::time::Instant::now();
+        let started = Stopwatch::start();
         let mut meta_of = self.meta_of.clone();
         let mut local_of = self.local_of.clone();
         meta_of.resize(new_n, u32::MAX);

@@ -73,6 +73,8 @@ pub mod framework;
 pub mod mdb;
 /// Per-meta-document index wrappers and the link catalogs.
 pub mod meta;
+/// Query-path observability: registered metrics and the slow-query log.
+pub mod obs;
 /// The priority-queue query evaluator chasing runtime links (§5).
 pub mod pee;
 /// Persistence of built frameworks into a `pagestore` blob store.
@@ -88,11 +90,12 @@ pub mod tuning;
 /// Vague queries: tag similarity and distance-decayed scoring (§1).
 pub mod vague;
 
-pub use cache::CachedFlix;
+pub use cache::{CacheStats, CachedFlix};
 pub use config::{BuildOptions, FlixConfig, StrategyKind, StrategySelector};
 pub use diskexec::{DiskExecStats, DiskFlix};
 pub use framework::{Flix, FlixStats, MetaDocStats};
 pub use meta::{MetaDocument, MetaIndex};
+pub use obs::QueryPathMetrics;
 pub use pee::{PeeStats, QueryOptions, QueryResult, ResultStream};
 pub use query::{PathQuery, QueryBinding, QueryEngine};
 pub use report::{BuildReport, MetaBuildReport};

@@ -16,6 +16,7 @@
 //! already been returned and is skipped.
 
 use crate::framework::Flix;
+use flixobs::{QueryTrace, SpanCounters, SpanStage, Stopwatch};
 use graphcore::{Distance, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -107,6 +108,27 @@ impl PeeStats {
     }
 }
 
+impl From<PeeStats> for SpanCounters {
+    fn from(s: PeeStats) -> Self {
+        SpanCounters {
+            entries_popped: s.entries_popped as u64,
+            entries_subsumed: s.entries_subsumed as u64,
+            rows_scanned: s.block_results_scanned as u64,
+            links_expanded: s.links_expanded as u64,
+        }
+    }
+}
+
+/// Counter delta between two evaluator snapshots, for span attribution.
+fn counters_since(before: &PeeStats, after: &PeeStats) -> SpanCounters {
+    SpanCounters {
+        entries_popped: (after.entries_popped - before.entries_popped) as u64,
+        entries_subsumed: (after.entries_subsumed - before.entries_subsumed) as u64,
+        rows_scanned: (after.block_results_scanned - before.block_results_scanned) as u64,
+        links_expanded: (after.links_expanded - before.links_expanded) as u64,
+    }
+}
+
 /// Direction of an axis evaluation.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Axis {
@@ -147,9 +169,55 @@ impl Flix {
             opts,
             Axis::Descendants,
             &mut stats,
+            None,
             emit,
         );
         stats
+    }
+
+    /// Like [`Self::for_each_descendant_traced`], but additionally records
+    /// timed spans (queue pop → block fetch → link expansion) into `trace`
+    /// and stamps the query's end-to-end latency via
+    /// [`QueryTrace::finish`]. Tracing only observes the evaluation: the
+    /// result stream is identical with and without it (proven by test).
+    pub fn for_each_descendant_with_trace(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+        trace: &mut QueryTrace,
+        emit: impl FnMut(QueryResult, PeeStats) -> ControlFlow<()>,
+    ) -> PeeStats {
+        let sw = Stopwatch::start();
+        let mut stats = PeeStats::default();
+        self.evaluate_axis_traced(
+            &[(start, 0)],
+            target,
+            opts,
+            Axis::Descendants,
+            &mut stats,
+            Some(trace),
+            emit,
+        );
+        trace.finish(sw.elapsed_micros());
+        stats
+    }
+
+    /// `a//B` collected into a vector, with a full per-query trace and the
+    /// final evaluation counters.
+    pub fn find_descendants_with_trace(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+        trace: &mut QueryTrace,
+    ) -> (Vec<QueryResult>, PeeStats) {
+        let mut out = Vec::new();
+        let stats = self.for_each_descendant_with_trace(start, target, opts, trace, |r, _| {
+            out.push(r);
+            ControlFlow::Continue(())
+        });
+        (out, stats)
     }
 
     /// `a//B` collected into a vector.
@@ -357,10 +425,18 @@ impl Flix {
         mut emit: impl FnMut(QueryResult) -> ControlFlow<()>,
     ) {
         let mut stats = PeeStats::default();
-        self.evaluate_axis_traced(seeds, target, opts, axis, &mut stats, |r, _| emit(r));
+        self.evaluate_axis_traced(seeds, target, opts, axis, &mut stats, None, |r, _| emit(r));
     }
 
     /// The instrumented core of the evaluator.
+    ///
+    /// With `trace` set, every queue pop (including the §5.1 subsumption
+    /// check), meta-index block materialisation, and link-expansion step is
+    /// recorded as a timed span carrying the counter deltas charged during
+    /// it. The trace is write-only from the evaluator's point of view — no
+    /// branch of the algorithm consults it — so the emitted result stream
+    /// is bit-identical with tracing on and off.
+    #[allow(clippy::too_many_arguments)]
     fn evaluate_axis_traced(
         &self,
         seeds: &[(NodeId, Distance)],
@@ -368,8 +444,10 @@ impl Flix {
         opts: &QueryOptions,
         axis: Axis,
         stats: &mut PeeStats,
+        mut trace: Option<&mut QueryTrace>,
         mut emit: impl FnMut(QueryResult, PeeStats) -> ControlFlow<()>,
     ) {
+        let trace_clock = trace.as_ref().map(|_| Stopwatch::start());
         let mut queue: BinaryHeap<Reverse<(Distance, NodeId, bool)>> = BinaryHeap::new();
         let mut entries: Vec<Vec<u32>> = vec![Vec::new(); self.meta_count()];
         let mut returned = 0usize;
@@ -423,6 +501,8 @@ impl Flix {
                     break;
                 }
             }
+            let pop_t0 = trace_clock.map(|c| c.elapsed_micros());
+            let pop_before = *stats;
             let meta = self.meta_of(e);
             let local = self.local_of(e);
             let md = self.meta(meta);
@@ -439,14 +519,27 @@ impl Flix {
             };
             if subsumed {
                 stats.entries_subsumed += 1;
+            } else {
+                stats.entries_popped += 1;
+            }
+            if let (Some(tr), Some(c), Some(t0)) = (trace.as_deref_mut(), trace_clock, pop_t0) {
+                tr.record(
+                    SpanStage::QueuePop,
+                    t0,
+                    c.elapsed_micros().saturating_sub(t0),
+                    counters_since(&pop_before, stats),
+                );
+            }
+            if subsumed {
                 continue;
             }
-            stats.entries_popped += 1;
 
             // Answer the block within this meta document. The whole block
             // is materialised before any result is emitted, so its lookup
             // work is charged up front.
             let include_self = if is_seed { opts.include_start } else { true };
+            let fetch_t0 = trace_clock.map(|c| c.elapsed_micros());
+            let fetch_before = *stats;
             let block = match axis {
                 Axis::Descendants => {
                     let (block, work) =
@@ -463,6 +556,16 @@ impl Flix {
                     block
                 }
             };
+            // The span covers only the block materialisation, not the emit
+            // callbacks below — client time is not evaluator time.
+            if let (Some(tr), Some(c), Some(t0)) = (trace.as_deref_mut(), trace_clock, fetch_t0) {
+                tr.record(
+                    SpanStage::BlockFetch,
+                    t0,
+                    c.elapsed_micros().saturating_sub(t0),
+                    counters_since(&fetch_before, stats),
+                );
+            }
             for (r, dr) in block {
                 // §5.1 step 2: skip results an earlier entry already
                 // returned. (Exact mode dedups through the best map.)
@@ -504,6 +607,8 @@ impl Flix {
             }
 
             // Expand runtime links (Fig. 4's `findReachableLinks`).
+            let link_t0 = trace_clock.map(|c| c.elapsed_micros());
+            let link_before = *stats;
             match axis {
                 Axis::Descendants => {
                     for (ls, dls) in md.reachable_link_sources(local) {
@@ -523,6 +628,14 @@ impl Flix {
                         }
                     }
                 }
+            }
+            if let (Some(tr), Some(c), Some(t0)) = (trace.as_deref_mut(), trace_clock, link_t0) {
+                tr.record(
+                    SpanStage::LinkExpand,
+                    t0,
+                    c.elapsed_micros().saturating_sub(t0),
+                    counters_since(&link_before, stats),
+                );
             }
             entries[meta as usize].push(local);
         }
@@ -1131,6 +1244,7 @@ mod tests {
                 &QueryOptions::default(),
                 Axis::Ancestors,
                 &mut stats,
+                None,
                 |r, _| {
                     out.push(r);
                     ControlFlow::Continue(())
@@ -1144,6 +1258,110 @@ mod tests {
                 "config {config}: scanned {} < returned {}",
                 stats.block_results_scanned,
                 out.len()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_reflect_work_done_when_emit_breaks_early() {
+        let cg = chain3();
+        let b = cg.collection.tags.get("b").unwrap();
+        for config in all_configs() {
+            let flix = Flix::build(cg.clone(), config);
+            // Full evaluation, for reference.
+            let mut full = PeeStats::default();
+            flix.for_each_descendant_traced(0, b, &QueryOptions::default(), |r, s| {
+                full = s;
+                let _ = r;
+                ControlFlow::Continue(())
+            });
+            // Break after the first result: counters must reflect the work
+            // actually performed up to the break — at least one pop and the
+            // rows of the first materialised block — but no more than the
+            // full run, and critically *not* zero.
+            let mut early = PeeStats::default();
+            let mut seen = 0usize;
+            flix.for_each_descendant_traced(0, b, &QueryOptions::default(), |_, s| {
+                early = s;
+                seen += 1;
+                ControlFlow::Break(())
+            });
+            assert_eq!(seen, 1, "config {config}");
+            assert!(early.entries_popped >= 1, "config {config}: {early:?}");
+            assert!(
+                early.block_results_scanned >= 1,
+                "config {config}: {early:?}"
+            );
+            assert!(
+                early.entries_popped <= full.entries_popped,
+                "config {config}"
+            );
+            assert!(
+                early.block_results_scanned <= full.block_results_scanned,
+                "config {config}"
+            );
+        }
+    }
+
+    #[test]
+    fn stats_under_exact_order_charge_work_not_results() {
+        let cg = chain3();
+        let b = cg.collection.tags.get("b").unwrap();
+        for config in all_configs() {
+            let flix = Flix::build(cg.clone(), config);
+            // top-1 in exact mode: the evaluator must keep popping until
+            // the queue bound proves the first result final, so the work
+            // counters exceed what one returned result alone would charge.
+            let opts = QueryOptions {
+                exact_order: true,
+                max_results: Some(1),
+                ..QueryOptions::default()
+            };
+            let mut stats = PeeStats::default();
+            let mut results = Vec::new();
+            flix.for_each_descendant_traced(0, b, &opts, |r, s| {
+                stats = s;
+                results.push(r);
+                ControlFlow::Continue(())
+            });
+            assert_eq!(results.len(), 1, "config {config}");
+            assert!(stats.entries_popped >= 1, "config {config}: {stats:?}");
+            assert!(
+                stats.block_results_scanned >= results.len(),
+                "config {config}: counters must cover the work done, got {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_evaluation_matches_untraced_and_records_spans() {
+        use flixobs::{QueryTrace, SpanStage};
+        let cg = chain3();
+        let b = cg.collection.tags.get("b").unwrap();
+        for config in all_configs() {
+            let flix = Flix::build(cg.clone(), config);
+            let plain = flix.find_descendants(0, b, &QueryOptions::default());
+            let mut trace = QueryTrace::new("0//b");
+            let (traced, stats) =
+                flix.find_descendants_with_trace(0, b, &QueryOptions::default(), &mut trace);
+            assert_eq!(plain, traced, "config {config}");
+            // Span counters reconcile exactly with the evaluator counters.
+            let c = trace.counters();
+            assert_eq!(c.entries_popped, stats.entries_popped as u64, "{config}");
+            assert_eq!(
+                c.rows_scanned, stats.block_results_scanned as u64,
+                "{config}"
+            );
+            assert_eq!(c.links_expanded, stats.links_expanded as u64, "{config}");
+            assert_eq!(
+                trace.stage_totals(SpanStage::QueuePop).spans,
+                (stats.entries_popped + stats.entries_subsumed) as u64,
+                "one pop span per queue entry processed, config {config}"
+            );
+            assert_eq!(
+                trace.stage_totals(SpanStage::BlockFetch).spans,
+                stats.entries_popped as u64,
+                "one fetch span per answered entry, config {config}"
             );
         }
     }

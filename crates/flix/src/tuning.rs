@@ -15,6 +15,7 @@
 use crate::config::{FlixConfig, StrategyKind};
 use crate::pee::PeeStats;
 use crate::report::BuildReport;
+use flixobs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated query-load statistics.
@@ -23,6 +24,7 @@ pub struct LoadMonitor {
     queries: u64,
     entries_popped: u64,
     entries_subsumed: u64,
+    block_results_scanned: u64,
     links_expanded: u64,
     results: u64,
 }
@@ -52,6 +54,7 @@ impl LoadMonitor {
         self.queries += 1;
         self.entries_popped += stats.entries_popped as u64;
         self.entries_subsumed += stats.entries_subsumed as u64;
+        self.block_results_scanned += stats.block_results_scanned as u64;
         self.links_expanded += stats.links_expanded as u64;
         self.results += results as u64;
     }
@@ -79,6 +82,46 @@ impl LoadMonitor {
         }
     }
 
+    /// Mean index rows scanned per query (row fetches in the paper's
+    /// database-backed deployment).
+    pub fn avg_rows_scanned(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.block_results_scanned as f64 / self.queries as f64
+        }
+    }
+
+    /// Index rows scanned per returned result — the selectivity of the
+    /// current meta-document layout. This is the load monitor's proxy for
+    /// the paper's DB round-trip cost: a high ratio means each lookup
+    /// fetches many rows that never become answers. Result-less loads are
+    /// normalised per query instead, so wasted scans still register.
+    pub fn rows_per_result(&self) -> f64 {
+        if self.results > 0 {
+            self.block_results_scanned as f64 / self.results as f64
+        } else {
+            self.avg_rows_scanned()
+        }
+    }
+
+    /// Publishes the monitor's aggregates as `flix_load_*` gauges, so a
+    /// metrics snapshot carries the same signals [`Self::recommend`] acts
+    /// on.
+    pub fn publish(&self, registry: &MetricsRegistry) {
+        registry.gauge("flix_load_queries").set(self.queries as f64);
+        registry
+            .gauge("flix_load_avg_lookups")
+            .set(self.avg_lookups());
+        registry.gauge("flix_load_avg_links").set(self.avg_links());
+        registry
+            .gauge("flix_load_avg_rows_scanned")
+            .set(self.avg_rows_scanned());
+        registry
+            .gauge("flix_load_rows_per_result")
+            .set(self.rows_per_result());
+    }
+
     /// Verdict for the current configuration.
     ///
     /// `min_queries` guards against deciding on too small a sample.
@@ -90,19 +133,7 @@ impl LoadMonitor {
         // Most queries follow many links: meta documents are too small for
         // this load (§7's trigger condition).
         if lookups > 8.0 {
-            let suggestion = match current {
-                FlixConfig::Naive => FlixConfig::MaximalPpo,
-                FlixConfig::MaximalPpo => FlixConfig::UnconnectedHopi {
-                    partition_size: 5_000,
-                },
-                FlixConfig::UnconnectedHopi { partition_size } => FlixConfig::UnconnectedHopi {
-                    partition_size: partition_size.saturating_mul(4),
-                },
-                FlixConfig::Hybrid { partition_size } => FlixConfig::Hybrid {
-                    partition_size: partition_size.saturating_mul(4),
-                },
-                FlixConfig::Monolithic(k) => FlixConfig::Monolithic(k),
-            };
+            let suggestion = grown(current);
             if suggestion == current {
                 return Recommendation::Keep;
             }
@@ -113,6 +144,29 @@ impl LoadMonitor {
                      would answer them in fewer hops"
                 ),
             };
+        }
+        // Each returned result costs many fetched index rows: the layout's
+        // selectivity is poor — the DB-round-trip cost the paper's
+        // deployment pays per row fetch. APEX's structural summary scans
+        // candidate elements, so swap it for HOPI's two-hop labels first;
+        // otherwise larger meta documents amortise the scans.
+        let rows = self.rows_per_result();
+        if rows > 32.0 {
+            let suggestion = match current {
+                FlixConfig::Monolithic(StrategyKind::Apex) => {
+                    FlixConfig::Monolithic(StrategyKind::Hopi)
+                }
+                other => grown(other),
+            };
+            if suggestion != current {
+                return Recommendation::Rebuild {
+                    suggestion,
+                    reason: format!(
+                        "queries scan {rows:.1} index rows per returned result; a more \
+                         selective index layout would cut the row-fetch cost"
+                    ),
+                };
+            }
         }
         // Queries stay within one meta document but the index is the
         // all-in-one HOPI: partitioning sheds label size with no query-time
@@ -164,6 +218,23 @@ impl LoadMonitor {
     }
 }
 
+/// The "make meta documents bigger" ladder shared by the rebuild triggers.
+fn grown(current: FlixConfig) -> FlixConfig {
+    match current {
+        FlixConfig::Naive => FlixConfig::MaximalPpo,
+        FlixConfig::MaximalPpo => FlixConfig::UnconnectedHopi {
+            partition_size: 5_000,
+        },
+        FlixConfig::UnconnectedHopi { partition_size } => FlixConfig::UnconnectedHopi {
+            partition_size: partition_size.saturating_mul(4),
+        },
+        FlixConfig::Hybrid { partition_size } => FlixConfig::Hybrid {
+            partition_size: partition_size.saturating_mul(4),
+        },
+        FlixConfig::Monolithic(k) => FlixConfig::Monolithic(k),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +245,15 @@ mod tests {
             entries_subsumed: 0,
             block_results_scanned: 0,
             links_expanded: links,
+        }
+    }
+
+    fn stats_rows(popped: usize, rows: usize) -> PeeStats {
+        PeeStats {
+            entries_popped: popped,
+            entries_subsumed: 0,
+            block_results_scanned: rows,
+            links_expanded: 0,
         }
     }
 
@@ -303,5 +383,74 @@ mod tests {
         assert_eq!(m.queries(), 2);
         assert!((m.avg_lookups() - 3.0).abs() < 1e-9);
         assert!((m.avg_links() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_scanned_are_accumulated_not_dropped() {
+        let mut m = LoadMonitor::new();
+        m.record(stats_rows(1, 100), 2);
+        m.record(stats_rows(1, 50), 1);
+        assert!((m.avg_rows_scanned() - 75.0).abs() < 1e-9);
+        assert!((m.rows_per_result() - 50.0).abs() < 1e-9);
+        // Result-less load: normalise per query, so waste still shows.
+        let mut empty = LoadMonitor::new();
+        empty.record(stats_rows(1, 40), 0);
+        assert!((empty.rows_per_result() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poor_selectivity_triggers_rebuild() {
+        let mut m = LoadMonitor::new();
+        for _ in 0..20 {
+            // 1 lookup per query (below the link trigger), but 100 rows
+            // fetched per returned result.
+            m.record(stats_rows(1, 200), 2);
+        }
+        match m.recommend(FlixConfig::Naive, 10) {
+            Recommendation::Rebuild { suggestion, reason } => {
+                assert_eq!(suggestion, FlixConfig::MaximalPpo);
+                assert!(reason.contains("rows per returned result"), "{reason}");
+            }
+            r => panic!("expected rebuild, got {r:?}"),
+        }
+        // APEX's element scans are the canonical cause: suggest HOPI.
+        match m.recommend(FlixConfig::Monolithic(StrategyKind::Apex), 10) {
+            Recommendation::Rebuild { suggestion, .. } => {
+                assert_eq!(suggestion, FlixConfig::Monolithic(StrategyKind::Hopi));
+            }
+            r => panic!("expected rebuild, got {r:?}"),
+        }
+        // Monolithic HOPI has nowhere to grow on this trigger; the
+        // single-lookup load falls through to the §7 shrink advice instead.
+        match m.recommend(FlixConfig::Monolithic(StrategyKind::Hopi), 10) {
+            Recommendation::Rebuild { suggestion, .. } => assert_eq!(
+                suggestion,
+                FlixConfig::UnconnectedHopi {
+                    partition_size: 20_000
+                }
+            ),
+            r => panic!("expected shrink rebuild, got {r:?}"),
+        }
+    }
+
+    #[test]
+    fn good_selectivity_keeps() {
+        let mut m = LoadMonitor::new();
+        for _ in 0..20 {
+            m.record(stats_rows(2, 10), 8);
+        }
+        assert_eq!(m.recommend(FlixConfig::Naive, 10), Recommendation::Keep);
+    }
+
+    #[test]
+    fn publish_exports_load_gauges() {
+        let mut m = LoadMonitor::new();
+        m.record(stats_rows(4, 80), 2);
+        let registry = MetricsRegistry::new();
+        m.publish(&registry);
+        assert_eq!(registry.gauge("flix_load_queries").get(), 1.0);
+        assert_eq!(registry.gauge("flix_load_avg_lookups").get(), 4.0);
+        assert_eq!(registry.gauge("flix_load_avg_rows_scanned").get(), 80.0);
+        assert_eq!(registry.gauge("flix_load_rows_per_result").get(), 40.0);
     }
 }

@@ -10,8 +10,11 @@
 //! * `panic` — no `panic!` / `todo!` / `unimplemented!` in library code.
 //!   There is deliberately no allowlist for this rule.
 //! * `unsafe` — `unsafe` only where the allowlist explicitly permits it.
-//! * `missing-docs` — public items in the `graphcore`, `pagestore`, and
-//!   `flix` crates must carry a doc comment.
+//! * `missing-docs` — public items in the `graphcore`, `pagestore`, `obs`,
+//!   and `flix` crates must carry a doc comment.
+//! * `instant-now` — `Instant::now()` only inside the `obs` crate: all
+//!   other code must time through `flixobs::Stopwatch`, so measurements
+//!   cannot bypass the observability layer.
 //!
 //! Diagnostics are machine readable: `path:line: rule: message`.
 
@@ -23,7 +26,11 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose public items must be documented.
-const DOC_CRATES: &[&str] = &["graphcore", "pagestore", "flix"];
+const DOC_CRATES: &[&str] = &["graphcore", "pagestore", "obs", "flix"];
+
+/// The one crate allowed to call `Instant::now()` directly (it hosts
+/// `flixobs::Stopwatch`, the sanctioned clock).
+const CLOCK_CRATE_PREFIX: &str = "crates/obs/";
 
 /// Identifier of a lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -36,6 +43,8 @@ pub enum Rule {
     Unsafe,
     /// Undocumented public item in a documented crate.
     MissingDocs,
+    /// `Instant::now()` outside the `obs` crate (use `flixobs::Stopwatch`).
+    InstantNow,
     /// Allowlist entry whose ceiling is higher than reality (or whose
     /// file no longer exists): the ceiling must be lowered.
     AllowlistStale,
@@ -49,6 +58,7 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::Unsafe => "unsafe",
             Rule::MissingDocs => "missing-docs",
+            Rule::InstantNow => "instant-now",
             Rule::AllowlistStale => "allowlist-stale",
         }
     }
@@ -59,6 +69,7 @@ impl Rule {
             "panic" => Some(Rule::Panic),
             "unsafe" => Some(Rule::Unsafe),
             "missing-docs" => Some(Rule::MissingDocs),
+            "instant-now" => Some(Rule::InstantNow),
             _ => None,
         }
     }
@@ -261,6 +272,22 @@ pub fn lint_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
             rule: Rule::Unsafe,
             message: "`unsafe` outside the allowlist".to_string(),
         });
+    }
+
+    if !rel_path.starts_with(CLOCK_CRATE_PREFIX) {
+        for pos in find_all(&stripped, "Instant::now") {
+            if in_tests(pos) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: line_of(&stripped, pos),
+                rule: Rule::InstantNow,
+                message: "`Instant::now()` outside the obs crate; time through \
+                          `flixobs::Stopwatch` so measurements stay observable"
+                    .to_string(),
+            });
+        }
     }
 
     let crate_name = rel_path
@@ -589,6 +616,32 @@ mod tests {
         let src = "pub use inner::Thing;\npub(crate) fn helper() {}\n";
         let diags = lint_file("crates/flix/src/lib.rs", src);
         assert!(diags.iter().all(|d| d.rule != Rule::MissingDocs));
+    }
+
+    #[test]
+    fn instant_now_flagged_outside_the_obs_crate() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let diags = lint_file("crates/flix/src/pee.rs", src);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::InstantNow)
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 1);
+        // The obs crate hosts the sanctioned clock: no finding there.
+        assert!(lint_file("crates/obs/src/clock.rs", src)
+            .iter()
+            .all(|d| d.rule != Rule::InstantNow));
+        // Test code may time ad hoc.
+        let test_src = "#[cfg(test)]\nmod t { fn g() { let t = Instant::now(); } }\n";
+        assert!(lint_file("crates/flix/src/pee.rs", test_src)
+            .iter()
+            .all(|d| d.rule != Rule::InstantNow));
+        // Comments and strings never fire.
+        let doc_src = "// Instant::now is banned here\n";
+        assert!(lint_file("crates/flix/src/pee.rs", doc_src)
+            .iter()
+            .all(|d| d.rule != Rule::InstantNow));
     }
 
     #[test]

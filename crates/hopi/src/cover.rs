@@ -34,13 +34,13 @@
 //! them in partition order. The final index is therefore byte-identical
 //! for every thread count — only wall clock changes.
 
+use flixobs::Stopwatch;
 use graphcore::{
     condensation, estimate_ancestor_counts, estimate_descendant_counts, partition_condensation,
     pool, Digraph, Distance, NodeId, INFINITE_DISTANCE,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::time::Instant;
 
 /// Knobs for the staged cover construction.
 #[derive(Debug, Clone)]
@@ -140,7 +140,7 @@ pub(crate) fn build_cover(g: &Digraph, opts: &CoverOptions) -> CoverLabels {
     let rev = g.reversed();
 
     // ---- Stage 1+2: rank centers, plan partitions. ----
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let cond = condensation(g);
     let rank_pos = rank_positions(g, opts);
     let cap = if opts.partition_cap > 0 {
@@ -160,12 +160,12 @@ pub(crate) fn build_cover(g: &Digraph, opts: &CoverOptions) -> CoverLabels {
         .filter(|&u| is_border[u as usize])
         .collect();
     borders.sort_unstable_by_key(|&u| rank_pos[u as usize]);
-    out.report.rank_micros = started.elapsed().as_micros() as u64;
+    out.report.rank_micros = started.elapsed_micros();
     out.report.partitions = parts.len();
     out.report.border_centers = borders.len();
 
     // ---- Stage 3: merge — sequential full-graph border sweeps. ----
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut scratch = SweepScratch::new(n, n);
     out.visits += pruned_sweep(
         g,
@@ -176,10 +176,10 @@ pub(crate) fn build_cover(g: &Digraph, opts: &CoverOptions) -> CoverLabels {
         &mut out.l_out,
         &mut scratch,
     );
-    out.report.merge_micros = started.elapsed().as_micros() as u64;
+    out.report.merge_micros = started.elapsed_micros();
 
     // ---- Stage 4: cover — per-partition sweeps in parallel. ----
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let threads = pool::effective_threads(opts.threads, parts.len());
     out.report.threads = threads;
     // Largest partitions first keeps the pool busy to the end; results come
@@ -202,7 +202,7 @@ pub(crate) fn build_cover(g: &Digraph, opts: &CoverOptions) -> CoverLabels {
             out.l_out[gu as usize] = list_out;
         }
     }
-    out.report.cover_micros = started.elapsed().as_micros() as u64;
+    out.report.cover_micros = started.elapsed_micros();
     out
 }
 

@@ -1,0 +1,44 @@
+//! `flixobs` — query-path observability for the FliX framework.
+//!
+//! The build phase has had a report layer ([`flix::report`]) since the
+//! parallel-build work; this crate gives the *serving* side the same
+//! visibility, which the paper's §7 self-tuning loop ("take statistics on
+//! the query load into account") depends on:
+//!
+//! * [`MetricsRegistry`] — a registry of named [`Counter`]s, [`Gauge`]s,
+//!   and log2-bucketed latency [`Histogram`]s. Handles are `Arc`-backed
+//!   atomics: updating a metric is a single wait-free atomic operation;
+//!   the registry mutex is touched only at registration and snapshot time.
+//! * [`QueryTrace`] — per-query timed spans (queue pop → meta-index block
+//!   fetch → link expansion) with the evaluator's counters attached to
+//!   each span.
+//! * [`SlowQueryLog`] — a fixed-capacity buffer that retains the N worst
+//!   traces by latency, so the outliers that matter for tuning survive
+//!   aggregation.
+//! * [`Stopwatch`] — the one sanctioned wall-clock source. The `flixcheck`
+//!   lint flags `Instant::now()` anywhere else in the workspace, so ad-hoc
+//!   timing cannot bypass this layer.
+//!
+//! Snapshots export two ways: [`MetricsSnapshot::to_json`] for the bench
+//! trajectory files and [`MetricsSnapshot::to_prometheus`] for a
+//! Prometheus-style text exposition.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+/// Wall-clock measurement: the workspace's only `Instant::now` call site.
+pub mod clock;
+/// Counters, gauges, histograms, the registry, and snapshot export.
+pub mod registry;
+/// The fixed-capacity worst-N slow-query log.
+pub mod slowlog;
+/// Per-query timed spans with evaluator counters attached.
+pub mod trace;
+
+pub use clock::Stopwatch;
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricsRegistry, MetricsSnapshot,
+};
+pub use slowlog::{SlowQuery, SlowQueryLog};
+pub use trace::{QueryTrace, Span, SpanCounters, SpanStage, StageTotals};

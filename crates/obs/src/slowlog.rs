@@ -1,0 +1,155 @@
+//! The slow-query log: a fixed-capacity buffer of the worst traces.
+//!
+//! Aggregates (histograms) tell you *that* the tail is bad; the slow-query
+//! log keeps the actual [`QueryTrace`]s behind the tail so you can see
+//! *why*. The buffer holds at most `capacity` entries; when full, a new
+//! trace replaces the current fastest retained entry only if it is slower
+//! — i.e. the log always retains the N worst queries seen so far, in
+//! O(capacity) per offer with no allocation churn.
+
+use crate::trace::QueryTrace;
+use parking_lot::Mutex;
+
+/// One retained slow query.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// Monotone sequence number of the offer (order of arrival).
+    pub seq: u64,
+    /// The full trace, including per-stage totals.
+    pub trace: QueryTrace,
+}
+
+/// Fixed-capacity log retaining the N slowest queries by total latency.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    inner: Mutex<LogInner>,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct LogInner {
+    entries: Vec<SlowQuery>,
+    next_seq: u64,
+    offered: u64,
+}
+
+impl SlowQueryLog {
+    /// An empty log retaining at most `capacity` traces (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(LogInner {
+                entries: Vec::new(),
+                next_seq: 0,
+                offered: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Maximum number of retained traces.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers a finished trace. Returns `true` if it was retained (always,
+    /// until the log is full; afterwards only when slower than the current
+    /// fastest retained entry, which it replaces).
+    pub fn offer(&self, trace: QueryTrace) -> bool {
+        let mut inner = self.inner.lock();
+        inner.offered += 1;
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.entries.len() < self.capacity {
+            inner.entries.push(SlowQuery { seq, trace });
+            return true;
+        }
+        let min_idx = inner
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.trace.total_micros())
+            .map(|(i, _)| i);
+        match min_idx {
+            Some(i) if inner.entries[i].trace.total_micros() < trace.total_micros() => {
+                inner.entries[i] = SlowQuery { seq, trace };
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Total traces offered so far (retained or not).
+    pub fn offered(&self) -> u64 {
+        self.inner.lock().offered
+    }
+
+    /// Retained traces, slowest first (ties broken by arrival order).
+    pub fn worst(&self) -> Vec<SlowQuery> {
+        let mut entries = self.inner.lock().entries.clone();
+        entries.sort_by(|a, b| {
+            b.trace
+                .total_micros()
+                .cmp(&a.trace.total_micros())
+                .then(a.seq.cmp(&b.seq))
+        });
+        entries
+    }
+
+    /// Drops every retained trace (sequence numbers keep counting).
+    pub fn clear(&self) {
+        self.inner.lock().entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(micros: u64) -> QueryTrace {
+        let mut t = QueryTrace::new("q");
+        t.finish(micros);
+        t
+    }
+
+    #[test]
+    fn retains_the_n_worst() {
+        let log = SlowQueryLog::new(3);
+        for micros in [10, 50, 20, 5, 90, 40] {
+            log.offer(trace(micros));
+        }
+        let worst: Vec<u64> = log.worst().iter().map(|e| e.trace.total_micros()).collect();
+        assert_eq!(worst, vec![90, 50, 40]);
+        assert_eq!(log.offered(), 6);
+    }
+
+    #[test]
+    fn rejects_faster_than_retained_minimum() {
+        let log = SlowQueryLog::new(2);
+        assert!(log.offer(trace(100)));
+        assert!(log.offer(trace(200)));
+        assert!(!log.offer(trace(50)));
+        assert!(log.offer(trace(150)));
+        let worst: Vec<u64> = log.worst().iter().map(|e| e.trace.total_micros()).collect();
+        assert_eq!(worst, vec![200, 150]);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_counting() {
+        let log = SlowQueryLog::new(2);
+        log.offer(trace(10));
+        log.clear();
+        assert!(log.worst().is_empty());
+        log.offer(trace(20));
+        assert_eq!(log.offered(), 2);
+        assert_eq!(log.worst().len(), 1);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let log = SlowQueryLog::new(0);
+        assert_eq!(log.capacity(), 1);
+        log.offer(trace(5));
+        log.offer(trace(9));
+        assert_eq!(log.worst()[0].trace.total_micros(), 9);
+    }
+}

@@ -8,9 +8,9 @@
 
 use crate::disk::DiskManager;
 use crate::page::{Page, PageId};
+use flixobs::{Counter, MetricId, MetricsRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 struct Frame {
@@ -24,13 +24,26 @@ struct PoolInner {
     tick: u64,
 }
 
+/// Point-in-time buffer-pool counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Page requests served from a resident frame.
+    pub hits: u64,
+    /// Page requests that had to read through to disk.
+    pub misses: u64,
+    /// Frames displaced by LRU pressure at capacity (dirty victims are
+    /// written back first).
+    pub evictions: u64,
+}
+
 /// A latching LRU buffer pool.
 pub struct BufferPool {
     disk: Arc<dyn DiskManager>,
     capacity: usize,
     inner: Mutex<PoolInner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
 }
 
 impl BufferPool {
@@ -47,8 +60,9 @@ impl BufferPool {
                 frames: HashMap::new(),
                 tick: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
         }
     }
 
@@ -61,9 +75,9 @@ impl BufferPool {
         inner.tick += 1;
         let tick = inner.tick;
         if inner.frames.contains_key(&id) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
         } else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.inc();
             if inner.frames.len() >= self.capacity {
                 // Evict the least recently used frame (present whenever the
                 // pool is at capacity, since capacity > 0).
@@ -74,6 +88,7 @@ impl BufferPool {
                     .map(|(&pid, _)| pid);
                 if let Some(victim) = victim {
                     if let Some(frame) = inner.frames.remove(&victim) {
+                        self.evictions.inc();
                         if frame.dirty {
                             self.disk.write_page(victim, &frame.page);
                         }
@@ -122,12 +137,35 @@ impl BufferPool {
         }
     }
 
-    /// `(hits, misses)` since creation.
+    /// `(hits, misses)` since creation (kept for callers that predate
+    /// [`Self::pool_stats`]).
     pub fn hit_stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        (self.hits.get(), self.misses.get())
+    }
+
+    /// All pool counters, including LRU evictions.
+    pub fn pool_stats(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
+    }
+
+    /// Binds the pool's live counters into `registry` as
+    /// `pagestore_pool_{hits,misses,evictions}_total` under `labels`, and
+    /// publishes the backing disk's I/O counters via
+    /// [`crate::disk::DiskStats::publish`]. The counters keep accumulating
+    /// in place, so later snapshots see later values.
+    pub fn publish_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        for (name, counter) in [
+            ("pagestore_pool_hits_total", &self.hits),
+            ("pagestore_pool_misses_total", &self.misses),
+            ("pagestore_pool_evictions_total", &self.evictions),
+        ] {
+            registry.bind_counter(MetricId::with_labels(name, labels), counter);
+        }
+        self.disk.stats().publish(registry, labels);
     }
 }
 
@@ -255,6 +293,58 @@ mod tests {
     #[should_panic(expected = "at least one frame")]
     fn zero_capacity_rejected() {
         pool(0);
+    }
+
+    #[test]
+    fn evictions_are_counted_next_to_hits_and_misses() {
+        let p = pool(2);
+        let ids: Vec<PageId> = (0..4).map(|_| p.allocate()).collect();
+        for &id in &ids {
+            p.with_page(id, |_| {});
+        }
+        let s = p.pool_stats();
+        assert_eq!(s.misses, 4, "every first touch misses");
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.evictions, 2, "4 pages through 2 frames displace 2");
+        p.with_page(ids[3], |_| {}); // still resident
+        assert_eq!(p.pool_stats().hits, 1);
+        assert_eq!(p.pool_stats().evictions, 2, "hits never evict");
+    }
+
+    #[test]
+    fn publish_metrics_exports_pool_and_disk_counters() {
+        let disk = Arc::new(MemDisk::new());
+        let p = BufferPool::new(disk, 2);
+        let registry = MetricsRegistry::new();
+        p.publish_metrics(&registry, &[("store", "test")]);
+        let ids: Vec<PageId> = (0..3).map(|_| p.allocate()).collect();
+        for &id in &ids {
+            p.with_page(id, |_| {});
+        }
+        // Bound counters share cells with the pool: no re-publish needed
+        // for the counter side.
+        assert_eq!(
+            registry
+                .counter_with("pagestore_pool_misses_total", &[("store", "test")])
+                .get(),
+            3
+        );
+        assert_eq!(
+            registry
+                .counter_with("pagestore_pool_evictions_total", &[("store", "test")])
+                .get(),
+            1
+        );
+        // Disk gauges are snapshots: publish again to refresh.
+        p.publish_metrics(&registry, &[("store", "test")]);
+        let reads = registry
+            .gauge_with("pagestore_disk_read_pages", &[("store", "test")])
+            .get();
+        assert_eq!(reads, 3.0, "one physical read per miss");
+        let bytes = registry
+            .gauge_with("pagestore_disk_read_bytes", &[("store", "test")])
+            .get();
+        assert_eq!(bytes, 3.0 * crate::page::PAGE_SIZE as f64);
     }
 
     #[test]

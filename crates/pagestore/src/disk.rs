@@ -8,6 +8,7 @@
 //! counters are our substitute signal for that cost.
 
 use crate::page::{Page, PageId, PAGE_SIZE};
+use flixobs::MetricsRegistry;
 use parking_lot::Mutex;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -19,6 +20,36 @@ pub struct DiskStats {
     pub reads: u64,
     /// Pages written to the backing store.
     pub writes: u64,
+}
+
+impl DiskStats {
+    /// Bytes read from the backing store (pages × page size).
+    pub fn read_bytes(&self) -> u64 {
+        self.reads * PAGE_SIZE as u64
+    }
+
+    /// Bytes written to the backing store (pages × page size).
+    pub fn write_bytes(&self) -> u64 {
+        self.writes * PAGE_SIZE as u64
+    }
+
+    /// Publishes this snapshot as `pagestore_disk_*` gauges (page and byte
+    /// granularity) under `labels`. Gauges, not counters: `DiskStats` is a
+    /// point-in-time copy, so each publish overwrites the previous one.
+    pub fn publish(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        registry
+            .gauge_with("pagestore_disk_read_pages", labels)
+            .set(self.reads as f64);
+        registry
+            .gauge_with("pagestore_disk_write_pages", labels)
+            .set(self.writes as f64);
+        registry
+            .gauge_with("pagestore_disk_read_bytes", labels)
+            .set(self.read_bytes() as f64);
+        registry
+            .gauge_with("pagestore_disk_write_bytes", labels)
+            .set(self.write_bytes() as f64);
+    }
 }
 
 /// A page-granular backing store.

@@ -27,7 +27,7 @@ pub mod page;
 pub mod table;
 
 pub use blob::{BlobError, BlobStore};
-pub use buffer::BufferPool;
+pub use buffer::{BufferPool, PoolStats};
 pub use codec::{from_bytes, to_bytes, CodecError};
 pub use disk::{DiskManager, DiskStats, FileDisk, MemDisk};
 pub use page::{Page, PageId, SlotId, PAGE_SIZE};

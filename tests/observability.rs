@@ -1,0 +1,184 @@
+//! Observation must not perturb evaluation.
+//!
+//! The evaluator treats an attached [`flixobs::QueryTrace`] as write-only:
+//! no branch of the algorithm consults it. These tests pin that guarantee
+//! down — the result stream is identical with tracing on and off, across
+//! every strategy, under early termination, and under exact ordering — and
+//! check that the trace's counters reconcile exactly with the evaluator's
+//! own [`flix::PeeStats`].
+
+use flix::{Flix, FlixConfig, QueryOptions, QueryPathMetrics, StrategyKind};
+use flixobs::{MetricsRegistry, QueryTrace};
+use proptest::prelude::*;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+use workloads::{descendant_queries, generate_web, WebConfig};
+use xmlgraph::CollectionGraph;
+
+fn corpus(seed: u64, docs: usize) -> Arc<CollectionGraph> {
+    let cfg = WebConfig {
+        documents: docs.max(4),
+        elements_per_doc: 30,
+        seed,
+        ..WebConfig::default()
+    };
+    Arc::new(generate_web(&cfg).seal())
+}
+
+fn strategies() -> Vec<FlixConfig> {
+    vec![
+        FlixConfig::Monolithic(StrategyKind::Hopi),
+        FlixConfig::Monolithic(StrategyKind::Apex),
+        FlixConfig::Naive,
+        FlixConfig::UnconnectedHopi { partition_size: 64 },
+        FlixConfig::MaximalPpo,
+    ]
+}
+
+/// Traced evaluation returns the same bytes as untraced evaluation, for
+/// every strategy, and the trace's counters reconcile with the stats.
+#[test]
+fn traced_results_identical_across_strategies() {
+    let cg = corpus(5, 10);
+    let queries = descendant_queries(&cg, 10, 3);
+    for config in strategies() {
+        let flix = Flix::build(cg.clone(), config);
+        for q in &queries {
+            for opts in [
+                QueryOptions::default(),
+                QueryOptions::top_k(3),
+                QueryOptions::exact(),
+            ] {
+                let plain = flix.find_descendants(q.start, q.target_tag, &opts);
+                let mut trace = QueryTrace::new("t");
+                let (traced, stats) =
+                    flix.find_descendants_with_trace(q.start, q.target_tag, &opts, &mut trace);
+                assert_eq!(plain, traced, "{config} start {} diverged", q.start);
+                assert_eq!(
+                    format!("{plain:?}"),
+                    format!("{traced:?}"),
+                    "debug renderings must be byte-identical"
+                );
+                let c = trace.counters();
+                assert_eq!(c.entries_popped, stats.entries_popped as u64);
+                assert_eq!(c.entries_subsumed, stats.entries_subsumed as u64);
+                assert_eq!(c.rows_scanned, stats.block_results_scanned as u64);
+                assert_eq!(c.links_expanded, stats.links_expanded as u64);
+            }
+        }
+    }
+}
+
+/// The full observability pipeline (registry, histogram, slow-query log)
+/// around the evaluator also leaves the results untouched.
+#[test]
+fn observed_pipeline_matches_plain_evaluation() {
+    let cg = corpus(9, 8);
+    let queries = descendant_queries(&cg, 6, 7);
+    let registry = MetricsRegistry::new();
+    for config in strategies() {
+        let name = config.to_string();
+        let flix = Flix::build(cg.clone(), config);
+        let obs = QueryPathMetrics::register(&registry, &[("config", &name)]);
+        for q in &queries {
+            let opts = QueryOptions::default();
+            let (observed, _) = obs.find_descendants(&flix, q.start, q.target_tag, &opts, "q");
+            assert_eq!(
+                observed,
+                flix.find_descendants(q.start, q.target_tag, &opts)
+            );
+        }
+        assert_eq!(obs.queries(), queries.len() as u64);
+    }
+    // The snapshot both exports must be well-formed after real traffic.
+    let snap = registry.snapshot();
+    assert!(snap
+        .to_prometheus()
+        .contains("# TYPE flix_query_latency_micros histogram"));
+    assert!(snap.to_json().contains("\"p99\""));
+}
+
+/// Early termination through the streaming interface sees the same prefix
+/// with and without a trace attached.
+#[test]
+fn early_break_prefix_identical() {
+    let cg = corpus(11, 8);
+    let queries = descendant_queries(&cg, 6, 13);
+    for config in strategies() {
+        let flix = Flix::build(cg.clone(), config);
+        for q in &queries {
+            for cutoff in [1usize, 2, 5] {
+                let mut plain = Vec::new();
+                flix.for_each_descendant(q.start, q.target_tag, &QueryOptions::default(), |r| {
+                    plain.push(r);
+                    if plain.len() >= cutoff {
+                        ControlFlow::Break(())
+                    } else {
+                        ControlFlow::Continue(())
+                    }
+                });
+                let mut traced = Vec::new();
+                let mut trace = QueryTrace::new("t");
+                flix.for_each_descendant_with_trace(
+                    q.start,
+                    q.target_tag,
+                    &QueryOptions::default(),
+                    &mut trace,
+                    |r, _| {
+                        traced.push(r);
+                        if traced.len() >= cutoff {
+                            ControlFlow::Break(())
+                        } else {
+                            ControlFlow::Continue(())
+                        }
+                    },
+                );
+                assert_eq!(plain, traced, "{config} diverged at cutoff {cutoff}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomised corpora, query options, and strategies: traced and
+    /// untraced evaluation always yield identical result streams.
+    #[test]
+    fn traced_and_untraced_streams_identical(
+        seed in 0u64..500,
+        docs in 4usize..10,
+        qpick in 0usize..16,
+        k in proptest::option::of(1usize..12),
+        exact in 0u8..2,
+    ) {
+        let cg = corpus(seed, docs);
+        let queries = descendant_queries(&cg, 6, seed.wrapping_mul(31).wrapping_add(1));
+        if queries.is_empty() {
+            return Ok(());
+        }
+        let q = &queries[qpick % queries.len()];
+        let opts = QueryOptions {
+            max_results: k,
+            exact_order: exact == 1,
+            ..QueryOptions::default()
+        };
+        for config in [
+            FlixConfig::Naive,
+            FlixConfig::UnconnectedHopi { partition_size: 100 },
+            FlixConfig::MaximalPpo,
+        ] {
+            let flix = Flix::build(cg.clone(), config);
+            let plain = flix.find_descendants(q.start, q.target_tag, &opts);
+            let mut trace = QueryTrace::new("prop");
+            let (traced, stats) =
+                flix.find_descendants_with_trace(q.start, q.target_tag, &opts, &mut trace);
+            prop_assert_eq!(&plain, &traced, "{} diverged", config);
+            let c = trace.counters();
+            prop_assert_eq!(c.entries_popped, stats.entries_popped as u64);
+            prop_assert_eq!(c.entries_subsumed, stats.entries_subsumed as u64);
+            prop_assert_eq!(c.rows_scanned, stats.block_results_scanned as u64);
+            prop_assert_eq!(c.links_expanded, stats.links_expanded as u64);
+        }
+    }
+}
