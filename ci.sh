@@ -27,4 +27,7 @@ cargo bench --no-run --workspace
 echo "== repro query smoke test (observability layer end to end)"
 cargo run -q -p bench --bin repro -- query --scale 0.02
 
+echo "== repro serve smoke test (worker pool at 2 and 8 threads)"
+cargo run -q -p bench --bin repro -- serve --scale 0.02 --serve-threads 2,8
+
 echo "CI green."

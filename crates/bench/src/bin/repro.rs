@@ -7,8 +7,8 @@
 //!
 //! Subcommands: `table1`, `figure5`, `errors`, `connect`, `hybrid`,
 //! `ablation-partition`, `ablation-dedup`, `query`, `build`, `hopi`,
-//! `all`. The default corpus is the paper's scale (6,210 documents);
-//! `--scale F` shrinks it.
+//! `serve`, `all`. The default corpus is the paper's scale (6,210
+//! documents); `--scale F` shrinks it.
 //!
 //! `query` exercises the query-path observability layer: every strategy
 //! runs the same DBLP and random-cyclic workloads under one shared
@@ -24,6 +24,13 @@
 //! `hopi` sweeps the staged HOPI cover pipeline's thread count over the
 //! whole element graph, verifies the serialized index is byte-identical
 //! at every thread count, and writes `BENCH_hopi.json`.
+//!
+//! `serve` drives the `flixserve` worker pool: a closed-loop worker-count
+//! sweep (`--serve-threads 1,2,4,8`) over the DBLP and random-cyclic
+//! workloads, an open-loop overload run at 2× measured capacity showing
+//! admission-control shedding with bounded admitted latency, a deadline
+//! sweep verifying every cut answer is a distance-ordered prefix of the
+//! full answer, and a single-flight burst. Writes `BENCH_serve.json`.
 //!
 //! `--check` runs the deep [`flixcheck::IntegrityCheck`] audit over every
 //! built framework (alone or alongside experiments) and exits non-zero if
@@ -46,8 +53,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 1.0f64;
     let mut check = false;
+    let mut serve_threads: Vec<usize> = vec![1, 2, 4, 8];
     let mut commands: Vec<String> = Vec::new();
-    const KNOWN: [&str; 12] = [
+    const KNOWN: [&str; 13] = [
         "all",
         "table1",
         "figure5",
@@ -60,6 +68,7 @@ fn main() {
         "query",
         "build",
         "hopi",
+        "serve",
     ];
     const KNOWN_EXTRA: [&str; 2] = ["ablation-exact", "ablation-bidir"];
     let mut it = args.iter();
@@ -73,6 +82,28 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--serve-threads" => {
+                let parsed: Option<Vec<usize>> = it.next().and_then(|s| {
+                    s.split(',')
+                        .map(|t| {
+                            t.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&v| (1..=64).contains(&v))
+                        })
+                        .collect()
+                });
+                match parsed {
+                    Some(v) if !v.is_empty() => serve_threads = v,
+                    _ => {
+                        eprintln!(
+                            "error: --serve-threads needs a comma-separated list of \
+                             worker counts in 1..=64 (e.g. 1,2,4,8)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
             other => {
                 if !KNOWN.contains(&other) && !KNOWN_EXTRA.contains(&other) {
                     eprintln!(
@@ -175,6 +206,291 @@ fn main() {
     if wants("hopi") {
         hopi_bench(&cg);
     }
+    if wants("serve") {
+        serve_bench(&cg, &built, scale, &serve_threads);
+    }
+}
+
+/// `serve`: the `flixserve` concurrent query service end to end. A
+/// closed-loop worker-count sweep measures throughput scaling over the
+/// DBLP and random-cyclic workloads; an open-loop run at 2× measured
+/// capacity shows admission control shedding instead of buffering (and
+/// that the latency of *admitted* requests stays a bounded multiple of
+/// the uncontended p99); a deadline sweep verifies every cut answer is a
+/// distance-ordered prefix of the full answer; and a burst of identical
+/// queries demonstrates single-flight collapsing. The server's metric
+/// cells land in a registry and the whole run in `BENCH_serve.json`.
+fn serve_bench(
+    cg: &Arc<CollectionGraph>,
+    built: &[(FlixConfig, Arc<Flix>, Duration)],
+    scale: f64,
+    threads: &[usize],
+) {
+    use flixobs::registry::json_escape;
+    use flixobs::{Deadline, MetricsRegistry};
+    use flixserve::{closed_loop, open_loop, FlixServer, Request, ServeConfig};
+    use workloads::{generate_web, WebConfig};
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== flixserve: worker sweep, load shedding, deadlines (host: {cores} cores) ==");
+    let (deployed_cfg, deployed, _) = &built[built.len() - 1];
+    println!("serving the {deployed_cfg} framework; worker counts: {threads:?}");
+    let registry = MetricsRegistry::new();
+
+    let web_cfg = WebConfig {
+        documents: ((120.0 * scale) as usize).max(16),
+        elements_per_doc: 50,
+        ..WebConfig::default()
+    };
+    let web_cg = Arc::new(generate_web(&web_cfg).seal());
+    let web_flix = Arc::new(Flix::build(web_cg.clone(), *deployed_cfg));
+
+    let requests_for = |corpus: &CollectionGraph, count: usize, seed: u64| -> Vec<Request> {
+        descendant_queries(corpus, count, seed)
+            .into_iter()
+            .map(|q| Request::descendants(q.start, q.target_tag, QueryOptions::default()))
+            .collect()
+    };
+    let dblp_requests = requests_for(cg, 48, 19);
+    let web_requests = requests_for(&web_cg, 48, 29);
+
+    // (a) Closed-loop worker sweep: K clients per worker issue-wait-repeat,
+    // so offered load tracks capacity and the column to watch is qps.
+    println!("\n-- closed-loop worker sweep (single-flight off: every request evaluates) --");
+    rule(96);
+    println!(
+        "{:<8} {:>8} {:>8} {:>10} {:>12} {:>9} {:>12} {:>12} {:>12}",
+        "workload", "workers", "clients", "completed", "qps", "speedup", "p50", "p99", "queue p99"
+    );
+    rule(96);
+    let mut sweep_entries: Vec<String> = Vec::new();
+    for (workload, flix, requests) in [
+        ("dblp", deployed, &dblp_requests),
+        ("web", &web_flix, &web_requests),
+    ] {
+        let repeated: Vec<Request> = (0..8).flat_map(|_| requests.iter().copied()).collect();
+        let mut base_qps: Option<f64> = None;
+        for &workers in threads {
+            let server = FlixServer::start(
+                Arc::clone(flix),
+                ServeConfig {
+                    workers,
+                    single_flight: false,
+                    ..ServeConfig::default()
+                },
+            );
+            let report = closed_loop(&server, &repeated, workers * 2);
+            let qps = report.throughput_qps();
+            let speedup = qps / base_qps.unwrap_or(qps).max(1e-9);
+            base_qps.get_or_insert(qps);
+            let lat = server.latency().snapshot();
+            let queue = server.queue_wait().snapshot();
+            println!(
+                "{:<8} {:>8} {:>8} {:>10} {:>12.0} {:>8.2}x {:>12.1?} {:>12.1?} {:>12.1?}",
+                workload,
+                workers,
+                report.clients,
+                report.completed,
+                qps,
+                speedup,
+                Duration::from_micros(lat.p50()),
+                Duration::from_micros(lat.p99()),
+                Duration::from_micros(queue.p99()),
+            );
+            sweep_entries.push(format!(
+                "    {{\"workload\": \"{workload}\", \"workers\": {workers}, \
+                 \"clients\": {}, \"completed\": {}, \"shed\": {}, \"qps\": {qps:.1}, \
+                 \"speedup\": {speedup:.3}, \"p50_micros\": {}, \"p99_micros\": {}, \
+                 \"queue_p99_micros\": {}}}",
+                report.clients,
+                report.completed,
+                report.shed,
+                lat.p50(),
+                lat.p99(),
+                queue.p99()
+            ));
+            server.shutdown();
+        }
+    }
+    rule(96);
+    println!("speedup is qps relative to the first worker count in the sweep\n");
+
+    // (b) Overload: measure uncontended capacity closed-loop, then offer 2×
+    // that rate open-loop into deliberately small queues. The controller
+    // must shed the excess; what it admits must stay near the uncontended
+    // latency instead of queueing toward the deadline horizon.
+    let heavy: Vec<Request> = descendant_queries(&web_cg, 32, 37)
+        .into_iter()
+        .map(|q| Request::descendants(q.start, q.target_tag, QueryOptions::exact()))
+        .collect();
+    let overload_workers = 2usize;
+    let baseline = FlixServer::start(
+        Arc::clone(&web_flix),
+        ServeConfig {
+            workers: overload_workers,
+            single_flight: false,
+            ..ServeConfig::default()
+        },
+    );
+    let heavy_repeated: Vec<Request> = (0..4).flat_map(|_| heavy.iter().copied()).collect();
+    let base = closed_loop(&baseline, &heavy_repeated, overload_workers);
+    let capacity_qps = base.throughput_qps();
+    let uncontended_p99 = baseline.latency().snapshot().p99();
+    baseline.shutdown();
+
+    let overloaded = FlixServer::start(
+        Arc::clone(&web_flix),
+        ServeConfig {
+            workers: overload_workers,
+            queue_capacity: 2,
+            single_flight: false,
+            ..ServeConfig::default()
+        },
+    );
+    overloaded.publish_metrics(&registry, &[("experiment", "overload")]);
+    let offered_qps = capacity_qps * 2.0;
+    let open_requests: Vec<Request> = heavy
+        .iter()
+        .cycle()
+        .take(((capacity_qps as usize).clamp(64, 1200)) * 2)
+        .copied()
+        .collect();
+    let open = open_loop(&overloaded, &open_requests, offered_qps);
+    let admitted_p99 = overloaded.latency().snapshot().p99();
+    let p99_ratio = admitted_p99 as f64 / (uncontended_p99 as f64).max(1.0);
+    println!(
+        "-- open-loop overload at 2x measured capacity ({overload_workers} workers, queue 2) --"
+    );
+    println!(
+        "capacity {capacity_qps:.0} qps (uncontended p99 {:.1?}); offered {offered_qps:.0} qps: \
+         {} admitted, {} shed ({:.0}%)",
+        Duration::from_micros(uncontended_p99),
+        open.admitted,
+        open.shed,
+        open.shed_fraction() * 100.0
+    );
+    println!(
+        "admitted p99 {:.1?} = {p99_ratio:.1}x uncontended — bounded queues shed load instead \
+         of stretching latency\n",
+        Duration::from_micros(admitted_p99)
+    );
+
+    // (c) Deadlines: every cut answer must be a distance-ordered prefix of
+    // the full answer; the marker tells the client which it got.
+    let deadline_server = FlixServer::start(Arc::clone(&web_flix), ServeConfig::default());
+    deadline_server.publish_metrics(&registry, &[("experiment", "deadline")]);
+    println!("-- per-request deadlines over exact-order web queries --");
+    rule(72);
+    println!(
+        "{:<16} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "budget", "queries", "timed out", "returned", "full size", "prefix ok"
+    );
+    rule(72);
+    let mut deadline_entries: Vec<String> = Vec::new();
+    for budget in [0u64, 50, 500, 10_000_000] {
+        let mut timed_out = 0u64;
+        let mut returned = 0usize;
+        let mut total = 0usize;
+        let mut queries = 0u64;
+        let mut prefix_ok = true;
+        for request in heavy.iter().take(8) {
+            let oracle =
+                web_flix.find_descendants(request.start, request.target, &QueryOptions::exact());
+            let req = Request {
+                opts: request.opts.with_deadline(Deadline::within_micros(budget)),
+                ..*request
+            };
+            let Ok(response) = deadline_server.query(req) else {
+                continue;
+            };
+            queries += 1;
+            timed_out += u64::from(response.timed_out);
+            returned += response.results.len();
+            total += oracle.len();
+            prefix_ok &= oracle.starts_with(&response.results)
+                && response
+                    .results
+                    .windows(2)
+                    .all(|w| w[0].distance <= w[1].distance);
+        }
+        assert!(
+            prefix_ok,
+            "a deadline-cut answer was not a distance-ordered prefix of the full answer"
+        );
+        println!(
+            "{:<16} {:>8} {:>10} {:>12} {:>12} {:>10}",
+            format!("{:.1?}", Duration::from_micros(budget)),
+            queries,
+            timed_out,
+            returned,
+            total,
+            if prefix_ok { "yes" } else { "NO" }
+        );
+        deadline_entries.push(format!(
+            "    {{\"budget_micros\": {budget}, \"queries\": {queries}, \
+             \"timed_out\": {timed_out}, \"returned\": {returned}, \"full\": {total}, \
+             \"prefix_ok\": {prefix_ok}}}"
+        ));
+    }
+    rule(72);
+    println!("every cut answer is a prefix of what the query would have returned in full\n");
+    deadline_server.shutdown();
+
+    // (d) Single-flight: a burst of one identical query runs the evaluator
+    // once; everyone else rides the leader.
+    let sf_server = FlixServer::start(
+        Arc::clone(&web_flix),
+        ServeConfig {
+            workers: overload_workers,
+            ..ServeConfig::default()
+        },
+    );
+    let shared_request = heavy[0];
+    let burst = 16usize;
+    let tickets: Vec<_> = (0..burst)
+        .filter_map(|_| sf_server.submit(shared_request).ok())
+        .collect();
+    let mut answered = 0usize;
+    for ticket in tickets {
+        if ticket.wait().is_ok() {
+            answered += 1;
+        }
+    }
+    sf_server.wait_idle();
+    let sf_stats = sf_server.stats();
+    println!(
+        "-- single-flight: {burst} identical in-flight queries -> {} evaluations, \
+         {} collapsed, {answered} answered --\n",
+        sf_stats.completed, sf_stats.collapsed
+    );
+
+    let snapshot = registry.snapshot();
+    let snapshot_json = snapshot.to_json().replace('\n', "\n  ");
+    let json = format!(
+        "{{\n  \"cores\": {cores},\n  \"config\": \"{}\",\n  \"sweep\": [\n{}\n  ],\n  \
+         \"overload\": {{\"workers\": {overload_workers}, \"capacity_qps\": {capacity_qps:.1}, \
+         \"uncontended_p99_micros\": {uncontended_p99}, \"offered_qps\": {offered_qps:.1}, \
+         \"offered\": {}, \"admitted\": {}, \"shed\": {}, \"shed_fraction\": {:.3}, \
+         \"admitted_p99_micros\": {admitted_p99}, \"p99_ratio\": {p99_ratio:.2}}},\n  \
+         \"deadline\": [\n{}\n  ],\n  \
+         \"single_flight\": {{\"burst\": {burst}, \"evaluations\": {}, \"collapsed\": {}}},\n  \
+         \"snapshot\": {snapshot_json}\n}}\n",
+        json_escape(&deployed_cfg.to_string()),
+        sweep_entries.join(",\n"),
+        open.offered,
+        open.admitted,
+        open.shed,
+        open.shed_fraction(),
+        deadline_entries.join(",\n"),
+        sf_stats.completed,
+        sf_stats.collapsed,
+    );
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("wrote BENCH_serve.json\n"),
+        Err(e) => eprintln!("warning: could not write BENCH_serve.json: {e}"),
+    }
+    overloaded.shutdown();
+    sf_server.shutdown();
 }
 
 /// `hopi`: thread-count sweep of the staged HOPI cover pipeline (rank /

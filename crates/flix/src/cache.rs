@@ -47,6 +47,75 @@ impl From<&QueryOptions> for OptsKey {
 
 type Key = (NodeId, TagId, OptsKey);
 
+const SKETCH_ROWS: usize = 4;
+/// Counters saturate at 15 (4-bit TinyLFU counters); periodic halving keeps
+/// the sketch adaptive to shifting popularity.
+const SKETCH_CAP: u8 = 15;
+
+/// A TinyLFU-style frequency sketch: a small count-min sketch with
+/// saturating counters and periodic halving, estimating per-key access
+/// frequency in constant space. The admission gate compares a cache-miss
+/// candidate's estimate against the LRU victim's, so a sweep of one-off
+/// queries cannot flush entries that are actually hot.
+struct FrequencySketch {
+    rows: [Vec<u8>; SKETCH_ROWS],
+    mask: usize,
+    additions: u64,
+    sample_limit: u64,
+}
+
+impl FrequencySketch {
+    fn new(capacity: usize) -> Self {
+        // Width ~4x the cache capacity keeps collision noise low while the
+        // whole sketch stays a few cache lines for small capacities.
+        let width = (capacity.max(1) * 4).next_power_of_two();
+        Self {
+            rows: std::array::from_fn(|_| vec![0u8; width]),
+            mask: width - 1,
+            additions: 0,
+            sample_limit: capacity.max(1) as u64 * 16,
+        }
+    }
+
+    fn slot(&self, key: &Key, row: usize) -> usize {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        row.hash(&mut h);
+        key.hash(&mut h);
+        (h.finish() as usize) & self.mask
+    }
+
+    fn record(&mut self, key: &Key) {
+        for row in 0..SKETCH_ROWS {
+            let i = self.slot(key, row);
+            let c = &mut self.rows[row][i];
+            if *c < SKETCH_CAP {
+                *c += 1;
+            }
+        }
+        self.additions += 1;
+        if self.additions >= self.sample_limit {
+            self.halve();
+        }
+    }
+
+    fn estimate(&self, key: &Key) -> u8 {
+        (0..SKETCH_ROWS)
+            .map(|row| self.rows[row][self.slot(key, row)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    fn halve(&mut self) {
+        for row in &mut self.rows {
+            for c in row.iter_mut() {
+                *c >>= 1;
+            }
+        }
+        self.additions = 0;
+    }
+}
+
 struct Entry {
     /// Full (uncapped) result vector for the keyed query.
     results: Arc<Vec<QueryResult>>,
@@ -59,6 +128,7 @@ struct Entry {
 struct CacheInner {
     map: HashMap<Key, Entry>,
     tick: u64,
+    sketch: FrequencySketch,
 }
 
 /// A FliX framework with an LRU descendants-query cache that survives
@@ -72,6 +142,8 @@ pub struct CachedFlix {
     misses: Counter,
     evictions: Counter,
     invalidations: Counter,
+    admitted: Counter,
+    rejected: Counter,
 }
 
 /// Point-in-time cache counters: how lookups resolved and why entries
@@ -87,6 +159,13 @@ pub struct CacheStats {
     /// Entries dropped on lookup because they were computed under an
     /// older framework generation (see [`CachedFlix::attach`]).
     pub invalidations: u64,
+    /// At-capacity insertions the TinyLFU gate admitted (displacing the
+    /// LRU victim). Free-slot insertions need no admission decision and
+    /// count in neither bucket.
+    pub admitted: u64,
+    /// At-capacity insertions the TinyLFU gate rejected because the LRU
+    /// victim was estimated more frequent than the candidate.
+    pub rejected: u64,
 }
 
 /// Serves `opts.max_results` from the full cached vector: a capped run
@@ -112,11 +191,14 @@ impl CachedFlix {
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
                 tick: 0,
+                sketch: FrequencySketch::new(capacity),
             }),
             hits: Counter::new(),
             misses: Counter::new(),
             evictions: Counter::new(),
             invalidations: Counter::new(),
+            admitted: Counter::new(),
+            rejected: Counter::new(),
         }
     }
 
@@ -142,13 +224,33 @@ impl CachedFlix {
         self.generation.load(Relaxed)
     }
 
-    /// Cached `a//B` evaluation.
+    /// Cached `a//B` evaluation. Any deadline in `opts` is stripped: this
+    /// entry point always returns (and caches) the complete answer.
     pub fn find_descendants(
         &self,
         start: NodeId,
         target: TagId,
         opts: &QueryOptions,
     ) -> Arc<Vec<QueryResult>> {
+        let full_opts = QueryOptions {
+            deadline: None,
+            ..*opts
+        };
+        self.find_descendants_deadline(start, target, &full_opts).0
+    }
+
+    /// Deadline-aware cached `a//B` evaluation for the serving path.
+    ///
+    /// A hit serves the complete cached answer (second element `false`). A
+    /// miss evaluates under the deadline in `opts`; if the budget expires
+    /// the partial prefix is returned with `true` and is *not* cached —
+    /// partial answers must never be served as complete ones later.
+    pub fn find_descendants_deadline(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+    ) -> (Arc<Vec<QueryResult>>, bool) {
         // Read the generation before the framework: if an `attach` lands in
         // between, the fresh results are tagged with the older generation
         // and correctly discarded on the next lookup.
@@ -158,11 +260,14 @@ impl CachedFlix {
             let mut inner = self.inner.lock();
             inner.tick += 1;
             let tick = inner.tick;
+            // Every lookup feeds the admission sketch, hits included: the
+            // gate needs to know which keys are actually popular.
+            inner.sketch.record(&key);
             match inner.map.get_mut(&key) {
                 Some(entry) if entry.generation == generation => {
                     entry.stamp = tick;
                     self.hits.inc();
-                    return clip(Arc::clone(&entry.results), opts.max_results);
+                    return (clip(Arc::clone(&entry.results), opts.max_results), false);
                 }
                 Some(_) => {
                     // Computed under an older framework: never serve it.
@@ -179,7 +284,11 @@ impl CachedFlix {
             max_results: None,
             ..*opts
         };
-        let fresh = Arc::new(flix.find_descendants(start, target, &full_opts));
+        let outcome = flix.find_descendants_outcome(start, target, &full_opts);
+        let fresh = Arc::new(outcome.results);
+        if outcome.timed_out {
+            return (clip(fresh, opts.max_results), true);
+        }
         let mut inner = self.inner.lock();
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
             if let Some(victim) = inner
@@ -188,8 +297,16 @@ impl CachedFlix {
                 .min_by_key(|(_, entry)| entry.stamp)
                 .map(|(k, _)| *k)
             {
-                inner.map.remove(&victim);
-                self.evictions.inc();
+                // TinyLFU admission (ties go to the newcomer, so a cold
+                // cache still fills and recency breaks frequency ties).
+                if inner.sketch.estimate(&key) >= inner.sketch.estimate(&victim) {
+                    inner.map.remove(&victim);
+                    self.evictions.inc();
+                    self.admitted.inc();
+                } else {
+                    self.rejected.inc();
+                    return (clip(fresh, opts.max_results), false);
+                }
             }
         }
         let tick = inner.tick;
@@ -201,7 +318,7 @@ impl CachedFlix {
                 stamp: tick,
             },
         );
-        clip(fresh, opts.max_results)
+        (clip(fresh, opts.max_results), false)
     }
 
     /// Drops every cached result immediately (entries from superseded
@@ -223,11 +340,13 @@ impl CachedFlix {
             misses: self.misses.get(),
             evictions: self.evictions.get(),
             invalidations: self.invalidations.get(),
+            admitted: self.admitted.get(),
+            rejected: self.rejected.get(),
         }
     }
 
     /// Binds the cache's live counters into `registry` as
-    /// `flix_cache_{hits,misses,evictions,invalidations}_total`, tagged
+    /// `flix_cache_{hits,misses,evictions,invalidations,admitted,rejected}_total`, tagged
     /// with the given labels. The counters keep accumulating in place —
     /// later snapshots see later values without re-binding.
     pub fn publish_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
@@ -236,6 +355,8 @@ impl CachedFlix {
             ("flix_cache_misses_total", &self.misses),
             ("flix_cache_evictions_total", &self.evictions),
             ("flix_cache_invalidations_total", &self.invalidations),
+            ("flix_cache_admitted_total", &self.admitted),
+            ("flix_cache_rejected_total", &self.rejected),
         ] {
             registry.bind_counter(MetricId::with_labels(name, labels), counter);
         }
@@ -422,6 +543,98 @@ mod tests {
             text.contains("flix_cache_hits_total{cache=\"query\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn admission_gate_protects_hot_entries_from_one_off_scans() {
+        let cg = {
+            // A corpus with many elements so a scan has many distinct keys.
+            let mut c = Collection::new();
+            let t = c.tags.intern("t");
+            let mut d = Document::new("big.xml");
+            let r = d.add_element(t, None);
+            for _ in 0..63 {
+                d.add_element(t, Some(r));
+            }
+            c.add_document(d).unwrap();
+            Arc::new(c.seal())
+        };
+        let t = cg.collection.tags.get("t").unwrap();
+        let flix = Arc::new(Flix::build(cg, FlixConfig::Naive));
+        let cached = CachedFlix::new(flix, 2);
+        // Heat up two keys well past any scan key's frequency.
+        for _ in 0..8 {
+            cached.find_descendants(0, t, &QueryOptions::default());
+            cached.find_descendants(1, t, &QueryOptions::default());
+        }
+        let hits_before = cached.cache_stats().hits;
+        // One-off scan over fresh keys: each is seen once, the gate must
+        // keep them out of the full cache.
+        for start in 2..40 {
+            cached.find_descendants(start, t, &QueryOptions::default());
+        }
+        let s = cached.cache_stats();
+        assert!(s.rejected > 0, "scan keys must be rejected: {s:?}");
+        assert_eq!(s.evictions, 0, "hot entries survive the scan: {s:?}");
+        // The hot keys still hit.
+        cached.find_descendants(0, t, &QueryOptions::default());
+        cached.find_descendants(1, t, &QueryOptions::default());
+        assert_eq!(cached.cache_stats().hits, hits_before + 2);
+    }
+
+    #[test]
+    fn timed_out_answers_are_returned_but_never_cached() {
+        use flixobs::Deadline;
+        let (flix, t) = small();
+        let cached = CachedFlix::new(flix.clone(), 8);
+        let opts = QueryOptions::default().with_deadline(Deadline::within_micros(0));
+        let (partial, timed_out) = cached.find_descendants_deadline(0, t, &opts);
+        assert!(timed_out);
+        assert!(partial.is_empty(), "expired before the first pop");
+        assert!(cached.is_empty(), "partial answers must not be cached");
+        assert_eq!(cached.stats(), (0, 1));
+        // The next lookup re-evaluates and, completing in time, caches.
+        let generous = QueryOptions::default().with_deadline(Deadline::within_micros(60_000_000));
+        let (full, timed_out) = cached.find_descendants_deadline(0, t, &generous);
+        assert!(!timed_out);
+        assert_eq!(*full, flix.find_descendants(0, t, &QueryOptions::default()));
+        assert_eq!(cached.len(), 1);
+        // A deadline hit serves the complete cached answer.
+        let (again, timed_out) = cached.find_descendants_deadline(0, t, &generous);
+        assert!(!timed_out);
+        assert!(Arc::ptr_eq(&full, &again));
+    }
+
+    #[test]
+    fn plain_lookup_strips_deadlines() {
+        use flixobs::Deadline;
+        let (flix, t) = small();
+        let cached = CachedFlix::new(flix.clone(), 8);
+        let opts = QueryOptions::default().with_deadline(Deadline::within_micros(0));
+        // find_descendants always answers in full, deadline or not.
+        let res = cached.find_descendants(0, t, &opts);
+        assert_eq!(*res, flix.find_descendants(0, t, &QueryOptions::default()));
+        assert_eq!(cached.len(), 1);
+    }
+
+    #[test]
+    fn sketch_estimates_track_recorded_frequency() {
+        let mut sketch = FrequencySketch::new(8);
+        let hot: Key = (0, 1, OptsKey::from(&QueryOptions::default()));
+        let cold: Key = (9, 1, OptsKey::from(&QueryOptions::default()));
+        for _ in 0..10 {
+            sketch.record(&hot);
+        }
+        sketch.record(&cold);
+        assert!(sketch.estimate(&hot) > sketch.estimate(&cold));
+        // Saturation: counters cap at SKETCH_CAP.
+        for _ in 0..100 {
+            sketch.record(&hot);
+        }
+        assert!(sketch.estimate(&hot) <= SKETCH_CAP);
+        // Halving decays, preserving the ordering.
+        sketch.halve();
+        assert!(sketch.estimate(&hot) >= sketch.estimate(&cold));
     }
 
     #[test]

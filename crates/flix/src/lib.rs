@@ -96,9 +96,9 @@ pub use diskexec::{DiskExecStats, DiskFlix};
 pub use framework::{Flix, FlixStats, MetaDocStats};
 pub use meta::{MetaDocument, MetaIndex};
 pub use obs::QueryPathMetrics;
-pub use pee::{PeeStats, QueryOptions, QueryResult, ResultStream};
+pub use pee::{PeeStats, QueryOptions, QueryOutcome, QueryResult, ResultStream};
 pub use query::{PathQuery, QueryBinding, QueryEngine};
 pub use report::{BuildReport, MetaBuildReport};
 pub use topk::{top_k_nra, Aggregation, TopKResult};
-pub use tuning::{LoadMonitor, Recommendation};
+pub use tuning::{LoadMonitor, Recommendation, SharedLoadMonitor};
 pub use vague::{ScoredResult, TagSimilarity, VagueEvaluator, VagueQuery};

@@ -16,7 +16,7 @@
 //! already been returned and is skipped.
 
 use crate::framework::Flix;
-use flixobs::{QueryTrace, SpanCounters, SpanStage, Stopwatch};
+use flixobs::{Deadline, QueryTrace, SpanCounters, SpanStage, Stopwatch};
 use graphcore::{Distance, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -50,6 +50,11 @@ pub struct QueryOptions {
     /// costs memory (buffered results plus an emitted set) and delays the
     /// first results.
     pub exact_order: bool,
+    /// Per-request time budget, checked once per queue pop (no clock reads
+    /// when unset). On expiry the evaluation stops and the results emitted
+    /// so far stand as a partial prefix of the full answer; the outcome
+    /// variants report the cut via their `timed_out` marker.
+    pub deadline: Option<Deadline>,
 }
 
 impl QueryOptions {
@@ -76,6 +81,29 @@ impl QueryOptions {
             ..Self::default()
         }
     }
+
+    /// Attaches a per-request deadline.
+    pub fn with_deadline(self, deadline: Deadline) -> Self {
+        Self {
+            deadline: Some(deadline),
+            ..self
+        }
+    }
+}
+
+/// A collected query answer plus its termination status, for callers that
+/// need to distinguish a complete answer from a deadline-cut prefix (the
+/// serving path does; plain [`Flix::find_descendants`] ignores deadlines).
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The (possibly partial) results, in the evaluator's streamed order.
+    pub results: Vec<QueryResult>,
+    /// True when the deadline expired before the evaluation finished. The
+    /// results are then the prefix an untimed evaluation would have emitted
+    /// first — still distance-ordered under `exact_order`.
+    pub timed_out: bool,
+    /// Evaluation counters.
+    pub stats: PeeStats,
 }
 
 /// Evaluation counters, exposed for the benchmark harness and for cost
@@ -235,6 +263,64 @@ impl Flix {
         out
     }
 
+    /// `a//B` collected into a vector along with the `timed_out` marker and
+    /// the evaluation counters — the deadline-aware entry point used by the
+    /// serving path.
+    pub fn find_descendants_outcome(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+    ) -> QueryOutcome {
+        let mut stats = PeeStats::default();
+        let mut results = Vec::new();
+        let timed_out = self.evaluate_axis_traced(
+            &[(start, 0)],
+            target,
+            opts,
+            Axis::Descendants,
+            &mut stats,
+            None,
+            |r, _| {
+                results.push(r);
+                ControlFlow::Continue(())
+            },
+        );
+        QueryOutcome {
+            results,
+            timed_out,
+            stats,
+        }
+    }
+
+    /// Ancestors variant of [`Self::find_descendants_outcome`].
+    pub fn find_ancestors_outcome(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+    ) -> QueryOutcome {
+        let mut stats = PeeStats::default();
+        let mut results = Vec::new();
+        let timed_out = self.evaluate_axis_traced(
+            &[(start, 0)],
+            target,
+            opts,
+            Axis::Ancestors,
+            &mut stats,
+            None,
+            |r, _| {
+                results.push(r);
+                ControlFlow::Continue(())
+            },
+        );
+        QueryOutcome {
+            results,
+            timed_out,
+            stats,
+        }
+    }
+
     /// Ancestors variant: all elements with tag `target` from which `start`
     /// is reachable.
     pub fn find_ancestors(
@@ -314,6 +400,9 @@ impl Flix {
         let mut entries: Vec<Vec<u32>> = vec![Vec::new(); self.meta_count()];
         queue.push(Reverse((0, from)));
         while let Some(Reverse((d, e))) = queue.pop() {
+            if opts.deadline.is_some_and(|dl| dl.expired()) {
+                break; // budget spent: the best candidate so far stands
+            }
             if let Some(b) = best {
                 if d >= b {
                     break; // no remaining entry can improve the answer
@@ -396,6 +485,11 @@ impl Flix {
             s
         };
         loop {
+            if opts.deadline.is_some_and(|dl| dl.expired()) {
+                // Budget spent: report the better unconfirmed candidate.
+                let best = fwd.best.into_iter().chain(bwd.best).min();
+                return (best, combined(&fwd, &bwd));
+            }
             match fwd.step() {
                 SearchStep::Confirmed(d) => return (Some(d), combined(&fwd, &bwd)),
                 SearchStep::Exhausted => {
@@ -428,7 +522,8 @@ impl Flix {
         self.evaluate_axis_traced(seeds, target, opts, axis, &mut stats, None, |r, _| emit(r));
     }
 
-    /// The instrumented core of the evaluator.
+    /// The instrumented core of the evaluator. Returns whether the
+    /// evaluation was cut by the deadline in `opts`.
     ///
     /// With `trace` set, every queue pop (including the §5.1 subsumption
     /// check), meta-index block materialisation, and link-expansion step is
@@ -446,7 +541,7 @@ impl Flix {
         stats: &mut PeeStats,
         mut trace: Option<&mut QueryTrace>,
         mut emit: impl FnMut(QueryResult, PeeStats) -> ControlFlow<()>,
-    ) {
+    ) -> bool {
         let trace_clock = trace.as_ref().map(|_| Stopwatch::start());
         let mut queue: BinaryHeap<Reverse<(Distance, NodeId, bool)>> = BinaryHeap::new();
         let mut entries: Vec<Vec<u32>> = vec![Vec::new(); self.meta_count()];
@@ -469,7 +564,14 @@ impl Flix {
             // governed by `include_start`
             queue.push(Reverse((d, s, true)));
         }
+        let mut timed_out = false;
         while let Some(Reverse((d, e, is_seed))) = queue.pop() {
+            // Deadline check: one clock read per pop, none when unset. The
+            // emitted prefix stands; nothing buffered is released.
+            if opts.deadline.is_some_and(|dl| dl.expired()) {
+                timed_out = true;
+                break;
+            }
             // Release buffered results that no future entry can beat: every
             // path through a remaining entry costs at least `d`.
             if opts.exact_order {
@@ -488,11 +590,11 @@ impl Flix {
                         },
                         *stats,
                     ) {
-                        return;
+                        return false;
                     }
                     returned += 1;
                     if opts.max_results.is_some_and(|k| returned >= k) {
-                        return;
+                        return false;
                     }
                 }
             }
@@ -598,11 +700,11 @@ impl Flix {
                     node,
                 };
                 if let ControlFlow::Break(()) = emit(result, *stats) {
-                    return;
+                    return false;
                 }
                 returned += 1;
                 if opts.max_results.is_some_and(|k| returned >= k) {
-                    return;
+                    return false;
                 }
             }
 
@@ -640,7 +742,9 @@ impl Flix {
             entries[meta as usize].push(local);
         }
         // Queue drained: everything still buffered is final; drain in order.
-        if opts.exact_order {
+        // Not so on a deadline cut — a shorter result could still have
+        // appeared — so the buffer is dropped and the emitted prefix stands.
+        if opts.exact_order && !timed_out {
             while let Some(Reverse((bd, bn))) = hold.pop() {
                 if best.get(&bn) != Some(&bd) || !emitted.insert(bn) {
                     continue;
@@ -652,14 +756,15 @@ impl Flix {
                     },
                     *stats,
                 ) {
-                    return;
+                    return false;
                 }
                 returned += 1;
                 if opts.max_results.is_some_and(|k| returned >= k) {
-                    return;
+                    return false;
                 }
             }
         }
+        timed_out
     }
 }
 
@@ -793,7 +898,9 @@ impl ResultStream {
         target: TagId,
         opts: QueryOptions,
     ) -> Self {
-        let (tx, rx) = crossbeam::channel::unbounded();
+        // Bounded so a slow client applies backpressure to the evaluator
+        // instead of buffering an arbitrarily large result list.
+        let (tx, rx) = crossbeam::channel::bounded(1024);
         let handle = std::thread::spawn(move || {
             flix.for_each_descendant(start, target, &opts, |r| {
                 if tx.send(r).is_err() {
@@ -1364,6 +1471,58 @@ mod tests {
                 "one fetch span per answered entry, config {config}"
             );
         }
+    }
+
+    #[test]
+    fn zero_budget_deadline_times_out_with_empty_prefix() {
+        let cg = chain3();
+        let b = cg.collection.tags.get("b").unwrap();
+        for config in all_configs() {
+            let flix = Flix::build(cg.clone(), config);
+            let opts = QueryOptions::default().with_deadline(Deadline::within_micros(0));
+            let out = flix.find_descendants_outcome(0, b, &opts);
+            assert!(out.timed_out, "config {config}");
+            assert!(out.results.is_empty(), "config {config}");
+            // exact mode must not release its unproven buffer either
+            let opts = QueryOptions::exact().with_deadline(Deadline::within_micros(0));
+            let out = flix.find_descendants_outcome(0, b, &opts);
+            assert!(out.timed_out, "config {config}");
+            assert!(out.results.is_empty(), "config {config}");
+        }
+    }
+
+    #[test]
+    fn generous_deadline_completes_with_full_answer() {
+        let cg = chain3();
+        let b = cg.collection.tags.get("b").unwrap();
+        let flix = Flix::build(cg.clone(), FlixConfig::Naive);
+        let full = flix.find_descendants(0, b, &QueryOptions::default());
+        let opts = QueryOptions::default().with_deadline(Deadline::within_micros(60_000_000));
+        let out = flix.find_descendants_outcome(0, b, &opts);
+        assert!(!out.timed_out);
+        assert_eq!(out.results, full);
+        assert!(out.stats.entries_popped > 0);
+
+        let a = cg.collection.tags.get("a").unwrap();
+        let anc = flix.find_ancestors(5, a, &QueryOptions::default());
+        let out = flix.find_ancestors_outcome(5, a, &opts);
+        assert!(!out.timed_out);
+        assert_eq!(out.results, anc);
+    }
+
+    #[test]
+    fn connection_tests_respect_deadlines() {
+        let cg = chain3();
+        let flix = Flix::build(cg, FlixConfig::Naive);
+        let expired = QueryOptions::default().with_deadline(Deadline::within_micros(0));
+        // from == to answers before the evaluation loop even starts
+        assert_eq!(flix.connection_test(0, 0, &expired), Some(0));
+        // an expired budget yields no confirmed connection
+        assert_eq!(flix.connection_test(0, 6, &expired), None);
+        assert_eq!(flix.connection_test_bidirectional(0, 6, &expired), None);
+        let generous = QueryOptions::default().with_deadline(Deadline::within_micros(60_000_000));
+        assert_eq!(flix.connection_test(0, 6, &generous), Some(6));
+        assert_eq!(flix.connection_test_bidirectional(0, 6, &generous), Some(6));
     }
 
     #[test]

@@ -218,6 +218,55 @@ impl LoadMonitor {
     }
 }
 
+/// A [`LoadMonitor`] that server workers can feed concurrently: each
+/// counter is an atomic cell, so recording a query is a handful of relaxed
+/// adds with no `&mut` access or lock. [`SharedLoadMonitor::snapshot`]
+/// materialises a plain [`LoadMonitor`] for `recommend`/`publish`.
+#[derive(Debug, Default)]
+pub struct SharedLoadMonitor {
+    queries: std::sync::atomic::AtomicU64,
+    entries_popped: std::sync::atomic::AtomicU64,
+    entries_subsumed: std::sync::atomic::AtomicU64,
+    block_results_scanned: std::sync::atomic::AtomicU64,
+    links_expanded: std::sync::atomic::AtomicU64,
+    results: std::sync::atomic::AtomicU64,
+}
+
+impl SharedLoadMonitor {
+    /// A fresh monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one evaluated query; callable from any thread.
+    pub fn record(&self, stats: PeeStats, results: usize) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.queries.fetch_add(1, Relaxed);
+        self.entries_popped
+            .fetch_add(stats.entries_popped as u64, Relaxed);
+        self.entries_subsumed
+            .fetch_add(stats.entries_subsumed as u64, Relaxed);
+        self.block_results_scanned
+            .fetch_add(stats.block_results_scanned as u64, Relaxed);
+        self.links_expanded
+            .fetch_add(stats.links_expanded as u64, Relaxed);
+        self.results.fetch_add(results as u64, Relaxed);
+    }
+
+    /// A point-in-time [`LoadMonitor`] over everything recorded so far.
+    pub fn snapshot(&self) -> LoadMonitor {
+        use std::sync::atomic::Ordering::Relaxed;
+        LoadMonitor {
+            queries: self.queries.load(Relaxed),
+            entries_popped: self.entries_popped.load(Relaxed),
+            entries_subsumed: self.entries_subsumed.load(Relaxed),
+            block_results_scanned: self.block_results_scanned.load(Relaxed),
+            links_expanded: self.links_expanded.load(Relaxed),
+            results: self.results.load(Relaxed),
+        }
+    }
+}
+
 /// The "make meta documents bigger" ladder shared by the rebuild triggers.
 fn grown(current: FlixConfig) -> FlixConfig {
     match current {
@@ -440,6 +489,33 @@ mod tests {
             m.record(stats_rows(2, 10), 8);
         }
         assert_eq!(m.recommend(FlixConfig::Naive, 10), Recommendation::Keep);
+    }
+
+    #[test]
+    fn shared_monitor_matches_sequential_recording() {
+        let shared = std::sync::Arc::new(SharedLoadMonitor::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        shared.record(stats_rows(2, 10), 3);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let snap = shared.snapshot();
+        let mut sequential = LoadMonitor::new();
+        for _ in 0..200 {
+            sequential.record(stats_rows(2, 10), 3);
+        }
+        assert_eq!(snap.queries(), sequential.queries());
+        assert_eq!(snap.avg_lookups(), sequential.avg_lookups());
+        assert_eq!(snap.avg_rows_scanned(), sequential.avg_rows_scanned());
+        assert_eq!(snap.rows_per_result(), sequential.rows_per_result());
     }
 
     #[test]

@@ -11,10 +11,14 @@
 //!   There is deliberately no allowlist for this rule.
 //! * `unsafe` — `unsafe` only where the allowlist explicitly permits it.
 //! * `missing-docs` — public items in the `graphcore`, `pagestore`, `obs`,
-//!   and `flix` crates must carry a doc comment.
+//!   `flix`, and `serve` crates must carry a doc comment.
 //! * `instant-now` — `Instant::now()` only inside the `obs` crate: all
 //!   other code must time through `flixobs::Stopwatch`, so measurements
 //!   cannot bypass the observability layer.
+//! * `unbounded-channel` — no `unbounded()` / `mpsc::channel()` channel
+//!   construction outside the allowlist: the serving path must use bounded
+//!   queues so overload sheds instead of buffering without limit. The only
+//!   grandfathered sites are build-time pipelines that cannot overload.
 //!
 //! Diagnostics are machine readable: `path:line: rule: message`.
 
@@ -26,7 +30,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose public items must be documented.
-const DOC_CRATES: &[&str] = &["graphcore", "pagestore", "obs", "flix"];
+const DOC_CRATES: &[&str] = &["graphcore", "pagestore", "obs", "flix", "serve"];
 
 /// The one crate allowed to call `Instant::now()` directly (it hosts
 /// `flixobs::Stopwatch`, the sanctioned clock).
@@ -45,6 +49,9 @@ pub enum Rule {
     MissingDocs,
     /// `Instant::now()` outside the `obs` crate (use `flixobs::Stopwatch`).
     InstantNow,
+    /// `unbounded()` / `mpsc::channel()` channel construction outside the
+    /// allowlist (bounded queues only on hot paths).
+    UnboundedChannel,
     /// Allowlist entry whose ceiling is higher than reality (or whose
     /// file no longer exists): the ceiling must be lowered.
     AllowlistStale,
@@ -59,6 +66,7 @@ impl Rule {
             Rule::Unsafe => "unsafe",
             Rule::MissingDocs => "missing-docs",
             Rule::InstantNow => "instant-now",
+            Rule::UnboundedChannel => "unbounded-channel",
             Rule::AllowlistStale => "allowlist-stale",
         }
     }
@@ -70,6 +78,7 @@ impl Rule {
             "unsafe" => Some(Rule::Unsafe),
             "missing-docs" => Some(Rule::MissingDocs),
             "instant-now" => Some(Rule::InstantNow),
+            "unbounded-channel" => Some(Rule::UnboundedChannel),
             _ => None,
         }
     }
@@ -286,6 +295,23 @@ pub fn lint_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
                 message: "`Instant::now()` outside the obs crate; time through \
                           `flixobs::Stopwatch` so measurements stay observable"
                     .to_string(),
+            });
+        }
+    }
+
+    for pat in ["unbounded(", "mpsc::channel()"] {
+        for pos in find_all(&stripped, pat) {
+            if in_tests(pos) || !word_boundary_before(&stripped, pos) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: line_of(&stripped, pos),
+                rule: Rule::UnboundedChannel,
+                message: format!(
+                    "`{pat}` builds an unbounded channel; use a bounded queue so \
+                     overload sheds instead of buffering without limit"
+                ),
             });
         }
     }
@@ -642,6 +668,33 @@ mod tests {
         assert!(lint_file("crates/flix/src/pee.rs", doc_src)
             .iter()
             .all(|d| d.rule != Rule::InstantNow));
+    }
+
+    #[test]
+    fn unbounded_channel_construction_is_flagged() {
+        let src = "fn f() {\n\
+                   let (a, b) = crossbeam::channel::unbounded();\n\
+                   let (c, d) = std::sync::mpsc::channel();\n\
+                   let (e, g) = crossbeam::channel::bounded(64);\n\
+                   }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::UnboundedChannel)
+            .collect();
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[1].line, 3);
+        // Test code may wire up whatever channels it likes.
+        let test_src = "#[cfg(test)]\nmod t { fn g() { let (a, b) = unbounded(); } }\n";
+        assert!(lint_file("crates/demo/src/lib.rs", test_src)
+            .iter()
+            .all(|d| d.rule != Rule::UnboundedChannel));
+        // Identifiers that merely end in `unbounded` never fire.
+        let ident_src = "fn f() { let x = grow_unbounded(7); }\n";
+        assert!(lint_file("crates/demo/src/lib.rs", ident_src)
+            .iter()
+            .all(|d| d.rule != Rule::UnboundedChannel));
     }
 
     #[test]

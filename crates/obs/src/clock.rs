@@ -33,6 +33,52 @@ impl Stopwatch {
     }
 }
 
+/// A per-request time budget anchored at a [`Stopwatch`].
+///
+/// A `Deadline` is cheap to copy and cheap to check: callers poll
+/// [`Deadline::expired`] at natural loop boundaries (one clock read per
+/// poll) instead of arming timers. The evaluator threads a deadline
+/// through its priority-queue loop so long-running queries stop at the
+/// budget boundary and return the partial, distance-ordered prefix
+/// produced so far.
+///
+/// ```
+/// let d = flixobs::Deadline::within_micros(5_000_000);
+/// assert!(!d.expired());
+/// assert!(d.remaining_micros() <= 5_000_000);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    clock: Stopwatch,
+    budget_micros: u64,
+}
+
+impl Deadline {
+    /// A deadline `budget_micros` from now.
+    pub fn within_micros(budget_micros: u64) -> Self {
+        Self {
+            clock: Stopwatch::start(),
+            budget_micros,
+        }
+    }
+
+    /// The total budget this deadline was created with.
+    pub fn budget_micros(&self) -> u64 {
+        self.budget_micros
+    }
+
+    /// Whether the budget has been spent.
+    pub fn expired(&self) -> bool {
+        self.clock.elapsed_micros() >= self.budget_micros
+    }
+
+    /// Microseconds left before expiry (0 once expired).
+    pub fn remaining_micros(&self) -> u64 {
+        self.budget_micros
+            .saturating_sub(self.clock.elapsed_micros())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +90,20 @@ mod tests {
         let b = sw.elapsed_micros();
         assert!(b >= a);
         assert!(sw.elapsed() >= Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_budget_deadline_is_expired() {
+        let d = Deadline::within_micros(0);
+        assert!(d.expired());
+        assert_eq!(d.remaining_micros(), 0);
+        assert_eq!(d.budget_micros(), 0);
+    }
+
+    #[test]
+    fn generous_deadline_is_not_expired() {
+        let d = Deadline::within_micros(60_000_000);
+        assert!(!d.expired());
+        assert!(d.remaining_micros() > 0);
     }
 }

@@ -17,7 +17,8 @@
 //!   aggregation.
 //! * [`Stopwatch`] — the one sanctioned wall-clock source. The `flixcheck`
 //!   lint flags `Instant::now()` anywhere else in the workspace, so ad-hoc
-//!   timing cannot bypass this layer.
+//!   timing cannot bypass this layer. [`Deadline`] builds per-request time
+//!   budgets on top of it for the serving path.
 //!
 //! Snapshots export two ways: [`MetricsSnapshot::to_json`] for the bench
 //! trajectory files and [`MetricsSnapshot::to_prometheus`] for a
@@ -36,7 +37,7 @@ pub mod slowlog;
 /// Per-query timed spans with evaluator counters attached.
 pub mod trace;
 
-pub use clock::Stopwatch;
+pub use clock::{Deadline, Stopwatch};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricsRegistry, MetricsSnapshot,
 };

@@ -334,6 +334,18 @@ impl MetricsRegistry {
         self.inner.lock().counters.insert(id, counter.clone());
     }
 
+    /// Binds a component-owned gauge handle under `id`, preserving its
+    /// current value. Replaces any handle previously bound to the id.
+    pub fn bind_gauge(&self, id: MetricId, gauge: &Gauge) {
+        self.inner.lock().gauges.insert(id, gauge.clone());
+    }
+
+    /// Binds a component-owned histogram handle under `id`, preserving its
+    /// accumulated samples. Replaces any handle previously bound to the id.
+    pub fn bind_histogram(&self, id: MetricId, histogram: &Histogram) {
+        self.inner.lock().histograms.insert(id, histogram.clone());
+    }
+
     /// Get-or-create the gauge `name` (no labels).
     pub fn gauge(&self, name: &str) -> Gauge {
         self.gauge_with(name, &[])
@@ -520,6 +532,22 @@ mod tests {
         reg.bind_counter(MetricId::new("pool_hits_total"), &owned);
         owned.inc();
         assert_eq!(reg.counter("pool_hits_total").get(), 8);
+    }
+
+    #[test]
+    fn bind_gauge_and_histogram_share_cells() {
+        let reg = MetricsRegistry::new();
+        let g = Gauge::new();
+        g.set(3.0);
+        reg.bind_gauge(MetricId::new("depth"), &g);
+        g.set(5.0);
+        assert_eq!(reg.gauge("depth").get(), 5.0);
+
+        let h = Histogram::new();
+        h.record(42);
+        reg.bind_histogram(MetricId::new("lat_micros"), &h);
+        h.record(7);
+        assert_eq!(reg.histogram("lat_micros").count(), 2);
     }
 
     #[test]

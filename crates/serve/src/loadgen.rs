@@ -1,0 +1,215 @@
+//! Load generators for driving a [`FlixServer`].
+//!
+//! Two standard shapes:
+//!
+//! * [`closed_loop`] — K client threads each issue a request, wait for the
+//!   answer, and immediately issue the next. Offered load adapts to
+//!   service capacity, so this measures *throughput* (scaling with worker
+//!   count) without overload.
+//! * [`open_loop`] — a dispatcher submits at a fixed target rate
+//!   regardless of completions (fire-and-forget tickets), the shape that
+//!   actually overloads a service. Under 2× capacity the point is that the
+//!   admission controller sheds instead of letting admitted latency grow
+//!   without bound; latency is read from the server's own histogram after
+//!   the tail drains.
+
+use crate::server::{FlixServer, Request, ServeError};
+use flixobs::Stopwatch;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Outcome of a [`closed_loop`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosedLoopReport {
+    /// Client threads used.
+    pub clients: usize,
+    /// Requests answered (including deadline-cut answers).
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Answers that carried the `timed_out` marker.
+    pub timed_out: u64,
+    /// Wall-clock time for the whole run.
+    pub wall_micros: u64,
+}
+
+impl ClosedLoopReport {
+    /// Completed requests per second over the run.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_micros == 0 {
+            0.0
+        } else {
+            self.completed as f64 * 1_000_000.0 / self.wall_micros as f64
+        }
+    }
+}
+
+/// Drives `requests` through `server` from `clients` synchronous client
+/// threads (client `c` takes requests `c, c+clients, …`, so the mix is
+/// stable across client counts).
+pub fn closed_loop(server: &FlixServer, requests: &[Request], clients: usize) -> ClosedLoopReport {
+    let clients = clients.max(1);
+    let completed = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let timed_out = AtomicU64::new(0);
+    let sw = Stopwatch::start();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let completed = &completed;
+            let shed = &shed;
+            let timed_out = &timed_out;
+            scope.spawn(move || {
+                for request in requests.iter().skip(c).step_by(clients) {
+                    match server.query(*request) {
+                        Ok(response) => {
+                            completed.fetch_add(1, Relaxed);
+                            if response.timed_out {
+                                timed_out.fetch_add(1, Relaxed);
+                            }
+                        }
+                        Err(ServeError::Overloaded { .. }) => {
+                            shed.fetch_add(1, Relaxed);
+                        }
+                        Err(_) => {
+                            shed.fetch_add(1, Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    ClosedLoopReport {
+        clients,
+        completed: completed.load(Relaxed),
+        shed: shed.load(Relaxed),
+        timed_out: timed_out.load(Relaxed),
+        wall_micros: sw.elapsed_micros(),
+    }
+}
+
+/// Outcome of an [`open_loop`] run.
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopReport {
+    /// Requests offered to the server.
+    pub offered: u64,
+    /// Requests admitted past the controller.
+    pub admitted: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Wall-clock time for the dispatch phase (excludes the final drain).
+    pub wall_micros: u64,
+}
+
+impl OpenLoopReport {
+    /// Fraction of offered requests that were shed.
+    pub fn shed_fraction(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+/// Offers `requests` to `server` at `target_qps`, fire-and-forget: tickets
+/// are dropped, completions are read from the server's metrics. Blocks
+/// until the admitted tail has drained so the caller can read a settled
+/// latency histogram.
+pub fn open_loop(server: &FlixServer, requests: &[Request], target_qps: f64) -> OpenLoopReport {
+    let interval_micros = if target_qps > 0.0 {
+        1_000_000.0 / target_qps
+    } else {
+        0.0
+    };
+    let mut admitted = 0u64;
+    let mut shed = 0u64;
+    let sw = Stopwatch::start();
+    for (i, request) in requests.iter().enumerate() {
+        let due = (i as f64 * interval_micros) as u64;
+        loop {
+            let now = sw.elapsed_micros();
+            if now >= due {
+                break;
+            }
+            // Sleep coarsely, then let the loop re-check; sub-100µs waits
+            // just spin on the clock.
+            let remaining = due - now;
+            if remaining > 200 {
+                std::thread::sleep(std::time::Duration::from_micros(remaining - 100));
+            }
+        }
+        match server.submit(*request) {
+            Ok(ticket) => {
+                admitted += 1;
+                drop(ticket);
+            }
+            Err(_) => shed += 1,
+        }
+    }
+    let wall_micros = sw.elapsed_micros();
+    server.wait_idle();
+    OpenLoopReport {
+        offered: requests.len() as u64,
+        admitted,
+        shed,
+        wall_micros,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+    use flix::{Flix, FlixConfig, QueryOptions};
+    use std::sync::Arc;
+    use xmlgraph::{Collection, Document};
+
+    fn tiny_server(workers: usize) -> (FlixServer, xmlgraph::TagId) {
+        let mut c = Collection::new();
+        let t = c.tags.intern("t");
+        let mut d = Document::new("a.xml");
+        let r = d.add_element(t, None);
+        for _ in 0..8 {
+            d.add_element(t, Some(r));
+        }
+        c.add_document(d).unwrap();
+        let cg = Arc::new(c.seal());
+        let tag = cg.collection.tags.get("t").unwrap();
+        let flix = Arc::new(Flix::build(cg, FlixConfig::Naive));
+        let config = ServeConfig {
+            workers,
+            // Disable collapsing so every generated request is evaluated:
+            // the loop reports then count real completions.
+            single_flight: false,
+            ..ServeConfig::default()
+        };
+        (FlixServer::start(flix, config), tag)
+    }
+
+    #[test]
+    fn closed_loop_completes_every_request() {
+        let (server, t) = tiny_server(2);
+        let requests: Vec<Request> = (0..40)
+            .map(|i| Request::descendants(i % 9, t, QueryOptions::default()))
+            .collect();
+        let report = closed_loop(&server, &requests, 4);
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.shed, 0, "closed loop never outruns its clients");
+        assert!(report.throughput_qps() > 0.0);
+        assert_eq!(server.stats().completed, 40);
+        server.shutdown();
+    }
+
+    #[test]
+    fn open_loop_accounts_every_offer() {
+        let (server, t) = tiny_server(2);
+        let requests: Vec<Request> = (0..50)
+            .map(|i| Request::descendants(i % 9, t, QueryOptions::default()))
+            .collect();
+        let report = open_loop(&server, &requests, 10_000.0);
+        assert_eq!(report.offered, 50);
+        assert_eq!(report.admitted + report.shed, 50);
+        // After wait_idle, the histogram has every admitted completion.
+        assert_eq!(server.latency().count(), report.admitted);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,787 @@
+//! The worker-pool query server.
+//!
+//! A [`FlixServer`] owns N worker threads, each fed by its own *bounded*
+//! channel. [`FlixServer::submit`] is the admission controller: it rejects
+//! during drain, collapses duplicates of an in-flight query, enforces the
+//! in-flight ceiling, and round-robins the request over the worker queues
+//! with non-blocking sends — if every queue is full the request is shed
+//! with [`ServeError::Overloaded`] rather than parked. Shedding keeps the
+//! latency of *admitted* requests bounded by queue capacity instead of
+//! growing with offered load, which is the whole point of bounding the
+//! queues (see DESIGN.md §8).
+
+use flix::{CachedFlix, Flix, PeeStats, QueryOptions, QueryResult, SharedLoadMonitor};
+use flixobs::{
+    Counter, Deadline, Gauge, Histogram, MetricId, MetricsRegistry, QueryTrace, SlowQuery,
+    SlowQueryLog, Stopwatch,
+};
+use graphcore::{Distance, NodeId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::Arc;
+use xmlgraph::TagId;
+
+/// Server sizing and policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads answering queries.
+    pub workers: usize,
+    /// Capacity of each worker's request queue. Bounded by construction:
+    /// the flixcheck `unbounded-channel` rule keeps it that way.
+    pub queue_capacity: usize,
+    /// Ceiling on admitted-but-unfinished requests across all workers.
+    /// `0` means automatic: `workers * (queue_capacity + 1)` — every queue
+    /// full plus one request executing per worker.
+    pub max_in_flight: usize,
+    /// Deadline budget applied to requests that do not carry their own.
+    /// `None` serves without a time budget. The clock starts at admission,
+    /// so queue wait counts against the budget.
+    pub default_deadline_micros: Option<u64>,
+    /// Collapse identical in-flight queries onto one evaluation.
+    pub single_flight: bool,
+    /// Worst-trace capacity of the server's slow-query log.
+    pub slow_log_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_capacity: 64,
+            max_in_flight: 0,
+            default_deadline_micros: None,
+            single_flight: true,
+            slow_log_capacity: 8,
+        }
+    }
+}
+
+impl ServeConfig {
+    fn effective_workers(&self) -> usize {
+        self.workers.max(1)
+    }
+
+    fn effective_max_in_flight(&self) -> usize {
+        if self.max_in_flight > 0 {
+            self.max_in_flight
+        } else {
+            self.effective_workers() * (self.queue_capacity.max(1) + 1)
+        }
+    }
+}
+
+/// Which axis a request evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AxisKind {
+    /// `start // target` (descendants).
+    Descendants,
+    /// Elements with tag `target` from which `start` is reachable.
+    Ancestors,
+}
+
+/// One query request.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Start element (global id).
+    pub start: NodeId,
+    /// Target tag.
+    pub target: TagId,
+    /// Evaluation direction.
+    pub axis: AxisKind,
+    /// Evaluation options (deadline included, if the client sets one).
+    pub opts: QueryOptions,
+}
+
+impl Request {
+    /// A descendants query `start // target`.
+    pub fn descendants(start: NodeId, target: TagId, opts: QueryOptions) -> Self {
+        Self {
+            start,
+            target,
+            axis: AxisKind::Descendants,
+            opts,
+        }
+    }
+
+    /// An ancestors query.
+    pub fn ancestors(start: NodeId, target: TagId, opts: QueryOptions) -> Self {
+        Self {
+            start,
+            target,
+            axis: AxisKind::Ancestors,
+            opts,
+        }
+    }
+}
+
+/// One query answer, as delivered to the submitting client.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The results — complete, or a distance-ordered prefix on timeout.
+    /// Shared (`Arc`) so single-flight fan-out and cache hits cost no copy.
+    pub results: Arc<Vec<QueryResult>>,
+    /// True when the deadline cut the evaluation short.
+    pub timed_out: bool,
+    /// True when this response was fanned out from another request's
+    /// evaluation by single-flight collapsing.
+    pub collapsed: bool,
+    /// Time the request sat queued before a worker picked it up.
+    pub queue_micros: u64,
+    /// End-to-end time from admission to completion.
+    pub total_micros: u64,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control shed the request: the in-flight ceiling was
+    /// reached or every worker queue was full.
+    Overloaded {
+        /// Requests queued across all workers at rejection time.
+        queued: usize,
+        /// Admitted-but-unfinished requests at rejection time.
+        in_flight: usize,
+    },
+    /// The server is draining: admitted work finishes, new work is refused.
+    ShuttingDown,
+    /// The serving side went away before answering (shutdown raced the
+    /// request, or a worker panicked).
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Overloaded { queued, in_flight } => {
+                write!(f, "overloaded: {queued} queued, {in_flight} in flight")
+            }
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::Disconnected => write!(f, "server disconnected before answering"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The query engine behind a server: a plain framework or a cached one.
+pub enum Backend {
+    /// Evaluate every query on the framework.
+    Plain(Arc<Flix>),
+    /// Serve descendants queries through the result cache (ancestors
+    /// queries go to the underlying framework; the cache only keys the
+    /// descendants axis).
+    Cached(Arc<CachedFlix>),
+}
+
+impl From<Arc<Flix>> for Backend {
+    fn from(flix: Arc<Flix>) -> Self {
+        Self::Plain(flix)
+    }
+}
+
+impl From<Arc<CachedFlix>> for Backend {
+    fn from(cached: Arc<CachedFlix>) -> Self {
+        Self::Cached(cached)
+    }
+}
+
+/// Single-flight identity of a query: everything that determines its
+/// answer, plus the deadline *budget* (not the deadline instance — two
+/// requests with the same budget admitted moments apart may share an
+/// evaluation; the collapsed one inherits the leader's cut, if any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SfKey {
+    start: NodeId,
+    target: TagId,
+    axis: AxisKind,
+    max_distance: Option<Distance>,
+    max_results: Option<usize>,
+    include_start: bool,
+    exact_order: bool,
+    deadline_budget: Option<u64>,
+}
+
+impl SfKey {
+    fn of(req: &Request) -> Self {
+        Self {
+            start: req.start,
+            target: req.target,
+            axis: req.axis,
+            max_distance: req.opts.max_distance,
+            max_results: req.opts.max_results,
+            include_start: req.opts.include_start,
+            exact_order: req.opts.exact_order,
+            deadline_budget: req.opts.deadline.map(|d| d.budget_micros()),
+        }
+    }
+}
+
+type Reply = crossbeam::channel::Sender<Result<Response, ServeError>>;
+
+struct Job {
+    request: Request,
+    admitted: Stopwatch,
+    reply: Reply,
+    sf_key: Option<SfKey>,
+}
+
+/// Component-owned metric cells for the serving path. End-to-end latency
+/// (`flixserve_latency_micros`) is distinct from the evaluator-only
+/// `flix_query_latency_micros`: it includes queue wait and fan-out.
+struct ServeMetrics {
+    latency: Histogram,
+    queue_wait: Histogram,
+    queue_depth: Gauge,
+    in_flight: Gauge,
+    submitted: Counter,
+    completed: Counter,
+    shed: Counter,
+    timeouts: Counter,
+    collapsed: Counter,
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        Self {
+            latency: Histogram::new(),
+            queue_wait: Histogram::new(),
+            queue_depth: Gauge::new(),
+            in_flight: Gauge::new(),
+            submitted: Counter::new(),
+            completed: Counter::new(),
+            shed: Counter::new(),
+            timeouts: Counter::new(),
+            collapsed: Counter::new(),
+        }
+    }
+}
+
+/// Point-in-time serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests admitted past the controller.
+    pub submitted: u64,
+    /// Requests answered (leaders; collapsed followers count separately).
+    pub completed: u64,
+    /// Requests rejected with [`ServeError::Overloaded`].
+    pub shed: u64,
+    /// Answers cut short by their deadline.
+    pub timed_out: u64,
+    /// Follower responses served by single-flight fan-out.
+    pub collapsed: u64,
+    /// Requests currently queued across all workers.
+    pub queued: usize,
+    /// Admitted-but-unfinished requests right now.
+    pub in_flight: usize,
+}
+
+struct Shared {
+    backend: Backend,
+    config: ServeConfig,
+    draining: AtomicBool,
+    in_flight: AtomicUsize,
+    queued: AtomicUsize,
+    next_worker: AtomicUsize,
+    single_flight: Mutex<HashMap<SfKey, Vec<Reply>>>,
+    metrics: ServeMetrics,
+    slow_log: SlowQueryLog,
+    load: SharedLoadMonitor,
+}
+
+impl Shared {
+    fn overloaded(&self) -> ServeError {
+        ServeError::Overloaded {
+            queued: self.queued.load(SeqCst),
+            in_flight: self.in_flight.load(SeqCst),
+        }
+    }
+
+    /// Removes a single-flight registration and fails any followers that
+    /// attached while the leader was being (unsuccessfully) admitted.
+    fn abort_single_flight(&self, key: Option<SfKey>, error: &ServeError) {
+        let Some(key) = key else { return };
+        let waiters = self.single_flight.lock().remove(&key).unwrap_or_default();
+        for waiter in waiters {
+            self.metrics.shed.inc();
+            let _ = waiter.send(Err(error.clone()));
+        }
+    }
+}
+
+/// A handle to a submitted request; consume it with [`Ticket::wait`].
+pub struct Ticket {
+    rx: crossbeam::channel::Receiver<Result<Response, ServeError>>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket").finish_non_exhaustive()
+    }
+}
+
+impl Ticket {
+    /// Blocks until the answer (or rejection) arrives. Dropping a ticket
+    /// without waiting is allowed — the evaluation still completes and
+    /// feeds the metrics (open-loop load generation relies on this).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Disconnected))
+    }
+}
+
+/// A concurrent query server over a FliX backend. See the crate docs for
+/// the full design; construction starts the workers, [`Self::shutdown`]
+/// (or drop) drains them.
+pub struct FlixServer {
+    shared: Arc<Shared>,
+    senders: RwLock<Option<Vec<crossbeam::channel::Sender<Job>>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl FlixServer {
+    /// Starts `config.workers` worker threads over `backend`.
+    pub fn start(backend: impl Into<Backend>, config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            backend: backend.into(),
+            config,
+            draining: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            next_worker: AtomicUsize::new(0),
+            single_flight: Mutex::new(HashMap::new()),
+            metrics: ServeMetrics::new(),
+            slow_log: SlowQueryLog::new(config.slow_log_capacity.max(1)),
+            load: SharedLoadMonitor::new(),
+        });
+        let mut senders = Vec::new();
+        let mut handles = Vec::new();
+        for _ in 0..config.effective_workers() {
+            let (tx, rx) = crossbeam::channel::bounded(config.queue_capacity.max(1));
+            let worker_shared = Arc::clone(&shared);
+            let handle = std::thread::spawn(move || worker_loop(&worker_shared, &rx));
+            senders.push(tx);
+            handles.push(handle);
+        }
+        Self {
+            shared,
+            senders: RwLock::new(Some(senders)),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.shared.config.effective_workers()
+    }
+
+    /// Submits a request through admission control. Returns a [`Ticket`]
+    /// on admission (or single-flight attachment); sheds with a typed
+    /// error otherwise. Never blocks on a full queue.
+    pub fn submit(&self, request: Request) -> Result<Ticket, ServeError> {
+        let shared = &self.shared;
+        if shared.draining.load(SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let mut request = request;
+        if request.opts.deadline.is_none() {
+            if let Some(budget) = shared.config.default_deadline_micros {
+                request.opts.deadline = Some(Deadline::within_micros(budget));
+            }
+        }
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
+        let ticket = Ticket { rx: reply_rx };
+
+        // Single-flight: attach to an in-flight identical query if there is
+        // one. Followers consume no queue slot and no in-flight budget.
+        let sf_key = if shared.config.single_flight {
+            let key = SfKey::of(&request);
+            let mut sf = shared.single_flight.lock();
+            match sf.get_mut(&key) {
+                Some(waiters) => {
+                    waiters.push(reply_tx);
+                    return Ok(ticket);
+                }
+                None => {
+                    sf.insert(key, Vec::new());
+                    Some(key)
+                }
+            }
+        } else {
+            None
+        };
+
+        // In-flight ceiling.
+        let max = shared.config.effective_max_in_flight();
+        if shared
+            .in_flight
+            .fetch_update(SeqCst, SeqCst, |cur| (cur < max).then_some(cur + 1))
+            .is_err()
+        {
+            let err = shared.overloaded();
+            shared.metrics.shed.inc();
+            shared.abort_single_flight(sf_key, &err);
+            return Err(err);
+        }
+        shared
+            .metrics
+            .in_flight
+            .set(shared.in_flight.load(SeqCst) as f64);
+
+        // Round-robin over the worker queues with non-blocking sends.
+        let senders = self.senders.read();
+        let Some(senders) = senders.as_deref() else {
+            shared.in_flight.fetch_sub(1, SeqCst);
+            shared.abort_single_flight(sf_key, &ServeError::ShuttingDown);
+            return Err(ServeError::ShuttingDown);
+        };
+        let mut job = Job {
+            request,
+            admitted: Stopwatch::start(),
+            reply: reply_tx,
+            sf_key,
+        };
+        let first = shared.next_worker.fetch_add(1, SeqCst);
+        for i in 0..senders.len() {
+            let tx = &senders[(first + i) % senders.len()];
+            match tx.try_send(job) {
+                Ok(()) => {
+                    shared.metrics.submitted.inc();
+                    shared
+                        .metrics
+                        .queue_depth
+                        .set(shared.queued.fetch_add(1, SeqCst) as f64 + 1.0);
+                    return Ok(ticket);
+                }
+                Err(crossbeam::channel::TrySendError::Full(returned))
+                | Err(crossbeam::channel::TrySendError::Disconnected(returned)) => {
+                    job = returned;
+                }
+            }
+        }
+        // Every queue full (or gone): shed.
+        shared.in_flight.fetch_sub(1, SeqCst);
+        shared
+            .metrics
+            .in_flight
+            .set(shared.in_flight.load(SeqCst) as f64);
+        let err = shared.overloaded();
+        shared.metrics.shed.inc();
+        shared.abort_single_flight(sf_key, &err);
+        Err(err)
+    }
+
+    /// [`Self::submit`] then [`Ticket::wait`].
+    pub fn query(&self, request: Request) -> Result<Response, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Drains the server: new submissions are rejected, every admitted
+    /// request completes, the workers exit, and the metrics and slow-query
+    /// log remain readable. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.draining.store(true, SeqCst);
+        // Dropping the senders closes the queues; the channel contract
+        // delivers everything already buffered before the workers see the
+        // disconnect, so admitted work always finishes.
+        drop(self.senders.write().take());
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until no request is queued or executing. Used after
+    /// open-loop (fire-and-forget) load generation to let the tail drain
+    /// before reading the latency histogram.
+    pub fn wait_idle(&self) {
+        while self.shared.in_flight.load(SeqCst) > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    /// Point-in-time serving counters.
+    pub fn stats(&self) -> ServeStats {
+        let m = &self.shared.metrics;
+        ServeStats {
+            submitted: m.submitted.get(),
+            completed: m.completed.get(),
+            shed: m.shed.get(),
+            timed_out: m.timeouts.get(),
+            collapsed: m.collapsed.get(),
+            queued: self.shared.queued.load(SeqCst),
+            in_flight: self.shared.in_flight.load(SeqCst),
+        }
+    }
+
+    /// End-to-end latency histogram (admission to completion).
+    pub fn latency(&self) -> &Histogram {
+        &self.shared.metrics.latency
+    }
+
+    /// Queue-wait histogram (admission to worker pickup).
+    pub fn queue_wait(&self) -> &Histogram {
+        &self.shared.metrics.queue_wait
+    }
+
+    /// The worst retained request traces, slowest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.shared.slow_log.worst()
+    }
+
+    /// Snapshot of the load monitor the workers feed (queries answered by
+    /// the in-process evaluator; cache hits do no evaluator work and
+    /// cached-miss internals are owned by the cache, so neither records).
+    pub fn load(&self) -> flix::LoadMonitor {
+        self.shared.load.snapshot()
+    }
+
+    /// Binds the server's live metric cells into `registry` under
+    /// `flixserve_*` names tagged with `labels`: queue-depth and in-flight
+    /// gauges, shed/timeout/collapse/submitted/completed counters, and the
+    /// end-to-end latency and queue-wait histograms.
+    pub fn publish_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        let m = &self.shared.metrics;
+        for (name, counter) in [
+            ("flixserve_submitted_total", &m.submitted),
+            ("flixserve_completed_total", &m.completed),
+            ("flixserve_shed_total", &m.shed),
+            ("flixserve_timeout_total", &m.timeouts),
+            ("flixserve_collapsed_total", &m.collapsed),
+        ] {
+            registry.bind_counter(MetricId::with_labels(name, labels), counter);
+        }
+        for (name, gauge) in [
+            ("flixserve_queue_depth", &m.queue_depth),
+            ("flixserve_in_flight", &m.in_flight),
+        ] {
+            registry.bind_gauge(MetricId::with_labels(name, labels), gauge);
+        }
+        for (name, histogram) in [
+            ("flixserve_latency_micros", &m.latency),
+            ("flixserve_queue_micros", &m.queue_wait),
+        ] {
+            registry.bind_histogram(MetricId::with_labels(name, labels), histogram);
+        }
+    }
+}
+
+impl Drop for FlixServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Evaluates one request on the backend. Returns the (possibly partial)
+/// results, the timeout marker, and — when the evaluator ran in-process —
+/// its counters for the load monitor.
+fn compute(backend: &Backend, req: &Request) -> (Arc<Vec<QueryResult>>, bool, Option<PeeStats>) {
+    match (backend, req.axis) {
+        (Backend::Cached(cached), AxisKind::Descendants) => {
+            let (results, timed_out) =
+                cached.find_descendants_deadline(req.start, req.target, &req.opts);
+            (results, timed_out, None)
+        }
+        (Backend::Cached(cached), AxisKind::Ancestors) => {
+            let out = cached
+                .framework()
+                .find_ancestors_outcome(req.start, req.target, &req.opts);
+            (Arc::new(out.results), out.timed_out, Some(out.stats))
+        }
+        (Backend::Plain(flix), AxisKind::Descendants) => {
+            let out = flix.find_descendants_outcome(req.start, req.target, &req.opts);
+            (Arc::new(out.results), out.timed_out, Some(out.stats))
+        }
+        (Backend::Plain(flix), AxisKind::Ancestors) => {
+            let out = flix.find_ancestors_outcome(req.start, req.target, &req.opts);
+            (Arc::new(out.results), out.timed_out, Some(out.stats))
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        shared
+            .metrics
+            .queue_depth
+            .set(shared.queued.fetch_sub(1, SeqCst) as f64 - 1.0);
+        let queue_micros = job.admitted.elapsed_micros();
+        let (results, timed_out, stats) = compute(&shared.backend, &job.request);
+        let total_micros = job.admitted.elapsed_micros();
+
+        shared.metrics.queue_wait.record(queue_micros);
+        shared.metrics.latency.record(total_micros);
+        shared.metrics.completed.inc();
+        if timed_out {
+            shared.metrics.timeouts.inc();
+        }
+        if let Some(stats) = stats {
+            shared.load.record(stats, results.len());
+        }
+        let mut trace = QueryTrace::new(&format!(
+            "{}//{:?} ({:?})",
+            job.request.start, job.request.target, job.request.axis
+        ));
+        trace.finish(total_micros);
+        shared.slow_log.offer(trace);
+
+        let response = Response {
+            results,
+            timed_out,
+            collapsed: false,
+            queue_micros,
+            total_micros,
+        };
+        // Fan out to single-flight followers first, then answer the
+        // leader. Removing the key before replying means any identical
+        // request arriving from here on becomes a fresh leader.
+        if let Some(key) = job.sf_key {
+            let waiters = shared.single_flight.lock().remove(&key).unwrap_or_default();
+            for waiter in waiters {
+                shared.metrics.collapsed.inc();
+                let mut copy = response.clone();
+                copy.collapsed = true;
+                let _ = waiter.send(Ok(copy));
+            }
+        }
+        let _ = job.reply.send(Ok(response));
+        shared
+            .metrics
+            .in_flight
+            .set(shared.in_flight.fetch_sub(1, SeqCst) as f64 - 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flix::FlixConfig;
+    use xmlgraph::{Collection, Document, LinkTarget};
+
+    fn tiny() -> (Arc<Flix>, TagId) {
+        let mut c = Collection::new();
+        let t = c.tags.intern("t");
+        let mut d0 = Document::new("a.xml");
+        let r = d0.add_element(t, None);
+        let k = d0.add_element(t, Some(r));
+        d0.add_link(
+            k,
+            LinkTarget {
+                document: Some("b.xml".into()),
+                fragment: None,
+            },
+        );
+        let mut d1 = Document::new("b.xml");
+        d1.add_element(t, None);
+        c.add_document(d0).unwrap();
+        c.add_document(d1).unwrap();
+        let cg = Arc::new(c.seal());
+        let tag = cg.collection.tags.get("t").unwrap();
+        (Arc::new(Flix::build(cg, FlixConfig::Naive)), tag)
+    }
+
+    #[test]
+    fn serves_the_framework_answer() {
+        let (flix, t) = tiny();
+        let server = FlixServer::start(flix.clone(), ServeConfig::default());
+        let response = server
+            .query(Request::descendants(0, t, QueryOptions::default()))
+            .unwrap();
+        assert_eq!(
+            *response.results,
+            flix.find_descendants(0, t, &QueryOptions::default())
+        );
+        assert!(!response.timed_out);
+        assert!(!response.collapsed);
+        assert!(response.total_micros >= response.queue_micros);
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn post_shutdown_submissions_are_refused_and_state_readable() {
+        let (flix, t) = tiny();
+        let server = FlixServer::start(flix, ServeConfig::default());
+        server
+            .query(Request::descendants(0, t, QueryOptions::default()))
+            .unwrap();
+        server.shutdown();
+        server.shutdown(); // idempotent
+        let err = server
+            .submit(Request::descendants(0, t, QueryOptions::default()))
+            .unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+        assert_eq!(server.stats().completed, 1);
+        assert_eq!(server.latency().count(), 1);
+        assert_eq!(server.slow_queries().len(), 1);
+    }
+
+    #[test]
+    fn default_deadline_is_applied_and_marked() {
+        let (flix, t) = tiny();
+        let config = ServeConfig {
+            default_deadline_micros: Some(0),
+            ..ServeConfig::default()
+        };
+        let server = FlixServer::start(flix, config);
+        let response = server
+            .query(Request::descendants(0, t, QueryOptions::default()))
+            .unwrap();
+        assert!(response.timed_out, "zero budget must expire in the queue");
+        assert!(response.results.is_empty());
+        assert_eq!(server.stats().timed_out, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn metrics_publish_under_flixserve_names() {
+        let (flix, t) = tiny();
+        let server = FlixServer::start(flix, ServeConfig::default());
+        let registry = MetricsRegistry::new();
+        server.publish_metrics(&registry, &[("pool", "test")]);
+        server
+            .query(Request::descendants(0, t, QueryOptions::default()))
+            .unwrap();
+        let text = registry.snapshot().to_prometheus();
+        assert!(
+            text.contains("flixserve_completed_total{pool=\"test\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("flixserve_latency_micros_count{pool=\"test\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("flixserve_in_flight{pool=\"test\"} 0"),
+            "{text}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn cached_backend_serves_and_ancestors_bypass_cache() {
+        let (flix, t) = tiny();
+        let cached = Arc::new(CachedFlix::new(flix.clone(), 8));
+        let server = FlixServer::start(Arc::clone(&cached), ServeConfig::default());
+        for _ in 0..3 {
+            let r = server
+                .query(Request::descendants(0, t, QueryOptions::default()))
+                .unwrap();
+            assert_eq!(
+                *r.results,
+                flix.find_descendants(0, t, &QueryOptions::default())
+            );
+        }
+        assert_eq!(cached.stats(), (2, 1), "two hits after the first miss");
+        let anc = server
+            .query(Request::ancestors(1, t, QueryOptions::default()))
+            .unwrap();
+        assert_eq!(
+            *anc.results,
+            flix.find_ancestors(1, t, &QueryOptions::default())
+        );
+        assert_eq!(cached.len(), 1, "ancestors do not populate the cache");
+        server.shutdown();
+    }
+}

@@ -1,0 +1,260 @@
+//! Concurrency correctness for the `flixserve` subsystem: whatever the
+//! worker count, every served answer must equal the single-threaded
+//! oracle exactly — including deadline-cut answers, which must be proper
+//! prefixes of the oracle's distance-ordered result — and a drain must
+//! finish admitted work while refusing new work with typed errors.
+
+use flix::{Flix, FlixConfig, QueryOptions};
+use flixobs::Deadline;
+use flixserve::{FlixServer, Request, ServeConfig, ServeError};
+use std::sync::Arc;
+use workloads::{descendant_queries, generate_mixed, generate_web, MixedConfig, WebConfig};
+use xmlgraph::CollectionGraph;
+
+fn mixed_corpus() -> Arc<CollectionGraph> {
+    let cfg = MixedConfig {
+        trees: workloads::TreeConfig {
+            documents: 30,
+            elements_per_doc: 40,
+            ..workloads::TreeConfig::default()
+        },
+        web: workloads::WebConfig {
+            documents: 20,
+            elements_per_doc: 35,
+            ..workloads::WebConfig::default()
+        },
+        bridge_links: 6,
+        seed: 23,
+    };
+    Arc::new(generate_mixed(&cfg).seal())
+}
+
+/// A larger cyclic corpus whose exact-order queries take real time, so a
+/// single worker can be reliably kept busy while submissions race it.
+fn web_corpus() -> Arc<CollectionGraph> {
+    let cfg = WebConfig {
+        documents: 40,
+        elements_per_doc: 80,
+        ..WebConfig::default()
+    };
+    Arc::new(generate_web(&cfg).seal())
+}
+
+/// A randomized mix of descendants and ancestors requests under the three
+/// standard option shapes, paired with the single-threaded oracle answer.
+fn oracle_mix(flix: &Flix, cg: &CollectionGraph) -> Vec<(Request, Vec<flix::QueryResult>)> {
+    let mut mix = Vec::new();
+    for (i, q) in descendant_queries(cg, 30, 7).into_iter().enumerate() {
+        let opts = match i % 3 {
+            0 => QueryOptions::default(),
+            1 => QueryOptions::top_k(5),
+            _ => QueryOptions::exact(),
+        };
+        if i % 2 == 0 {
+            let oracle = flix.find_descendants(q.start, q.target_tag, &opts);
+            mix.push((Request::descendants(q.start, q.target_tag, opts), oracle));
+        } else {
+            let oracle = flix.find_ancestors(q.start, q.target_tag, &opts);
+            mix.push((Request::ancestors(q.start, q.target_tag, opts), oracle));
+        }
+    }
+    mix
+}
+
+#[test]
+fn concurrent_answers_match_the_single_threaded_oracle() {
+    let cg = mixed_corpus();
+    for config in [
+        FlixConfig::Naive,
+        FlixConfig::Hybrid {
+            partition_size: 300,
+        },
+    ] {
+        let flix = Arc::new(Flix::build(cg.clone(), config));
+        let mix = oracle_mix(&flix, &cg);
+        for workers in [1usize, 4] {
+            let server = FlixServer::start(
+                flix.clone(),
+                ServeConfig {
+                    workers,
+                    ..ServeConfig::default()
+                },
+            );
+            std::thread::scope(|scope| {
+                for c in 0..4 {
+                    let server = &server;
+                    let mix = &mix;
+                    scope.spawn(move || {
+                        for (request, oracle) in mix.iter().skip(c).step_by(4) {
+                            let response = server.query(*request).unwrap();
+                            assert!(!response.timed_out, "{config}: no deadline was set");
+                            assert_eq!(
+                                *response.results, *oracle,
+                                "{config}: {workers} workers, start {}",
+                                request.start
+                            );
+                        }
+                    });
+                }
+            });
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn deadline_cut_answers_are_prefixes_of_the_oracle() {
+    let cg = web_corpus();
+    let flix = Arc::new(Flix::build(cg.clone(), FlixConfig::MaximalPpo));
+    let server = FlixServer::start(flix.clone(), ServeConfig::default());
+    let queries = descendant_queries(&cg, 10, 11);
+    for opts in [QueryOptions::default(), QueryOptions::exact()] {
+        for q in &queries {
+            let oracle = flix.find_descendants(q.start, q.target_tag, &opts);
+            for budget in [0u64, 50, 500, 10_000_000] {
+                let req = Request::descendants(
+                    q.start,
+                    q.target_tag,
+                    opts.with_deadline(Deadline::within_micros(budget)),
+                );
+                let response = server.query(req).unwrap();
+                assert!(
+                    oracle.starts_with(&response.results),
+                    "start {}: a deadline-cut answer must be a distance-ordered \
+                     prefix of the full answer (budget {budget}µs)",
+                    q.start
+                );
+                if budget == 0 {
+                    assert!(response.timed_out);
+                    assert!(response.results.is_empty());
+                }
+                if budget == 10_000_000 {
+                    assert!(!response.timed_out, "ten seconds is plenty");
+                    assert_eq!(*response.results, oracle);
+                }
+            }
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn drain_finishes_admitted_work_and_refuses_new() {
+    let cg = mixed_corpus();
+    let flix = Arc::new(Flix::build(cg.clone(), FlixConfig::Naive));
+    let mix = oracle_mix(&flix, &cg);
+    let server = FlixServer::start(
+        flix,
+        ServeConfig {
+            workers: 2,
+            single_flight: false,
+            ..ServeConfig::default()
+        },
+    );
+    let tickets: Vec<_> = mix
+        .iter()
+        .take(16)
+        .map(|(request, _)| server.submit(*request).unwrap())
+        .collect();
+    server.shutdown();
+    // Every admitted request completed, with the right answer.
+    for (ticket, (_, oracle)) in tickets.into_iter().zip(&mix) {
+        let response = ticket.wait().expect("admitted work survives a drain");
+        assert_eq!(*response.results, **oracle);
+    }
+    // New work is refused with the typed drain error, not Overloaded.
+    let (request, _) = &mix[0];
+    assert_eq!(
+        server.submit(*request).unwrap_err(),
+        ServeError::ShuttingDown
+    );
+    // Metrics stay readable after the drain for a final scrape.
+    let stats = server.stats();
+    assert_eq!(stats.completed, 16);
+    assert_eq!(stats.in_flight, 0);
+    // A second shutdown is a no-op.
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_typed_errors() {
+    let cg = web_corpus();
+    let flix = Arc::new(Flix::build(cg.clone(), FlixConfig::Naive));
+    let server = FlixServer::start(
+        flix,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_in_flight: 1,
+            single_flight: false,
+            ..ServeConfig::default()
+        },
+    );
+    let q = descendant_queries(&cg, 1, 3)[0];
+    let heavy = Request::descendants(q.start, q.target_tag, QueryOptions::exact());
+    let blocker = server.submit(heavy).unwrap();
+    let mut sheds = 0;
+    let mut tickets = vec![blocker];
+    for _ in 0..8 {
+        match server.submit(heavy) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { in_flight, .. }) => {
+                assert!(in_flight >= 1, "rejection reports the pressure it saw");
+                sheds += 1;
+            }
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    assert!(sheds >= 1, "a full server must shed rather than buffer");
+    for ticket in tickets {
+        ticket.wait().expect("admitted work still completes");
+    }
+    assert_eq!(server.stats().shed, sheds);
+    server.shutdown();
+}
+
+#[test]
+fn identical_in_flight_queries_collapse() {
+    let cg = web_corpus();
+    let flix = Arc::new(Flix::build(cg.clone(), FlixConfig::Naive));
+    let server = FlixServer::start(
+        flix.clone(),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let queries = descendant_queries(&cg, 2, 5);
+    // Occupy the single worker so the identical burst is provably in flight
+    // together.
+    let blocker = server.submit(Request::descendants(
+        queries[0].start,
+        queries[0].target_tag,
+        QueryOptions::exact(),
+    ));
+    let shared = Request::descendants(
+        queries[1].start,
+        queries[1].target_tag,
+        QueryOptions::exact(),
+    );
+    let oracle = flix.find_descendants(
+        queries[1].start,
+        queries[1].target_tag,
+        &QueryOptions::exact(),
+    );
+    let tickets: Vec<_> = (0..4).map(|_| server.submit(shared).unwrap()).collect();
+    let responses: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("collapsed queries all get the answer"))
+        .collect();
+    for response in &responses {
+        assert_eq!(*response.results, oracle);
+    }
+    assert!(
+        responses.iter().filter(|r| r.collapsed).count() >= 3,
+        "followers ride the leader's evaluation"
+    );
+    assert!(server.stats().collapsed >= 3);
+    blocker.unwrap().wait().unwrap();
+    server.shutdown();
+}

@@ -20,12 +20,36 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// The receiving half has disconnected.
+        Disconnected(T),
+    }
+
     impl<T> Sender<T> {
         /// Sends `value`, blocking on a full bounded channel.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             match &self.0 {
                 SenderImpl::Unbounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
                 SenderImpl::Bounded(tx) => tx.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Non-blocking send; on a full bounded channel returns
+        /// [`TrySendError::Full`] instead of waiting. Unbounded channels
+        /// never report `Full`.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderImpl::Unbounded(tx) => {
+                    tx.send(value).map_err(|e| TrySendError::Disconnected(e.0))
+                }
+                SenderImpl::Bounded(tx) => tx.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
             }
         }
     }
