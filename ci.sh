@@ -12,8 +12,21 @@ cargo fmt --all --check
 echo "== cargo clippy (workspace, all targets, warnings are errors)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== flixcheck (static analysis: unwrap/panic/unsafe/docs)"
+echo "== flixcheck (static analysis: text, token, and concurrency rules)"
+# SARIF artifact first: --format sarif exits non-zero on findings too, so
+# this both produces flixcheck.sarif and gates the build.
+cargo run -q -p flixcheck -- --format sarif > flixcheck.sarif
+grep -q '"version": "2.1.0"' flixcheck.sarif
+grep -q '"runs"' flixcheck.sarif
+# Human-readable pass for the log (also fails on any diagnostic,
+# including allowlist-stale).
 cargo run -q -p flixcheck
+
+echo "== flixcheck negative smoke (seeded AB-BA deadlock must be caught)"
+if cargo run -q -p flixcheck -- --root crates/flixcheck/fixtures/deadlock; then
+    echo "flixcheck failed to flag the seeded deadlock fixture" >&2
+    exit 1
+fi
 
 echo "== cargo test (workspace, sequential builds: FLIX_BUILD_THREADS=1)"
 FLIX_BUILD_THREADS=1 cargo test -q --workspace

@@ -25,8 +25,11 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+/// Strong DataGuides: deterministic path summaries of a document graph.
 pub mod dataguide;
+/// The queryable APEX index built over a structural summary.
 pub mod index;
+/// Structural summaries via backward partition refinement.
 pub mod summary;
 
 pub use dataguide::DataGuide;

@@ -650,11 +650,11 @@ fn query_bench(cg: &Arc<CollectionGraph>, built: &[(FlixConfig, Arc<Flix>, Durat
     ) {
         for &(start, tag) in queries {
             let label = format!("{start}//tag{tag}");
-            let _ = obs.find_descendants(flix, start, tag, &QueryOptions::default(), &label);
+            let _warm = obs.find_descendants(flix, start, tag, &QueryOptions::default(), &label);
         }
         for p in pairs {
             let label = format!("{}=>{}", p.from, p.to);
-            let _ = obs.connection_test(flix, p.from, p.to, &QueryOptions::default(), &label);
+            let _warm = obs.connection_test(flix, p.from, p.to, &QueryOptions::default(), &label);
         }
     }
 
@@ -732,11 +732,11 @@ fn query_bench(cg: &Arc<CollectionGraph>, built: &[(FlixConfig, Arc<Flix>, Durat
     cache.publish_metrics(&registry, &[("cache", "query")]);
     for _ in 0..3 {
         for &(start, tag) in dblp_queries.iter().take(6) {
-            let _ = cache.find_descendants(start, tag, &QueryOptions::default());
+            let _warm = cache.find_descendants(start, tag, &QueryOptions::default());
         }
     }
     for &(start, tag) in dblp_queries.iter().take(12) {
-        let _ = cache.find_descendants(start, tag, &QueryOptions::default());
+        let _warm = cache.find_descendants(start, tag, &QueryOptions::default());
     }
     let cs = cache.cache_stats();
     println!(
@@ -1053,7 +1053,7 @@ fn connect(cg: &CollectionGraph, built: &[(FlixConfig, Arc<Flix>, Duration)]) {
         });
         let median = time_median(3, || {
             for p in pairs.iter().take(8) {
-                let _ = flix.connection_test(p.from, p.to, &QueryOptions::default());
+                let _warm = flix.connection_test(p.from, p.to, &QueryOptions::default());
             }
         }) / 8;
         println!(
@@ -1114,7 +1114,7 @@ fn hybrid(scale: f64) {
         let flix = Flix::build(cg.clone(), config);
         let st = flix.stats();
         let q = time_median(5, || {
-            let _ = flix.find_descendants(start, tag, &QueryOptions::default());
+            let _warm = flix.find_descendants(start, tag, &QueryOptions::default());
         });
         println!(
             "{:<14} {:>10} {:>8} {:>8} {:>8} {:>12.1?}",
@@ -1152,10 +1152,10 @@ fn ablation_partition(cg: &Arc<CollectionGraph>) {
         });
         let st = flix.stats();
         let full = time_median(3, || {
-            let _ = flix.find_descendants(start, tag, &QueryOptions::default());
+            let _warm = flix.find_descendants(start, tag, &QueryOptions::default());
         });
         let topk = time_median(3, || {
-            let _ = flix.find_descendants(start, tag, &QueryOptions::top_k(10));
+            let _warm = flix.find_descendants(start, tag, &QueryOptions::top_k(10));
         });
         println!(
             "{:<10} {:>8} {:>10} {:>12.1?} {:>12.1?} {:>12.1?} {:>12}",
@@ -1189,7 +1189,7 @@ fn ablation_dedup(cg: &CollectionGraph, built: &[(FlixConfig, Arc<Flix>, Duratio
             continue; // no cross-meta traversal, nothing to deduplicate
         }
         let fast = time_median(3, || {
-            let _ = flix.find_descendants(start, tag, &QueryOptions::default());
+            let _warm = flix.find_descendants(start, tag, &QueryOptions::default());
         });
         let mut set_size = 0usize;
         let mut results = 0usize;
@@ -1293,7 +1293,7 @@ fn ablation_exact(cg: &CollectionGraph, built: &[(FlixConfig, Arc<Flix>, Duratio
             continue; // already exact
         }
         let approx_first = time_median(5, || {
-            let _ = flix.find_descendants(start, tag, &QueryOptions::top_k(1));
+            let _warm = flix.find_descendants(start, tag, &QueryOptions::top_k(1));
         });
         let exact_first = time_median(5, || {
             let opts = QueryOptions {
@@ -1301,13 +1301,13 @@ fn ablation_exact(cg: &CollectionGraph, built: &[(FlixConfig, Arc<Flix>, Duratio
                 max_results: Some(1),
                 ..QueryOptions::default()
             };
-            let _ = flix.find_descendants(start, tag, &opts);
+            let _warm = flix.find_descendants(start, tag, &opts);
         });
         let approx_full = time_median(3, || {
-            let _ = flix.find_descendants(start, tag, &QueryOptions::default());
+            let _warm = flix.find_descendants(start, tag, &QueryOptions::default());
         });
         let exact_full = time_median(3, || {
-            let _ = flix.find_descendants(start, tag, &QueryOptions::exact());
+            let _warm = flix.find_descendants(start, tag, &QueryOptions::exact());
         });
         // verify the sorted-order claim while we are here
         let res = flix.find_descendants(start, tag, &QueryOptions::exact());
@@ -1354,12 +1354,13 @@ fn ablation_bidir(cg: &CollectionGraph, built: &[(FlixConfig, Arc<Flix>, Duratio
         }
         let uni = time_median(3, || {
             for p in pairs.iter().take(8) {
-                let _ = flix.connection_test(p.from, p.to, &QueryOptions::default());
+                let _warm = flix.connection_test(p.from, p.to, &QueryOptions::default());
             }
         }) / 8;
         let bi = time_median(3, || {
             for p in pairs.iter().take(8) {
-                let _ = flix.connection_test_bidirectional(p.from, p.to, &QueryOptions::default());
+                let _warm =
+                    flix.connection_test_bidirectional(p.from, p.to, &QueryOptions::default());
             }
         }) / 8;
         println!(

@@ -22,7 +22,7 @@ use flixobs::{Counter, MetricId, MetricsRegistry};
 use graphcore::{Distance, NodeId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use xmlgraph::TagId;
 
@@ -216,12 +216,12 @@ impl CachedFlix {
         // under the *old* generation — already unservable — never results
         // from the old framework under the new generation.
         *self.flix.lock() = flix;
-        self.generation.fetch_add(1, Relaxed);
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// The current framework generation (bumped by [`Self::attach`]).
     pub fn generation(&self) -> u64 {
-        self.generation.load(Relaxed)
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Cached `a//B` evaluation. Any deadline in `opts` is stripped: this
@@ -254,7 +254,7 @@ impl CachedFlix {
         // Read the generation before the framework: if an `attach` lands in
         // between, the fresh results are tagged with the older generation
         // and correctly discarded on the next lookup.
-        let generation = self.generation.load(Relaxed);
+        let generation = self.generation.load(Ordering::Acquire);
         let key: Key = (start, target, OptsKey::from(opts));
         {
             let mut inner = self.inner.lock();

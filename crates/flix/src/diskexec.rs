@@ -19,7 +19,6 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use xmlgraph::TagId;
 
@@ -50,8 +49,8 @@ pub struct DiskFlix {
     runtime_links: Vec<(NodeId, NodeId)>,
     meta_count: usize,
     cache: Mutex<LruCache>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: flixobs::Counter,
+    misses: flixobs::Counter,
 }
 
 struct LruCache {
@@ -111,8 +110,8 @@ impl DiskFlix {
                 map: HashMap::new(),
                 tick: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: flixobs::Counter::new(),
+            misses: flixobs::Counter::new(),
         })
     }
 
@@ -128,11 +127,11 @@ impl DiskFlix {
             let tick = cache.tick;
             if let Some((md, stamp)) = cache.map.get_mut(&id) {
                 *stamp = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 return Ok(Arc::clone(md));
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let bytes = self
             .store
             .get(&format!("{}/meta-{id}", self.name))
@@ -171,8 +170,8 @@ impl DiskFlix {
     /// Cache counters.
     pub fn stats(&self) -> DiskExecStats {
         DiskExecStats {
-            cache_hits: self.hits.load(Ordering::Relaxed),
-            cache_misses: self.misses.load(Ordering::Relaxed),
+            cache_hits: self.hits.get(),
+            cache_misses: self.misses.get(),
         }
     }
 

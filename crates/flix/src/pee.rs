@@ -937,6 +937,7 @@ impl Drop for ResultStream {
         drop(tx);
         self.receiver = rx;
         if let Some(h) = self.handle.take() {
+            // flixcheck: allow(swallowed-result): a worker panic already surfaced as a disconnected channel; the join error adds nothing
             let _ = h.join();
         }
     }

@@ -224,12 +224,12 @@ impl LoadMonitor {
 /// materialises a plain [`LoadMonitor`] for `recommend`/`publish`.
 #[derive(Debug, Default)]
 pub struct SharedLoadMonitor {
-    queries: std::sync::atomic::AtomicU64,
-    entries_popped: std::sync::atomic::AtomicU64,
-    entries_subsumed: std::sync::atomic::AtomicU64,
-    block_results_scanned: std::sync::atomic::AtomicU64,
-    links_expanded: std::sync::atomic::AtomicU64,
-    results: std::sync::atomic::AtomicU64,
+    queries: flixobs::Counter,
+    entries_popped: flixobs::Counter,
+    entries_subsumed: flixobs::Counter,
+    block_results_scanned: flixobs::Counter,
+    links_expanded: flixobs::Counter,
+    results: flixobs::Counter,
 }
 
 impl SharedLoadMonitor {
@@ -240,29 +240,24 @@ impl SharedLoadMonitor {
 
     /// Records one evaluated query; callable from any thread.
     pub fn record(&self, stats: PeeStats, results: usize) {
-        use std::sync::atomic::Ordering::Relaxed;
-        self.queries.fetch_add(1, Relaxed);
-        self.entries_popped
-            .fetch_add(stats.entries_popped as u64, Relaxed);
-        self.entries_subsumed
-            .fetch_add(stats.entries_subsumed as u64, Relaxed);
+        self.queries.inc();
+        self.entries_popped.add(stats.entries_popped as u64);
+        self.entries_subsumed.add(stats.entries_subsumed as u64);
         self.block_results_scanned
-            .fetch_add(stats.block_results_scanned as u64, Relaxed);
-        self.links_expanded
-            .fetch_add(stats.links_expanded as u64, Relaxed);
-        self.results.fetch_add(results as u64, Relaxed);
+            .add(stats.block_results_scanned as u64);
+        self.links_expanded.add(stats.links_expanded as u64);
+        self.results.add(results as u64);
     }
 
     /// A point-in-time [`LoadMonitor`] over everything recorded so far.
     pub fn snapshot(&self) -> LoadMonitor {
-        use std::sync::atomic::Ordering::Relaxed;
         LoadMonitor {
-            queries: self.queries.load(Relaxed),
-            entries_popped: self.entries_popped.load(Relaxed),
-            entries_subsumed: self.entries_subsumed.load(Relaxed),
-            block_results_scanned: self.block_results_scanned.load(Relaxed),
-            links_expanded: self.links_expanded.load(Relaxed),
-            results: self.results.load(Relaxed),
+            queries: self.queries.get(),
+            entries_popped: self.entries_popped.get(),
+            entries_subsumed: self.entries_subsumed.get(),
+            block_results_scanned: self.block_results_scanned.get(),
+            links_expanded: self.links_expanded.get(),
+            results: self.results.get(),
         }
     }
 }

@@ -1,0 +1,31 @@
+//! Seeded AB-BA deadlock: `post` takes `accounts` then `journal`,
+//! `audit` takes them in the opposite order, so the lock-order graph has
+//! the cycle `Ledger::accounts -> Ledger::journal -> Ledger::accounts`.
+//!
+//! This tree is NOT part of the workspace walk (it lives under
+//! `crates/flixcheck/fixtures/`, not a `src/` dir). It exists so ci.sh and
+//! `tests/static_analysis.rs` can assert that flixcheck exits non-zero on
+//! a known-deadlocking source tree.
+
+use std::sync::Mutex;
+
+pub struct Ledger {
+    accounts: Mutex<Vec<u64>>,
+    journal: Mutex<Vec<String>>,
+}
+
+impl Ledger {
+    pub fn post(&self) {
+        let accounts = self.accounts.lock();
+        let journal = self.journal.lock();
+        drop(journal);
+        drop(accounts);
+    }
+
+    pub fn audit(&self) {
+        let journal = self.journal.lock();
+        let accounts = self.accounts.lock();
+        drop(accounts);
+        drop(journal);
+    }
+}

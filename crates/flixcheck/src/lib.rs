@@ -2,12 +2,19 @@
 //!
 //! Two halves:
 //!
-//! 1. A from-scratch, dependency-free **lint pass** ([`lint`]) over every
-//!    `crates/*/src/**/*.rs` file enforcing the workspace's production-code
-//!    hygiene rules (no `unwrap`/`expect`/`panic!` in library paths, no
-//!    un-allowlisted `unsafe`, doc comments on public items in the core
-//!    crates). Run it with `cargo run -p flixcheck`; it also runs under
-//!    `cargo test` via this crate's tests and a root integration test.
+//! 1. A from-scratch, dependency-free **static-analysis pass** over every
+//!    `crates/*/src/**/*.rs` file (plus the root `src/` and `examples/`
+//!    trees): a real lexer ([`lex`]) and lightweight parser ([`parse`])
+//!    feed a cross-file concurrency extractor ([`conc`]) that builds the
+//!    workspace lock-order graph and reports deadlock cycles and blocking
+//!    calls under held guards, alongside token rules (cast truncation,
+//!    swallowed `Result`s, relaxed atomics) and the original text rules
+//!    (no `unwrap`/`expect`/`panic!` in library paths, no un-allowlisted
+//!    `unsafe`, doc comments on public items in the core crates). Findings
+//!    print as `path:line: rule: message`, or as JSON / SARIF 2.1.0
+//!    ([`sarif`]); site-level `// flixcheck: allow(<rule>): <reason>`
+//!    suppressions require a reason. Run it with `cargo run -p flixcheck`;
+//!    it also runs under `cargo test` via a root integration test.
 //!
 //! 2. The [`IntegrityCheck`] trait ([`integrity`]) implemented by every
 //!    index/storage structure in the workspace, so a built index can be
@@ -21,8 +28,12 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+pub mod conc;
 pub mod integrity;
+pub mod lex;
 pub mod lint;
+pub mod parse;
+pub mod sarif;
 pub mod scanner;
 
 pub use integrity::{

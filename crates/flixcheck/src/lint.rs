@@ -1,8 +1,11 @@
 //! The workspace lint pass.
 //!
-//! [`run`] walks every `crates/*/src/**/*.rs` file, strips comments and
-//! literals (see [`crate::scanner`]), masks `#[cfg(test)]` items, and
-//! applies the production-code rules:
+//! [`run`] walks every production source tree — `crates/*/src/**/*.rs`,
+//! the workspace root `src/`, and `examples/` — and applies two families
+//! of rules:
+//!
+//! **Text rules** over the comment/literal-stripped view of each file
+//! (see [`crate::scanner`]), with `#[cfg(test)]` items masked:
 //!
 //! * `unwrap-expect` — no `.unwrap()` / `.expect(` outside tests.
 //!   Grandfathered occurrences live in `crates/flixcheck/allowlist.txt`
@@ -10,31 +13,82 @@
 //! * `panic` — no `panic!` / `todo!` / `unimplemented!` in library code.
 //!   There is deliberately no allowlist for this rule.
 //! * `unsafe` — `unsafe` only where the allowlist explicitly permits it.
-//! * `missing-docs` — public items in the `graphcore`, `pagestore`, `obs`,
-//!   `flix`, and `serve` crates must carry a doc comment.
+//! * `missing-docs` — public items in the core crates (see [`DOC_CRATES`])
+//!   must carry a doc comment.
 //! * `instant-now` — `Instant::now()` only inside the `obs` crate: all
 //!   other code must time through `flixobs::Stopwatch`, so measurements
 //!   cannot bypass the observability layer.
 //! * `unbounded-channel` — no `unbounded()` / `mpsc::channel()` channel
 //!   construction outside the allowlist: the serving path must use bounded
-//!   queues so overload sheds instead of buffering without limit. The only
-//!   grandfathered sites are build-time pipelines that cannot overload.
+//!   queues so overload sheds instead of buffering without limit.
 //!
-//! Diagnostics are machine readable: `path:line: rule: message`.
+//! **Token rules** over the real token stream ([`crate::lex`]) and parse
+//! ([`crate::parse`]):
+//!
+//! * `cast-truncation` — a narrowing `as {u8,u16,i8,i16}` cast applied to
+//!   a length/index-shaped value (`.len()`, `*_count`, `*_idx`, ...).
+//! * `swallowed-result` — `let _ = f(..);` where the final callee is a
+//!   known fallible operation (`send`, `recv`, `join`, `flush`, ...) or a
+//!   workspace fn that returns `Result`.
+//! * `atomic-ordering` — bare `Ordering::Relaxed` outside the `obs` crate
+//!   (whose counters are the sanctioned relaxed hot path).
+//! * `lock-order` / `blocking-while-locked` — the cross-file concurrency
+//!   model of [`crate::conc`]: lock-order-graph cycles and blocking
+//!   operations performed while a lock guard is live.
+//!
+//! New-rule findings are silenced only by an **inline suppression** on the
+//! offending line or the line above:
+//!
+//! ```text
+//! // flixcheck: allow(cast-truncation): page offsets fit u16 by format
+//! ```
+//!
+//! The reason is mandatory, and a suppression that matches no diagnostic
+//! is itself a `suppression` diagnostic, so stale ones cannot linger. The
+//! legacy per-file allowlist remains shrink-only for grandfathered rules.
+//!
+//! Diagnostics are machine readable: `path:line: rule: message` (see also
+//! [`crate::sarif`] for JSON and SARIF 2.1.0 output).
 
+use crate::conc;
+use crate::lex::{lex, TokKind, Token};
+use crate::parse::{parse, ParsedFile};
 use crate::scanner::{excluded_regions, line_of, strip_source, Region};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose public items must be documented.
-const DOC_CRATES: &[&str] = &["graphcore", "pagestore", "obs", "flix", "serve"];
+const DOC_CRATES: &[&str] = &[
+    "apex",
+    "graphcore",
+    "hopi",
+    "pagestore",
+    "obs",
+    "flix",
+    "ppo",
+    "serve",
+    "xmlgraph",
+];
 
 /// The one crate allowed to call `Instant::now()` directly (it hosts
 /// `flixobs::Stopwatch`, the sanctioned clock).
 const CLOCK_CRATE_PREFIX: &str = "crates/obs/";
+
+/// Final callees whose `Result` must not be discarded via `let _ =`.
+const FALLIBLE_BUILTINS: &[&str] = &[
+    "send",
+    "try_send",
+    "recv",
+    "try_recv",
+    "recv_timeout",
+    "join",
+    "flush",
+    "write_all",
+    "sync_all",
+];
 
 /// Identifier of a lint rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,12 +106,41 @@ pub enum Rule {
     /// `unbounded()` / `mpsc::channel()` channel construction outside the
     /// allowlist (bounded queues only on hot paths).
     UnboundedChannel,
+    /// Cycle in the workspace lock-order graph (potential deadlock).
+    LockOrder,
+    /// Blocking operation while a lock guard is live.
+    BlockingWhileLocked,
+    /// Narrowing `as` cast on a length/index-shaped value.
+    CastTruncation,
+    /// `let _ =` discarding a known-fallible call's `Result`.
+    SwallowedResult,
+    /// Bare `Ordering::Relaxed` outside the sanctioned counter hot path.
+    AtomicOrdering,
+    /// Malformed, reason-less, or unused inline suppression.
+    Suppression,
     /// Allowlist entry whose ceiling is higher than reality (or whose
     /// file no longer exists): the ceiling must be lowered.
     AllowlistStale,
 }
 
 impl Rule {
+    /// Every rule, in diagnostic-name order (used for SARIF metadata).
+    pub const ALL: &'static [Rule] = &[
+        Rule::UnwrapExpect,
+        Rule::Panic,
+        Rule::Unsafe,
+        Rule::MissingDocs,
+        Rule::InstantNow,
+        Rule::UnboundedChannel,
+        Rule::LockOrder,
+        Rule::BlockingWhileLocked,
+        Rule::CastTruncation,
+        Rule::SwallowedResult,
+        Rule::AtomicOrdering,
+        Rule::Suppression,
+        Rule::AllowlistStale,
+    ];
+
     /// The rule's stable name, as used in diagnostics and the allowlist.
     pub fn name(self) -> &'static str {
         match self {
@@ -67,11 +150,20 @@ impl Rule {
             Rule::MissingDocs => "missing-docs",
             Rule::InstantNow => "instant-now",
             Rule::UnboundedChannel => "unbounded-channel",
+            Rule::LockOrder => "lock-order",
+            Rule::BlockingWhileLocked => "blocking-while-locked",
+            Rule::CastTruncation => "cast-truncation",
+            Rule::SwallowedResult => "swallowed-result",
+            Rule::AtomicOrdering => "atomic-ordering",
+            Rule::Suppression => "suppression",
             Rule::AllowlistStale => "allowlist-stale",
         }
     }
 
-    fn from_name(name: &str) -> Option<Rule> {
+    /// Rules the legacy per-file allowlist may grandfather. New rules are
+    /// deliberately absent: their only escape hatch is an inline
+    /// suppression with a reason.
+    fn from_allowlist_name(name: &str) -> Option<Rule> {
         match name {
             "unwrap-expect" => Some(Rule::UnwrapExpect),
             "panic" => Some(Rule::Panic),
@@ -81,6 +173,17 @@ impl Rule {
             "unbounded-channel" => Some(Rule::UnboundedChannel),
             _ => None,
         }
+    }
+
+    /// Rules an inline suppression may name (everything a source line can
+    /// cause; `suppression` and `allowlist-stale` cannot suppress
+    /// themselves).
+    fn from_suppress_name(name: &str) -> Option<Rule> {
+        Rule::ALL
+            .iter()
+            .copied()
+            .filter(|r| !matches!(r, Rule::Suppression | Rule::AllowlistStale))
+            .find(|r| r.name() == name)
     }
 }
 
@@ -120,6 +223,10 @@ pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// True if the workspace lock-order graph contains a cycle.
+    pub lock_graph_cyclic: bool,
+    /// Lock-order edges observed (for reporting/debugging).
+    pub lock_edges: Vec<conc::LockEdge>,
 }
 
 impl LintReport {
@@ -137,6 +244,18 @@ struct AllowEntry {
     max: usize,
     /// Line in the allowlist file, for stale-entry diagnostics.
     source_line: usize,
+}
+
+/// One inline `// flixcheck: allow(<rule>): <reason>` comment.
+struct Suppression {
+    /// Line the comment sits on (covers trailing diagnostics on it).
+    line: usize,
+    /// First non-suppression line after `line` — the code line covered.
+    /// Stacked suppression comments chain, so several rules can be
+    /// suppressed on one code line.
+    until: usize,
+    rule: Rule,
+    used: bool,
 }
 
 /// Locates the workspace root by walking up from `CARGO_MANIFEST_DIR`
@@ -173,23 +292,30 @@ pub fn run_default() -> Result<LintReport, io::Error> {
 
 /// Runs the lint pass over the workspace rooted at `root`.
 pub fn run(root: &Path) -> Result<LintReport, io::Error> {
-    let files = collect_sources(&root.join("crates"))?;
+    let files = collect_workspace_sources(root)?;
     let allowlist = load_allowlist(&root.join("crates/flixcheck/allowlist.txt"))?;
 
-    // (rule, path) -> occurrences, so allowlist ceilings apply per file.
-    let mut found: BTreeMap<(Rule, String), Vec<Diagnostic>> = BTreeMap::new();
+    let mut sources = Vec::with_capacity(files.len());
     for file in &files {
         let rel = relative_path(root, file);
         let src = fs::read_to_string(file)?;
-        for diag in lint_file(&rel, &src) {
+        sources.push((rel, src));
+    }
+    let (mut raw, cyclic, edges) = analyze_sources(&sources);
+
+    // Apply the legacy allowlist: (rule, path) ceilings on what remains.
+    let mut found: BTreeMap<(Rule, String), Vec<Diagnostic>> = BTreeMap::new();
+    let mut diagnostics = Vec::new();
+    for diag in raw.drain(..) {
+        if Rule::from_allowlist_name(diag.rule.name()).is_some() {
             found
                 .entry((diag.rule, diag.path.clone()))
                 .or_default()
                 .push(diag);
+        } else {
+            diagnostics.push(diag);
         }
     }
-
-    let mut diagnostics = Vec::new();
     for entry in &allowlist {
         let occurrences = found
             .get(&(entry.rule, entry.path.clone()))
@@ -228,14 +354,189 @@ pub fn run(root: &Path) -> Result<LintReport, io::Error> {
     Ok(LintReport {
         diagnostics,
         files_scanned: files.len(),
+        lock_graph_cyclic: cyclic,
+        lock_edges: edges,
     })
 }
 
 /// Lints a single file given its workspace-relative path and raw source.
+/// Runs the full pipeline (text rules, token rules, concurrency model,
+/// suppressions) but not the workspace allowlist.
 pub fn lint_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
+    let (mut diags, _, _) = analyze_sources(&[(rel_path.to_string(), src.to_string())]);
+    diags.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    diags
+}
+
+/// The allowlist-free analysis core: every rule over every source, with
+/// inline suppressions applied. Returns raw diagnostics plus the
+/// lock-order graph verdict.
+fn analyze_sources(sources: &[(String, String)]) -> (Vec<Diagnostic>, bool, Vec<conc::LockEdge>) {
+    struct Prepared {
+        tokens: Vec<Token>,
+        parsed: ParsedFile,
+    }
+    let prepared: Vec<Prepared> = sources
+        .iter()
+        .map(|(_, src)| {
+            let tokens = lex(src);
+            let parsed = parse(src, &tokens);
+            Prepared { tokens, parsed }
+        })
+        .collect();
+
+    // Workspace registry of fn names that return Result (for
+    // swallowed-result). Conservative: any fn anywhere with that name.
+    let mut result_fns: BTreeSet<&str> = BTreeSet::new();
+    for p in &prepared {
+        for f in &p.parsed.fns {
+            if f.returns_result && !f.in_test {
+                result_fns.insert(&f.name);
+            }
+        }
+    }
+
+    let mut diagnostics = Vec::new();
+    let mut suppressions: BTreeMap<&str, Vec<Suppression>> = BTreeMap::new();
+    for ((rel, src), p) in sources.iter().zip(&prepared) {
+        suppressions.insert(
+            rel,
+            collect_suppressions(rel, src, &p.tokens, &p.parsed, &mut diagnostics),
+        );
+        text_rules(rel, src, &mut diagnostics);
+        token_rules(
+            rel,
+            src,
+            &p.tokens,
+            &p.parsed,
+            &result_fns,
+            &mut diagnostics,
+        );
+    }
+
+    let units: Vec<conc::SourceUnit<'_>> = sources
+        .iter()
+        .zip(&prepared)
+        .map(|((rel, src), p)| conc::SourceUnit {
+            path: rel,
+            src,
+            tokens: &p.tokens,
+            parsed: &p.parsed,
+        })
+        .collect();
+    let conc_report = conc::analyze(&units);
+    diagnostics.extend(conc_report.diagnostics);
+
+    // Apply inline suppressions: a comment on line L silences matching
+    // diagnostics on lines L and L+1 of the same file.
+    diagnostics.retain(|d| {
+        if let Some(supps) = suppressions.get_mut(d.path.as_str()) {
+            for s in supps.iter_mut() {
+                if s.rule == d.rule && (d.line == s.line || d.line == s.until) {
+                    s.used = true;
+                    return false;
+                }
+            }
+        }
+        true
+    });
+    for (rel, supps) in &suppressions {
+        for s in supps {
+            if !s.used {
+                diagnostics.push(Diagnostic {
+                    path: (*rel).to_string(),
+                    line: s.line,
+                    rule: Rule::Suppression,
+                    message: format!(
+                        "suppression for `{}` matched no diagnostic on this or the \
+                         next line; remove it",
+                        s.rule
+                    ),
+                });
+            }
+        }
+    }
+
+    (diagnostics, conc_report.cyclic, conc_report.edges)
+}
+
+/// Parses every `// flixcheck: allow(<rule>): <reason>` comment in the
+/// file. Malformed or reason-less suppressions become diagnostics
+/// immediately (and suppress nothing). Suppressions inside test code are
+/// ignored: tests are exempt from the rules anyway.
+fn collect_suppressions(
+    rel_path: &str,
+    src: &str,
+    tokens: &[Token],
+    parsed: &ParsedFile,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for tok in tokens {
+        let TokKind::LineComment { .. } = tok.kind else {
+            continue;
+        };
+        let body = tok.text(src).trim_start_matches('/').trim();
+        let Some(rest) = body.strip_prefix("flixcheck:") else {
+            continue;
+        };
+        if parsed.in_test(tok.start) {
+            continue;
+        }
+        let line = line_of(src, tok.start);
+        let mut bad = |msg: String| {
+            diags.push(Diagnostic {
+                path: rel_path.to_string(),
+                line,
+                rule: Rule::Suppression,
+                message: msg,
+            });
+        };
+        let rest = rest.trim();
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            bad("malformed suppression; want `// flixcheck: allow(<rule>): <reason>`".to_string());
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            bad("malformed suppression: missing `)`".to_string());
+            continue;
+        };
+        let rule_name = inner[..close].trim();
+        let Some(rule) = Rule::from_suppress_name(rule_name) else {
+            bad(format!("unknown rule `{rule_name}` in suppression"));
+            continue;
+        };
+        let after = inner[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad(format!(
+                "suppression of `{rule_name}` requires a reason: \
+                 `// flixcheck: allow({rule_name}): <why this is sound>`"
+            ));
+            continue;
+        }
+        out.push(Suppression {
+            line,
+            until: line + 1,
+            rule,
+            used: false,
+        });
+    }
+    // Stacked suppression comments chain: each covers the first following
+    // line that is not itself a suppression comment.
+    let lines: BTreeSet<usize> = out.iter().map(|s| s.line).collect();
+    for s in &mut out {
+        while lines.contains(&s.until) {
+            s.until += 1;
+        }
+    }
+    out
+}
+
+/// The legacy strip-and-scan rules over one file.
+fn text_rules(rel_path: &str, src: &str, diags: &mut Vec<Diagnostic>) {
     let stripped = strip_source(src);
     let excluded = excluded_regions(&stripped);
-    let mut diags = Vec::new();
 
     let in_tests = |pos: usize| excluded.iter().any(|r| r.contains(pos));
 
@@ -320,10 +621,141 @@ pub fn lint_file(rel_path: &str, src: &str) -> Vec<Diagnostic> {
         .strip_prefix("crates/")
         .and_then(|r| r.split('/').next());
     if crate_name.is_some_and(|c| DOC_CRATES.contains(&c)) {
-        missing_docs(rel_path, src, &stripped, &excluded, &mut diags);
+        missing_docs(rel_path, src, &stripped, &excluded, diags);
     }
+}
 
-    diags
+/// The lexer-backed rules over one file: `cast-truncation`,
+/// `swallowed-result`, `atomic-ordering`.
+fn token_rules(
+    rel_path: &str,
+    src: &str,
+    tokens: &[Token],
+    parsed: &ParsedFile,
+    result_fns: &BTreeSet<&str>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_trivia())
+        .collect();
+    let text = |si: usize| tokens[sig[si]].text(src);
+    let start = |si: usize| tokens[sig[si]].start;
+
+    for si in 0..sig.len() {
+        if parsed.in_test(start(si)) {
+            continue;
+        }
+        let t = text(si);
+
+        // cast-truncation: `<lengthish> as {u8,u16,i8,i16}`.
+        if t == "as"
+            && si >= 1
+            && si + 1 < sig.len()
+            && matches!(text(si + 1), "u8" | "u16" | "i8" | "i16")
+        {
+            let source_name = match text(si - 1) {
+                ")" => {
+                    // Scan back to the matching `(`; the callee sits before.
+                    let mut depth = 0i32;
+                    let mut j = si - 1;
+                    let mut name = None;
+                    loop {
+                        match text(j) {
+                            ")" => depth += 1,
+                            "(" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    if j >= 1 && is_ident_text(text(j - 1)) {
+                                        name = Some(text(j - 1));
+                                    }
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        if j == 0 {
+                            break;
+                        }
+                        j -= 1;
+                    }
+                    name
+                }
+                prev if is_ident_text(prev) => Some(prev),
+                _ => None,
+            };
+            if let Some(name) = source_name {
+                if is_lengthish(name) {
+                    diags.push(Diagnostic {
+                        path: rel_path.to_string(),
+                        line: line_of(src, start(si)),
+                        rule: Rule::CastTruncation,
+                        message: format!(
+                            "narrowing cast `{name} .. as {}` can silently truncate a \
+                             length/index; use `{}::try_from` or widen the target type",
+                            text(si + 1),
+                            text(si + 1)
+                        ),
+                    });
+                }
+            }
+        }
+
+        // swallowed-result: `let _ = <call chain>;`.
+        if t == "let" && si + 2 < sig.len() && text(si + 1) == "_" && text(si + 2) == "=" {
+            let mut depth = 0i32;
+            let mut last_callee: Option<&str> = None;
+            let mut j = si + 3;
+            while j < sig.len() {
+                match text(j) {
+                    "(" => {
+                        if depth == 0 && j >= 1 && is_ident_text(text(j - 1)) {
+                            last_callee = Some(text(j - 1));
+                        }
+                        depth += 1;
+                    }
+                    ")" | "]" | "}" => depth -= 1,
+                    "[" | "{" => depth += 1,
+                    ";" if depth <= 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(callee) = last_callee {
+                if FALLIBLE_BUILTINS.contains(&callee) || result_fns.contains(callee) {
+                    diags.push(Diagnostic {
+                        path: rel_path.to_string(),
+                        line: line_of(src, start(si)),
+                        rule: Rule::SwallowedResult,
+                        message: format!(
+                            "`let _ =` silently discards the Result of `{callee}`; \
+                             handle the error, or bind it to a named `_ignored` with \
+                             a comment if dropping it is intentional"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // atomic-ordering: `Ordering::Relaxed` outside the obs crate.
+        // (`::` lexes as two `:` punct tokens.)
+        if t == "Relaxed"
+            && si >= 3
+            && text(si - 1) == ":"
+            && text(si - 2) == ":"
+            && text(si - 3) == "Ordering"
+            && !rel_path.starts_with(CLOCK_CRATE_PREFIX)
+        {
+            diags.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: line_of(src, start(si)),
+                rule: Rule::AtomicOrdering,
+                message: "bare `Ordering::Relaxed` outside the obs counter hot path; \
+                          use Acquire/Release (or route through flixobs counters) so \
+                          cross-thread visibility is explicit"
+                    .to_string(),
+            });
+        }
+    }
 }
 
 /// Flags `pub` items in `src` not preceded by a doc comment.
@@ -490,18 +922,44 @@ fn word_boundary_before(text: &str, pos: usize) -> bool {
     !b.is_ascii_alphanumeric() && b != b'_'
 }
 
-/// Recursively collects `*/src/**/*.rs` under `crates_dir`, sorted.
-fn collect_sources(crates_dir: &Path) -> Result<Vec<PathBuf>, io::Error> {
+/// True if `t` begins like an identifier.
+fn is_ident_text(t: &str) -> bool {
+    t.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// True if `name` denotes a length/index-shaped quantity.
+fn is_lengthish(name: &str) -> bool {
+    let n = name.trim_end_matches(|c: char| c.is_ascii_digit());
+    ["len", "count", "idx", "index", "pos", "offset"]
+        .iter()
+        .any(|suf| n == *suf || n.ends_with(&format!("_{suf}")) || n.ends_with(suf))
+}
+
+/// Collects every production `.rs` file: `crates/*/src/**` (including
+/// `src/bin`), the workspace root `src/`, and `examples/`. The root
+/// `tests/` tree stays out: integration tests are exempt by design.
+fn collect_workspace_sources(root: &Path) -> Result<Vec<PathBuf>, io::Error> {
     let mut files = Vec::new();
-    let mut crates: Vec<PathBuf> = fs::read_dir(crates_dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.is_dir())
-        .collect();
-    crates.sort();
-    for krate in crates {
-        let src = krate.join("src");
-        if src.is_dir() {
-            collect_rs(&src, &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crates: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        crates.sort();
+        for krate in crates {
+            let src = krate.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    for extra in ["src", "examples"] {
+        let dir = root.join(extra);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
         }
     }
     files.sort();
@@ -547,7 +1005,7 @@ fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, io::Error> {
         }
         let mut parts = line.split_whitespace();
         let (rule, path, max) = (parts.next(), parts.next(), parts.next());
-        let parsed = rule.and_then(Rule::from_name).and_then(|r| {
+        let parsed = rule.and_then(Rule::from_allowlist_name).and_then(|r| {
             let p = path?.to_string();
             let m = max?.parse::<usize>().ok()?;
             Some((r, p, m))
@@ -564,7 +1022,8 @@ fn load_allowlist(path: &Path) -> Result<Vec<AllowEntry>, io::Error> {
                     io::ErrorKind::InvalidData,
                     format!(
                         "allowlist.txt:{}: malformed entry (want `<rule> <path> <max>`; \
-                         `panic` cannot be allowlisted): {line}",
+                         `panic` cannot be allowlisted; new rules take inline \
+                         suppressions only): {line}",
                         i + 1
                     ),
                 ))
@@ -709,5 +1168,223 @@ mod tests {
             d.to_string(),
             "crates/flix/src/pee.rs:42: unwrap-expect: boom"
         );
+    }
+
+    // ------------------------------------------------------------------
+    // New token rules.
+
+    #[test]
+    fn cast_truncation_fires_on_lengthish_narrowing() {
+        let src = "fn f(record: &[u8]) -> u16 { record.len() as u16 }\n\
+                   fn g(pos_idx: usize) -> u8 { pos_idx as u8 }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::CastTruncation)
+            .collect();
+        assert_eq!(hits.len(), 2, "{diags:?}");
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(hits[1].line, 2);
+    }
+
+    #[test]
+    fn cast_truncation_ignores_wide_targets_and_other_sources() {
+        // `len() as u32`/`as u64` is the workspace id idiom; `flags as u8`
+        // is not length-shaped.
+        let src = "fn f(v: &[u8]) -> u32 { v.len() as u32 }\n\
+                   fn g(flags: usize) -> u8 { flags as u8 }\n\
+                   fn h(n: usize) -> u64 { n as u64 }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        assert!(
+            diags.iter().all(|d| d.rule != Rule::CastTruncation),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn swallowed_result_fires_on_builtins_and_workspace_result_fns() {
+        let src = "fn fallible() -> Result<(), E> { Ok(()) }\n\
+                   fn f(tx: &Sender<u32>) {\n\
+                   let _ = tx.send(1);\n\
+                   let _ = fallible();\n\
+                   }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::SwallowedResult)
+            .collect();
+        assert_eq!(hits.len(), 2, "{diags:?}");
+        assert_eq!(hits[0].line, 3);
+        assert_eq!(hits[1].line, 4);
+    }
+
+    #[test]
+    fn swallowed_result_ignores_macros_infallible_and_named_bindings() {
+        let src = "fn infallible() -> u32 { 7 }\n\
+                   fn f(w: &mut W, tx: &Sender<u32>) {\n\
+                   let _ = writeln!(w, \"x\");\n\
+                   let _ = infallible();\n\
+                   let _warm = tx.send(1);\n\
+                   let _ = tx.send(1).ok();\n\
+                   }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        assert!(
+            diags.iter().all(|d| d.rule != Rule::SwallowedResult),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn atomic_ordering_fires_outside_obs_only() {
+        let src = "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let diags = lint_file("crates/flix/src/cache.rs", src);
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::AtomicOrdering),
+            "{diags:?}"
+        );
+        assert!(lint_file("crates/obs/src/counter.rs", src)
+            .iter()
+            .all(|d| d.rule != Rule::AtomicOrdering));
+        let acq = "fn f(c: &AtomicU64) { c.load(Ordering::Acquire); }\n";
+        assert!(lint_file("crates/flix/src/cache.rs", acq)
+            .iter()
+            .all(|d| d.rule != Rule::AtomicOrdering));
+    }
+
+    // ------------------------------------------------------------------
+    // Suppressions.
+
+    #[test]
+    fn suppression_with_reason_silences_and_is_marked_used() {
+        let src = "fn f(record: &[u8]) -> u16 {\n\
+                   // flixcheck: allow(cast-truncation): record len bounded by page size\n\
+                   record.len() as u16\n\
+                   }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn trailing_same_line_suppression_works() {
+        let src = "fn f(v: &[u8]) -> u8 { v.len() as u8 } \
+                   // flixcheck: allow(cast-truncation): demo fits in u8\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn suppression_without_reason_is_a_diagnostic() {
+        let src = "fn f(record: &[u8]) -> u16 {\n\
+                   // flixcheck: allow(cast-truncation)\n\
+                   record.len() as u16\n\
+                   }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::Suppression && d.message.contains("requires a reason")),
+            "{diags:?}"
+        );
+        // And the underlying finding still fires.
+        assert!(diags.iter().any(|d| d.rule == Rule::CastTruncation));
+    }
+
+    #[test]
+    fn unused_suppression_is_a_diagnostic() {
+        let src = "// flixcheck: allow(cast-truncation): nothing here\n\
+                   fn f() -> u32 { 7 }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::Suppression && d.message.contains("matched no")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_rule_in_suppression_is_a_diagnostic() {
+        let src = "// flixcheck: allow(no-such-rule): whatever\nfn f() {}\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::Suppression && d.message.contains("unknown rule")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn suppression_scopes_to_rule_and_line() {
+        // Suppressing cast-truncation does not silence an unrelated rule
+        // on the same line.
+        let src = "fn f(x: R) {\n\
+                   // flixcheck: allow(cast-truncation): wrong rule\n\
+                   x.unwrap();\n\
+                   }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", src);
+        assert!(diags.iter().any(|d| d.rule == Rule::UnwrapExpect));
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.rule == Rule::Suppression && d.message.contains("matched no")),
+            "{diags:?}"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Concurrency rules through the full pipeline.
+
+    #[test]
+    fn lock_order_cycle_fires_and_suppression_silences_it() {
+        let bad = "pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   impl S {\n\
+                   fn ab(&self) { let ga = self.a.lock(); let gb = self.b.lock(); }\n\
+                   fn ba(&self) { let gb = self.b.lock(); let ga = self.a.lock(); }\n\
+                   }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", bad);
+        assert!(diags.iter().any(|d| d.rule == Rule::LockOrder), "{diags:?}");
+
+        let suppressed = "pub struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+                   impl S {\n\
+                   fn ab(&self) {\n\
+                   let ga = self.a.lock();\n\
+                   // flixcheck: allow(blocking-while-locked): startup only, single thread\n\
+                   // flixcheck: allow(lock-order): startup only, single thread\n\
+                   let gb = self.b.lock();\n\
+                   }\n\
+                   fn ba(&self) {\n\
+                   let gb = self.b.lock();\n\
+                   // flixcheck: allow(blocking-while-locked): startup only, single thread\n\
+                   // flixcheck: allow(lock-order): startup only, single thread\n\
+                   let ga = self.a.lock();\n\
+                   }\n\
+                   }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", suppressed);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn blocking_while_locked_fires_and_suppression_silences_it() {
+        let bad = "pub struct S { m: Mutex<u32>, tx: Sender<u32> }\n\
+                   impl S {\n\
+                   fn f(&self) { let g = self.m.lock(); self.tx.send(1); }\n\
+                   }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", bad);
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::BlockingWhileLocked),
+            "{diags:?}"
+        );
+
+        let ok = "pub struct S { m: Mutex<u32>, tx: Sender<u32> }\n\
+                   impl S {\n\
+                   fn f(&self) {\n\
+                   let g = self.m.lock();\n\
+                   // flixcheck: allow(blocking-while-locked): channel has dedicated drainer\n\
+                   self.tx.send(1);\n\
+                   }\n\
+                   }\n";
+        let diags = lint_file("crates/demo/src/lib.rs", ok);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 }

@@ -46,11 +46,15 @@ pub fn strip_source(src: &str) -> String {
                     }
                 }
             }
-            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+            b'r' | b'b' if !glued_to_ident(bytes, i) && is_raw_string_start(bytes, i) => {
                 i = skip_raw_string(bytes, i);
             }
-            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+            b'b' if !glued_to_ident(bytes, i) && bytes.get(i + 1) == Some(&b'"') => {
                 i = skip_plain_string(bytes, i + 1);
+            }
+            b'b' if !glued_to_ident(bytes, i) && bytes.get(i + 1) == Some(&b'\'') => {
+                // Byte-char literal `b'x'`: blanked including the prefix.
+                i = skip_char_body(bytes, i + 1);
             }
             b'"' => {
                 i = skip_plain_string(bytes, i);
@@ -73,6 +77,16 @@ pub fn strip_source(src: &str) -> String {
     // The blanking above only copies code bytes; everything consumed by the
     // skip helpers stays as spaces/newlines.
     String::from_utf8(out).unwrap_or_default()
+}
+
+/// True if the byte at `i` continues an identifier started earlier, which
+/// rules out a literal prefix: the `b` in `my_b"x"` belongs to the
+/// identifier `my_b`, not to a byte string.
+fn glued_to_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && {
+        let p = bytes[i - 1];
+        p.is_ascii_alphanumeric() || p == b'_' || p >= 0x80
+    }
 }
 
 /// True if `bytes[i..]` starts a raw (byte) string: `r"`, `r#`, `br"`, `br#`.
@@ -132,32 +146,60 @@ fn skip_plain_string(bytes: &[u8], mut i: usize) -> usize {
 }
 
 /// If a char literal starts at `i` (a `'`), returns the index after its
-/// closing quote; `None` if this is a lifetime instead.
+/// closing quote; `None` if this is a lifetime (or a lone quote) instead.
 fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
     match bytes.get(i + 1)? {
-        b'\\' => {
-            // Escaped char: scan to the closing quote.
-            let mut j = i + 2;
-            while j < bytes.len() {
-                match bytes[j] {
-                    b'\\' => j += 2,
-                    b'\'' => return Some(j + 1),
-                    b'\n' => return None,
-                    _ => j += 1,
-                }
+        b'\\' => Some(skip_char_body(bytes, i)),
+        &b => {
+            // `'x'` holds exactly one (possibly multi-byte) char between the
+            // quotes; anything else is a lifetime or a lone quote.
+            let ch_len = utf8_len(b);
+            (bytes.get(i + 1 + ch_len) == Some(&b'\'')).then(|| i + 2 + ch_len)
+        }
+    }
+}
+
+/// Skips a char/byte-literal body starting at the opening quote at `i`,
+/// returning the index just past the closing quote. Handles `'\''`, `'\\'`
+/// and multi-char escapes like `'\u{1F600}'`; an unterminated literal ends
+/// at the newline (escapes never cross lines).
+fn skip_char_body(bytes: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    if bytes.get(i) == Some(&b'\\') {
+        // The byte after the backslash is part of the escape; consume both,
+        // then scan for the closing quote (covers \x41 and \u{...} tails).
+        i += 2;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\'' => return i + 1,
+                b'\\' => i += 2,
+                b'\n' => return i,
+                _ => i += 1,
             }
-            None
         }
-        _ => {
-            // `'x'` (possibly multi-byte x): find the quote within the next
-            // few bytes; lifetimes never have one.
-            let limit = (i + 6).min(bytes.len());
-            ((i + 2)..limit)
-                .find(|&j| bytes[j] == b'\'')
-                // `'a'` has code between quotes; `''` is not a literal.
-                .filter(|&j| j > i + 1)
-                .map(|j| j + 1)
+        i
+    } else {
+        // One (possibly multi-byte) char, then the closing quote.
+        if i < bytes.len() {
+            i += utf8_len(bytes[i]);
         }
+        if bytes.get(i) == Some(&b'\'') {
+            i + 1
+        } else {
+            i
+        }
+    }
+}
+
+/// Byte length of the UTF-8 sequence starting with `b`.
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ if b >= 0xf0 => 4,
+        // Continuation byte on its own (invalid UTF-8): consume one.
+        _ => 1,
     }
 }
 

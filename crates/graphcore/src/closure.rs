@@ -30,8 +30,10 @@ impl TransitiveClosure {
         let c = cond.component_count();
         // Closure on the component DAG first.
         let mut comp_rows: Vec<BitSet> = (0..c).map(|_| BitSet::new(c)).collect();
-        let order = crate::topo::topological_order(&cond.dag)
-            .expect("condensation is acyclic by construction");
+        // The condensation is acyclic by construction, so an order always
+        // exists; the identity fallback keeps this total without panicking.
+        let order =
+            crate::topo::topological_order(&cond.dag).unwrap_or_else(|| (0..c as NodeId).collect());
         for &u in order.iter().rev() {
             comp_rows[u as usize].insert(u as usize);
             let succs: Vec<NodeId> = cond.dag.successors(u).to_vec();

@@ -84,7 +84,7 @@ impl DigraphBuilder {
         let mut rev_off = Vec::with_capacity(n + 1);
         rev_off.push(0u32);
         for &d in &indeg {
-            let prev = *rev_off.last().expect("offsets never empty");
+            let prev = rev_off.last().copied().unwrap_or(0);
             rev_off.push(prev + d);
         }
         let mut rev = vec![0 as NodeId; fwd.len()];

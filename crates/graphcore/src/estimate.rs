@@ -10,7 +10,7 @@
 //! from the transitive-closure size "without actually building the index";
 //! this module provides exactly that estimator, in `O(k·(n + m))`.
 
-use crate::digraph::Digraph;
+use crate::digraph::{Digraph, NodeId};
 use crate::scc::condensation;
 use crate::topo::topological_order;
 use rand::rngs::SmallRng;
@@ -29,7 +29,10 @@ pub fn estimate_descendant_counts(g: &Digraph, rounds: usize, seed: u64) -> Vec<
         return Vec::new();
     }
     let cond = condensation(g);
-    let order = topological_order(&cond.dag).expect("condensation is acyclic");
+    // The condensation is acyclic by construction; fall back to the
+    // identity order rather than panicking if that ever breaks.
+    let order = topological_order(&cond.dag)
+        .unwrap_or_else(|| (0..cond.component_count() as NodeId).collect());
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut sums = vec![0.0f64; n];
     let mut comp_min = vec![f64::INFINITY; cond.component_count()];

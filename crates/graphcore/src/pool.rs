@@ -68,6 +68,7 @@ where
                 let tx = tx.clone();
                 let (cursor, job) = (&cursor, &job);
                 s.spawn(move || loop {
+                    // flixcheck: allow(atomic-ordering): the cursor only needs RMW uniqueness to claim slots; no data is published through it
                     let slot = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&id) = schedule.get(slot) else { break };
                     let out = job(id);

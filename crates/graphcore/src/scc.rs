@@ -60,8 +60,9 @@ pub fn tarjan_scc(g: &Digraph) -> Vec<u32> {
                 }
                 if low[u as usize] == index[u as usize] {
                     // u is the root of an SCC; pop it off the stack.
-                    loop {
-                        let w = stack.pop().expect("scc stack underflow");
+                    // The root `u` is always on the stack, so the loop
+                    // terminates before the stack can run dry.
+                    while let Some(w) = stack.pop() {
                         on_stack[w as usize] = false;
                         comp_of[w as usize] = comp_count;
                         if w == u {

@@ -33,8 +33,11 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+/// Staged divide-and-conquer construction of the 2-hop cover.
 pub mod cover;
+/// The 2-hop label index: construction, queries, enumeration.
 pub mod labels;
+/// Unconnected HOPI: independent per-partition 2-hop indexes.
 pub mod partitioned;
 
 pub use cover::{CoverOptions, StageReport};

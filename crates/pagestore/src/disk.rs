@@ -8,7 +8,7 @@
 //! counters are our substitute signal for that cost.
 
 use crate::page::{Page, PageId, PAGE_SIZE};
-use flixobs::MetricsRegistry;
+use flixobs::{Counter, MetricsRegistry};
 use parking_lot::Mutex;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,8 +70,8 @@ pub trait DiskManager: Send + Sync {
 #[derive(Default)]
 pub struct MemDisk {
     frames: Mutex<Vec<Option<Vec<u8>>>>,
-    reads: AtomicU64,
-    writes: AtomicU64,
+    reads: Counter,
+    writes: Counter,
 }
 
 impl MemDisk {
@@ -83,7 +83,7 @@ impl MemDisk {
 
 impl DiskManager for MemDisk {
     fn read_page(&self, id: PageId) -> Page {
-        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.reads.inc();
         let frames = self.frames.lock();
         match frames.get(id as usize).and_then(|f| f.as_ref()) {
             Some(bytes) => Page::from_bytes(bytes.clone()),
@@ -92,7 +92,7 @@ impl DiskManager for MemDisk {
     }
 
     fn write_page(&self, id: PageId, page: &Page) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.writes.inc();
         let mut frames = self.frames.lock();
         if frames.len() <= id as usize {
             frames.resize(id as usize + 1, None);
@@ -112,8 +112,8 @@ impl DiskManager for MemDisk {
 
     fn stats(&self) -> DiskStats {
         DiskStats {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.get(),
+            writes: self.writes.get(),
         }
     }
 }
@@ -122,8 +122,8 @@ impl DiskManager for MemDisk {
 pub struct FileDisk {
     file: Mutex<std::fs::File>,
     pages: AtomicU64,
-    reads: AtomicU64,
-    writes: AtomicU64,
+    reads: Counter,
+    writes: Counter,
 }
 
 impl FileDisk {
@@ -139,15 +139,15 @@ impl FileDisk {
         Ok(Self {
             file: Mutex::new(file),
             pages: AtomicU64::new(len / PAGE_SIZE as u64),
-            reads: AtomicU64::new(0),
-            writes: AtomicU64::new(0),
+            reads: Counter::new(),
+            writes: Counter::new(),
         })
     }
 }
 
 impl DiskManager for FileDisk {
     fn read_page(&self, id: PageId) -> Page {
-        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.reads.inc();
         let mut file = self.file.lock();
         let mut buf = vec![0u8; PAGE_SIZE];
         let off = id as u64 * PAGE_SIZE as u64;
@@ -166,28 +166,28 @@ impl DiskManager for FileDisk {
     }
 
     fn write_page(&self, id: PageId, page: &Page) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.writes.inc();
         let mut file = self.file.lock();
         let off = id as u64 * PAGE_SIZE as u64;
         let _ = file
             .seek(SeekFrom::Start(off))
             .and_then(|_| file.write_all(page.bytes()));
         let needed = id as u64 + 1;
-        self.pages.fetch_max(needed, Ordering::Relaxed);
+        self.pages.fetch_max(needed, Ordering::AcqRel);
     }
 
     fn allocate(&self) -> PageId {
-        (self.pages.fetch_add(1, Ordering::Relaxed)) as PageId
+        (self.pages.fetch_add(1, Ordering::AcqRel)) as PageId
     }
 
     fn page_count(&self) -> u64 {
-        self.pages.load(Ordering::Relaxed)
+        self.pages.load(Ordering::Acquire)
     }
 
     fn stats(&self) -> DiskStats {
         DiskStats {
-            reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.get(),
+            writes: self.writes.get(),
         }
     }
 }

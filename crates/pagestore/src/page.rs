@@ -101,6 +101,7 @@ impl Page {
         self.data[new_end..new_end + record.len()].copy_from_slice(record);
         let slot_off = HEADER + slot as usize * SLOT_BYTES;
         write_u16(&mut self.data, slot_off, new_end as u16);
+        // flixcheck: allow(cast-truncation): fits() already rejected records longer than the page, so len < PAGE_SIZE < 64Ki
         write_u16(&mut self.data, slot_off + 2, record.len() as u16);
         write_u16(&mut self.data, 0, slot + 1);
         write_u16(&mut self.data, 2, new_end as u16);

@@ -17,7 +17,9 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+/// Extended PPO: pre/postorder adapted to graphs with links.
 pub mod extended;
+/// The classic pre/postorder interval index over a forest.
 pub mod index;
 
 pub use extended::ExtendedPpo;

@@ -14,8 +14,7 @@
 //!   the tail drains.
 
 use crate::server::{FlixServer, Request, ServeError};
-use flixobs::Stopwatch;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use flixobs::{Counter, Stopwatch};
 
 /// Outcome of a [`closed_loop`] run.
 #[derive(Debug, Clone, Copy)]
@@ -48,9 +47,9 @@ impl ClosedLoopReport {
 /// stable across client counts).
 pub fn closed_loop(server: &FlixServer, requests: &[Request], clients: usize) -> ClosedLoopReport {
     let clients = clients.max(1);
-    let completed = AtomicU64::new(0);
-    let shed = AtomicU64::new(0);
-    let timed_out = AtomicU64::new(0);
+    let completed = Counter::new();
+    let shed = Counter::new();
+    let timed_out = Counter::new();
     let sw = Stopwatch::start();
     std::thread::scope(|scope| {
         for c in 0..clients {
@@ -61,16 +60,16 @@ pub fn closed_loop(server: &FlixServer, requests: &[Request], clients: usize) ->
                 for request in requests.iter().skip(c).step_by(clients) {
                     match server.query(*request) {
                         Ok(response) => {
-                            completed.fetch_add(1, Relaxed);
+                            completed.inc();
                             if response.timed_out {
-                                timed_out.fetch_add(1, Relaxed);
+                                timed_out.inc();
                             }
                         }
                         Err(ServeError::Overloaded { .. }) => {
-                            shed.fetch_add(1, Relaxed);
+                            shed.inc();
                         }
                         Err(_) => {
-                            shed.fetch_add(1, Relaxed);
+                            shed.inc();
                         }
                     }
                 }
@@ -79,9 +78,9 @@ pub fn closed_loop(server: &FlixServer, requests: &[Request], clients: usize) ->
     });
     ClosedLoopReport {
         clients,
-        completed: completed.load(Relaxed),
-        shed: shed.load(Relaxed),
-        timed_out: timed_out.load(Relaxed),
+        completed: completed.get(),
+        shed: shed.get(),
+        timed_out: timed_out.get(),
         wall_micros: sw.elapsed_micros(),
     }
 }

@@ -304,6 +304,7 @@ impl Shared {
         let waiters = self.single_flight.lock().remove(&key).unwrap_or_default();
         for waiter in waiters {
             self.metrics.shed.inc();
+            // flixcheck: allow(swallowed-result): the waiter may have timed out and dropped its receiver; nothing to do
             let _ = waiter.send(Err(error.clone()));
         }
     }
@@ -486,6 +487,7 @@ impl FlixServer {
         drop(self.senders.write().take());
         let handles = std::mem::take(&mut *self.handles.lock());
         for handle in handles {
+            // flixcheck: allow(swallowed-result): shutdown is best-effort; a panicked worker already counted its job as failed
             let _ = handle.join();
         }
     }
@@ -640,9 +642,11 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>) {
                 shared.metrics.collapsed.inc();
                 let mut copy = response.clone();
                 copy.collapsed = true;
+                // flixcheck: allow(swallowed-result): collapsed waiter may have deadline-expired and hung up
                 let _ = waiter.send(Ok(copy));
             }
         }
+        // flixcheck: allow(swallowed-result): the client may have hung up after its deadline; dropping the reply is correct
         let _ = job.reply.send(Ok(response));
         shared
             .metrics

@@ -22,9 +22,13 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+/// Link-recognition conventions (IDREF, XLink, key-based joins).
 pub mod links;
+/// Element trees, document collections, and the union graph `G_X`.
 pub mod model;
+/// A from-scratch, well-formedness-checking XML parser.
 pub mod parser;
+/// Serialisation of documents back to indented, escaped XML text.
 pub mod writer;
 
 pub use links::{LinkSpec, LinkTarget};

@@ -5,11 +5,11 @@
 //! Run with: `cargo run --release --example digital_library`
 
 use flix::{Flix, FlixConfig, QueryOptions, ResultStream, StrategyKind};
+use flixobs::Stopwatch;
 use std::sync::Arc;
-use std::time::Instant;
 use workloads::{generate_dblp, DblpConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A mid-sized corpus (use DblpConfig::paper_scale() for the full 6,210
     // documents the paper used).
     let cfg = DblpConfig {
@@ -27,7 +27,7 @@ fn main() {
     // descendants are the transitive closure of its reference list.
     let start_doc = (0..graph.collection.doc_count() as u32)
         .max_by_key(|&d| graph.doc_graph.out_degree(d))
-        .expect("non-empty corpus");
+        .ok_or("empty corpus")?;
     let start = graph.doc_root(start_doc);
     println!(
         "start element: root of {:?} ({} direct citations)\n",
@@ -37,7 +37,7 @@ fn main() {
 
     // "All `title` elements of publications reachable from this paper via
     // citations" — the paper's `a//article`-style query (§6).
-    let title = graph.collection.tags.get("title").unwrap();
+    let title = graph.collection.tags.get("title").ok_or("no title tag")?;
     let configs = [
         FlixConfig::Monolithic(StrategyKind::Hopi),
         FlixConfig::Naive,
@@ -47,13 +47,13 @@ fn main() {
         },
     ];
     for config in configs {
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let flix = Flix::build(graph.clone(), config);
         let build = t0.elapsed();
-        let t1 = Instant::now();
+        let t1 = Stopwatch::start();
         let results = flix.find_descendants(start, title, &QueryOptions::default());
         let full = t1.elapsed();
-        let t2 = Instant::now();
+        let t2 = Stopwatch::start();
         let top10 = flix.find_descendants(start, title, &QueryOptions::top_k(10));
         let first10 = t2.elapsed();
         let st = flix.stats();
@@ -85,4 +85,5 @@ fn main() {
             graph.element(r.node).text
         );
     }
+    Ok(())
 }

@@ -12,7 +12,7 @@ use flix::{Flix, FlixConfig, TagSimilarity, VagueEvaluator, VagueQuery};
 use std::sync::Arc;
 use xmlgraph::{parse_document, Collection, LinkSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Two film databases with different schemas, linked by an actor page.
     let imdb_like = r#"
         <movie id="m1">
@@ -41,8 +41,8 @@ fn main() {
     let spec = LinkSpec::default();
     let mut coll = Collection::new();
     for (name, text) in [("imdb.xml", imdb_like), ("scifidb.xml", scifi_db)] {
-        let doc = parse_document(name, text, &mut coll.tags, &spec).expect("well-formed");
-        coll.add_document(doc).expect("unique names");
+        let doc = parse_document(name, text, &mut coll.tags, &spec).map_err(|e| e.to_string())?;
+        coll.add_document(doc)?;
     }
     let graph = Arc::new(coll.seal());
     let flix = Flix::build(graph.clone(), FlixConfig::Naive);
@@ -82,7 +82,7 @@ fn main() {
     let keanu = actors
         .iter()
         .find(|r| graph.element(r.node).text.contains("Keanu"))
-        .expect("Keanu found");
+        .ok_or("Keanu not found")?;
     println!("\n~movie descendants of that actor (films via links):");
     let movies = eval.evaluate(
         &flix,
@@ -99,7 +99,7 @@ fn main() {
             .tags
             .get("name")
             .or_else(|| graph.collection.tags.get("title"))
-            .unwrap();
+            .ok_or("no name/title tag")?;
         let title = flix
             .find_descendants(r.node, title_tag, &flix::QueryOptions::default())
             .first()
@@ -115,4 +115,5 @@ fn main() {
         "the relaxed query must find the science-fiction films"
     );
     println!("\nThe strict query /movie/actor/movie would have returned nothing.");
+    Ok(())
 }

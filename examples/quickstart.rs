@@ -7,7 +7,7 @@ use flix::{Flix, FlixConfig, QueryOptions};
 use std::sync::Arc;
 use xmlgraph::{parse_document, Collection, LinkSpec};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Three small documents: a thesis cites a paper, the paper cites a
     // book chapter inside another document (fragment link).
     let thesis = r#"<?xml version="1.0"?>
@@ -42,8 +42,8 @@ fn main() {
         ("book.xml", book),
     ] {
         let doc = parse_document(name, text, &mut coll.tags, &spec)
-            .unwrap_or_else(|e| panic!("parsing {name}: {e}"));
-        coll.add_document(doc).expect("unique names");
+            .map_err(|e| format!("parsing {name}: {e}"))?;
+        coll.add_document(doc)?;
     }
 
     let graph = Arc::new(coll.seal());
@@ -70,7 +70,7 @@ fn main() {
 
     // Query: every `title` reachable from the thesis root — its own title,
     // the cited paper's, and the transitively cited book chapter's.
-    let title = graph.collection.tags.get("title").expect("tag exists");
+    let title = graph.collection.tags.get("title").ok_or("no title tag")?;
     let thesis_root = graph.doc_root(0);
     println!("\nthesis//title (descendants across citation links):");
     for r in flix.find_descendants(thesis_root, title, &QueryOptions::default()) {
@@ -84,7 +84,14 @@ fn main() {
     }
 
     // Connection test: is the book's chapter 2 reachable from the thesis?
-    let ch2 = graph.global(2, graph.collection.doc(2).anchor("ch2").unwrap());
+    let ch2 = graph.global(
+        2,
+        graph
+            .collection
+            .doc(2)
+            .anchor("ch2")
+            .ok_or("anchor ch2 missing")?,
+    );
     match flix.connection_test(thesis_root, ch2, &QueryOptions::default()) {
         Some(d) => println!("\nthesis //=> book#ch2: connected at distance {d}"),
         None => println!("\nthesis //=> book#ch2: not connected"),
@@ -94,4 +101,5 @@ fn main() {
         .connection_test(ch2, thesis_root, &QueryOptions::default())
         .is_none());
     println!("book#ch2 //=> thesis: not connected (as expected)");
+    Ok(())
 }

@@ -12,7 +12,7 @@ use std::ops::ControlFlow;
 use std::sync::Arc;
 use workloads::{generate_dblp, DblpConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = DblpConfig {
         documents: 800,
         ..DblpConfig::default()
@@ -39,7 +39,7 @@ fn main() {
         r#"//~publication[title ~ "Indexing XML"]"#,
     ];
     for text in queries {
-        let q = PathQuery::parse(text).expect("well-formed query");
+        let q = PathQuery::parse(text)?;
         let res = engine.evaluate(&q);
         println!("{text}");
         println!("  {} results; top 3:", res.len());
@@ -56,10 +56,10 @@ fn main() {
 
     // --- Query cache (§7: caching frequent sub-queries) ----------------
     let cached = CachedFlix::new(flix.clone(), 128);
-    let title = graph.collection.tags.get("title").unwrap();
+    let title = graph.collection.tags.get("title").ok_or("no title tag")?;
     let hot_start = graph.doc_root(0);
     for _ in 0..50 {
-        let _ = cached.find_descendants(hot_start, title, &QueryOptions::default());
+        let _warm = cached.find_descendants(hot_start, title, &QueryOptions::default());
     }
     let (hits, misses) = cached.stats();
     println!("\nquery cache after 50 repeats of one hot query: {hits} hits, {misses} miss(es)");
@@ -95,4 +95,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

@@ -10,7 +10,7 @@ use pagestore::{BlobStore, BufferPool, FileDisk};
 use std::sync::Arc;
 use workloads::{generate_web, WebConfig};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = WebConfig {
         documents: 120,
         elements_per_doc: 60,
@@ -41,7 +41,7 @@ fn main() {
     );
 
     // A navigation query: everything tagged w3 reachable from page 0's root.
-    let w3 = graph.collection.tags.get("w3").unwrap();
+    let w3 = graph.collection.tags.get("w3").ok_or("no w3 tag")?;
     let results = flix.find_descendants(graph.doc_root(0), w3, &QueryOptions::within(6));
     println!(
         "page0 // w3 (within 6 hops): {} results, nearest at distance {}",
@@ -52,16 +52,16 @@ fn main() {
     // Persist the framework into a file-backed page store and reload it —
     // the paper's "indexes live in database tables" deployment.
     let dir = std::env::temp_dir().join("flix-web-portal");
-    std::fs::create_dir_all(&dir).expect("tmp dir");
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join("indexes.db");
     let _ = std::fs::remove_file(&path);
     {
-        let disk = Arc::new(FileDisk::open(&path).expect("open db file"));
+        let disk = Arc::new(FileDisk::open(&path)?);
         let pool = Arc::new(BufferPool::new(disk, 256));
         let mut store = BlobStore::new(pool.clone());
-        save_flix(&flix, &mut store, "portal").expect("save");
+        save_flix(&flix, &mut store, "portal")?;
         // persist the blob directory itself as the catalogue
-        std::fs::write(dir.join("catalogue"), store.export_directory()).expect("catalogue");
+        std::fs::write(dir.join("catalogue"), store.export_directory())?;
         pool.flush_all();
         println!(
             "\npersisted framework to {:?} ({} pages written)",
@@ -70,15 +70,16 @@ fn main() {
         );
     }
     {
-        let disk = Arc::new(FileDisk::open(&path).expect("reopen db file"));
+        let disk = Arc::new(FileDisk::open(&path)?);
         let pool = Arc::new(BufferPool::new(disk, 256));
-        let catalogue = std::fs::read(dir.join("catalogue")).expect("catalogue");
-        let store = BlobStore::import_directory(pool, &catalogue).expect("directory");
-        let reloaded = load_flix(&store, "portal", graph.clone()).expect("load");
+        let catalogue = std::fs::read(dir.join("catalogue"))?;
+        let store = BlobStore::import_directory(pool, &catalogue)?;
+        let reloaded = load_flix(&store, "portal", graph.clone())?;
         let again = reloaded.find_descendants(graph.doc_root(0), w3, &QueryOptions::within(6));
         assert_eq!(results, again, "reloaded framework answers identically");
         println!("reloaded framework answers the query identically ✓");
     }
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(dir.join("catalogue"));
+    Ok(())
 }
