@@ -40,7 +40,10 @@ cargo bench --no-run --workspace
 echo "== repro query smoke test (observability layer end to end)"
 cargo run -q -p bench --bin repro -- query --scale 0.02
 
-echo "== repro serve smoke test (worker pool at 2 and 8 threads)"
-cargo run -q -p bench --bin repro -- serve --scale 0.02 --serve-threads 2,8
+echo "== repro serve smoke test (worker pool at 2 and 8 threads, 1 shard)"
+cargo run -q -p bench --bin repro -- serve --scale 0.02 --serve-threads 2,8 --shards 1
+
+echo "== repro serve smoke test (sharded serving at 4 shards)"
+cargo run -q -p bench --bin repro -- serve --scale 0.02 --serve-threads 2 --shards 4
 
 echo "CI green."

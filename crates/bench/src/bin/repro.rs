@@ -54,6 +54,7 @@ fn main() {
     let mut scale = 1.0f64;
     let mut check = false;
     let mut serve_threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut serve_shards: Vec<usize> = vec![1, 2, 4, 8];
     let mut commands: Vec<String> = Vec::new();
     const KNOWN: [&str; 13] = [
         "all",
@@ -99,6 +100,28 @@ fn main() {
                         eprintln!(
                             "error: --serve-threads needs a comma-separated list of \
                              worker counts in 1..=64 (e.g. 1,2,4,8)"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--shards" => {
+                let parsed: Option<Vec<usize>> = it.next().and_then(|s| {
+                    s.split(',')
+                        .map(|t| {
+                            t.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&v| (1..=64).contains(&v))
+                        })
+                        .collect()
+                });
+                match parsed {
+                    Some(v) if !v.is_empty() => serve_shards = v,
+                    _ => {
+                        eprintln!(
+                            "error: --shards needs a comma-separated list of \
+                             shard counts in 1..=64 (e.g. 1,2,4,8)"
                         );
                         std::process::exit(2);
                     }
@@ -207,7 +230,7 @@ fn main() {
         hopi_bench(&cg);
     }
     if wants("serve") {
-        serve_bench(&cg, &built, scale, &serve_threads);
+        serve_bench(&cg, &built, scale, &serve_threads, &serve_shards);
     }
 }
 
@@ -218,17 +241,25 @@ fn main() {
 /// that the latency of *admitted* requests stays a bounded multiple of
 /// the uncontended p99); a deadline sweep verifies every cut answer is a
 /// distance-ordered prefix of the full answer; and a burst of identical
-/// queries demonstrates single-flight collapsing. The server's metric
+/// queries demonstrates single-flight collapsing. A shard-count sweep
+/// (`--shards 1,2,4,8`) then serves a DBLP proximity workload over a
+/// 4x-scale corpus from a [`flix::ShardedFlix`] at a fixed worker count
+/// through windowed closed-loop clients, measuring the scale-out the
+/// per-shard indexes buy over one shared framework. The server's metric
 /// cells land in a registry and the whole run in `BENCH_serve.json`.
 fn serve_bench(
     cg: &Arc<CollectionGraph>,
     built: &[(FlixConfig, Arc<Flix>, Duration)],
     scale: f64,
     threads: &[usize],
+    shard_counts: &[usize],
 ) {
+    use flix::ShardedFlix;
     use flixobs::registry::json_escape;
     use flixobs::{Deadline, MetricsRegistry};
-    use flixserve::{closed_loop, open_loop, FlixServer, Request, ServeConfig};
+    use flixserve::{
+        closed_loop, closed_loop_windowed, open_loop, FlixServer, Request, ServeConfig,
+    };
     use workloads::{generate_web, WebConfig};
 
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -464,6 +495,141 @@ fn serve_bench(
         sf_stats.completed, sf_stats.collapsed
     );
 
+    // (e) Shard sweep: a DBLP workload, a fixed worker count, and a
+    // `ShardedFlix` cut into 1..N shards. One shared framework makes every
+    // worker pay the whole collection's per-query evaluator state; shard-
+    // local serving pays only the owning shard's. That cliff grows with
+    // the collection, so the sweep serves a 4x-scale corpus — the regime
+    // the paper pitches FliX for. Top-10 proximity queries within distance
+    // 2 (distance-decayed relevance cuts deep result streams off early)
+    // ride a windowed closed loop, so the measurement tracks service
+    // capacity instead of per-request scheduler round-trips. The column to
+    // watch is qps at a fixed worker count; `fanout` counts queries routed
+    // straight to the cross-shard merge, `escaped` ones whose local
+    // attempt crossed a shard boundary at runtime and re-ran there.
+    let shard_cg = paper_corpus(scale * 4.0);
+    let (shard_naive, shard_build) =
+        time_once(|| Arc::new(Flix::build(Arc::clone(&shard_cg), FlixConfig::Naive)));
+    let shard_workers = 8usize;
+    let shard_clients = 2usize;
+    let shard_window = 128usize;
+    let shard_opts = QueryOptions {
+        max_distance: Some(2),
+        ..QueryOptions::top_k(10)
+    };
+    let shard_distinct: Vec<Request> = descendant_queries(&shard_cg, 384, 43)
+        .into_iter()
+        .map(|q| Request::descendants(q.start, q.target_tag, shard_opts))
+        .collect();
+    let shard_requests: Vec<Request> = (0..16)
+        .flat_map(|_| shard_distinct.iter().copied())
+        .collect();
+    println!(
+        "-- shard sweep: Naive framework over {} DBLP documents (built in {:.1?}), \
+         {shard_workers} workers --",
+        shard_cg.collection.doc_count(),
+        shard_build
+    );
+    println!(
+        "   {} top-10 within-distance-2 queries ({} distinct), {shard_clients} clients x \
+         {shard_window}-deep pipelines, single-flight off",
+        shard_requests.len(),
+        shard_distinct.len()
+    );
+    rule(108);
+    println!(
+        "{:<8} {:>8} {:>10} {:>12} {:>9} {:>10} {:>8} {:>8} {:>12} {:>12}",
+        "shards",
+        "groups",
+        "completed",
+        "qps",
+        "speedup",
+        "direct",
+        "fanout",
+        "escaped",
+        "p50",
+        "p99"
+    );
+    rule(108);
+    let mut shard_entries: Vec<String> = Vec::new();
+    let mut shard_qps: Vec<(usize, f64)> = Vec::new();
+    for &shards in shard_counts {
+        let sharded = Arc::new(ShardedFlix::new(Arc::clone(&shard_naive), shards));
+        // Spot-check equivalence before timing: the sweep must be comparing
+        // servers that return identical answers.
+        for request in shard_distinct.iter().take(8) {
+            let oracle = shard_naive.find_descendants(request.start, request.target, &request.opts);
+            let got = sharded.find_descendants(request.start, request.target, &request.opts);
+            assert_eq!(got, oracle, "sharded answers diverged from the oracle");
+        }
+        let server = FlixServer::start(
+            Arc::clone(&sharded),
+            ServeConfig {
+                workers: shard_workers,
+                queue_capacity: 128,
+                single_flight: false,
+                ..ServeConfig::default()
+            },
+        );
+        if shards == shard_counts.iter().copied().max().unwrap_or(1) {
+            server.publish_metrics(&registry, &[("experiment", "shard-sweep")]);
+        }
+        let report = closed_loop_windowed(&server, &shard_requests, shard_clients, shard_window);
+        let qps = report.throughput_qps();
+        let speedup = shard_qps
+            .first()
+            .map_or(1.0, |&(_, base)| qps / base.max(1e-9));
+        let lat = server.latency().snapshot();
+        let stats = sharded.stats();
+        println!(
+            "{:<8} {:>8} {:>10} {:>12.0} {:>8.2}x {:>10} {:>8} {:>8} {:>12.1?} {:>12.1?}",
+            shards,
+            server.shard_groups(),
+            report.completed,
+            qps,
+            speedup,
+            stats.direct,
+            stats.fanout,
+            stats.escaped,
+            Duration::from_micros(lat.p50()),
+            Duration::from_micros(lat.p99()),
+        );
+        shard_entries.push(format!(
+            "    {{\"shards\": {shards}, \"groups\": {}, \"workers\": {shard_workers}, \
+             \"clients\": {shard_clients}, \"window\": {shard_window}, \
+             \"completed\": {}, \"shed\": {}, \"qps\": {qps:.1}, \"speedup\": {speedup:.3}, \
+             \"direct\": {}, \"fanout\": {}, \"escaped\": {}, \"p50_micros\": {}, \
+             \"p99_micros\": {}}}",
+            server.shard_groups(),
+            report.completed,
+            report.shed,
+            stats.direct,
+            stats.fanout,
+            stats.escaped,
+            lat.p50(),
+            lat.p99()
+        ));
+        shard_qps.push((shards, qps));
+        server.shutdown();
+    }
+    rule(108);
+    let qps_of = |n: usize| shard_qps.iter().find(|&&(s, _)| s == n).map(|&(_, q)| q);
+    let shard_speedup = match (qps_of(1), qps_of(4)) {
+        (Some(one), Some(four)) => four / one.max(1e-9),
+        _ => shard_qps
+            .last()
+            .zip(shard_qps.first())
+            .map_or(1.0, |(&(_, last), &(_, first))| last / first.max(1e-9)),
+    };
+    if shard_qps.len() > 1 {
+        println!(
+            "4-shard serving delivers {shard_speedup:.2}x the 1-shard qps at the same worker \
+             count — per-shard indexes end the shared-framework scaling cliff\n"
+        );
+    } else {
+        println!("single shard count requested; no speedup to report\n");
+    }
+
     let snapshot = registry.snapshot();
     let snapshot_json = snapshot.to_json().replace('\n', "\n  ");
     let json = format!(
@@ -474,6 +640,8 @@ fn serve_bench(
          \"admitted_p99_micros\": {admitted_p99}, \"p99_ratio\": {p99_ratio:.2}}},\n  \
          \"deadline\": [\n{}\n  ],\n  \
          \"single_flight\": {{\"burst\": {burst}, \"evaluations\": {}, \"collapsed\": {}}},\n  \
+         \"shard_sweep\": [\n{}\n  ],\n  \
+         \"shard_speedup_4_over_1\": {shard_speedup:.3},\n  \
          \"snapshot\": {snapshot_json}\n}}\n",
         json_escape(&deployed_cfg.to_string()),
         sweep_entries.join(",\n"),
@@ -484,6 +652,7 @@ fn serve_bench(
         deadline_entries.join(",\n"),
         sf_stats.completed,
         sf_stats.collapsed,
+        shard_entries.join(",\n"),
     );
     match std::fs::write("BENCH_serve.json", &json) {
         Ok(()) => println!("wrote BENCH_serve.json\n"),

@@ -169,8 +169,13 @@ pub struct CacheStats {
 }
 
 /// Serves `opts.max_results` from the full cached vector: a capped run
-/// returns exactly the first `k` results of the uncapped one.
-fn clip(full: Arc<Vec<QueryResult>>, max_results: Option<usize>) -> Arc<Vec<QueryResult>> {
+/// returns exactly the first `k` results of the uncapped one. Shared with
+/// the sharded serving path ([`crate::shard`]), which clips per-shard
+/// cache entries the same way.
+pub(crate) fn clip(
+    full: Arc<Vec<QueryResult>>,
+    max_results: Option<usize>,
+) -> Arc<Vec<QueryResult>> {
     match max_results {
         Some(k) if k < full.len() => Arc::new(full[..k].to_vec()),
         _ => full,
@@ -251,6 +256,40 @@ impl CachedFlix {
         target: TagId,
         opts: &QueryOptions,
     ) -> (Arc<Vec<QueryResult>>, bool) {
+        let generation = match self.lookup_for(start, target, opts) {
+            Ok(hit) => return (hit, false),
+            Err(generation) => generation,
+        };
+        let flix = self.framework();
+        // Evaluate uncapped so one entry serves every `max_results`.
+        let full_opts = QueryOptions {
+            max_results: None,
+            ..*opts
+        };
+        let outcome = flix.find_descendants_outcome(start, target, &full_opts);
+        let fresh = Arc::new(outcome.results);
+        if outcome.timed_out {
+            return (clip(fresh, opts.max_results), true);
+        }
+        self.insert_full(start, target, opts, generation, Arc::clone(&fresh));
+        (clip(fresh, opts.max_results), false)
+    }
+
+    /// The lookup half of [`Self::find_descendants_deadline`]: a hit
+    /// returns the clipped cached answer, a miss returns the generation
+    /// the caller must pass back to [`Self::insert_full`] so that a
+    /// racing [`Self::attach`] can never tag old-framework results with
+    /// the new generation. Counts hits/misses/invalidations.
+    ///
+    /// Split out so [`crate::shard::ShardedFlix`] can drive per-shard
+    /// caches while evaluating through its own local-attempt/fan-out
+    /// path instead of the attached framework.
+    pub(crate) fn lookup_for(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+    ) -> Result<Arc<Vec<QueryResult>>, u64> {
         // Read the generation before the framework: if an `attach` lands in
         // between, the fresh results are tagged with the older generation
         // and correctly discarded on the next lookup.
@@ -267,7 +306,7 @@ impl CachedFlix {
                 Some(entry) if entry.generation == generation => {
                     entry.stamp = tick;
                     self.hits.inc();
-                    return (clip(Arc::clone(&entry.results), opts.max_results), false);
+                    return Ok(clip(Arc::clone(&entry.results), opts.max_results));
                 }
                 Some(_) => {
                     // Computed under an older framework: never serve it.
@@ -278,17 +317,24 @@ impl CachedFlix {
             }
         }
         self.misses.inc();
-        let flix = self.framework();
-        // Evaluate uncapped so one entry serves every `max_results`.
-        let full_opts = QueryOptions {
-            max_results: None,
-            ..*opts
-        };
-        let outcome = flix.find_descendants_outcome(start, target, &full_opts);
-        let fresh = Arc::new(outcome.results);
-        if outcome.timed_out {
-            return (clip(fresh, opts.max_results), true);
-        }
+        Err(generation)
+    }
+
+    /// The insert half of [`Self::find_descendants_deadline`]: stores the
+    /// *uncapped* result vector for the keyed query under `generation`
+    /// (as returned by the preceding [`Self::lookup_for`] miss), subject
+    /// to the TinyLFU admission gate at capacity. Counts
+    /// evictions/admitted/rejected. Callers must never insert partial
+    /// (timed-out) answers.
+    pub(crate) fn insert_full(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+        generation: u64,
+        fresh: Arc<Vec<QueryResult>>,
+    ) {
+        let key: Key = (start, target, OptsKey::from(opts));
         let mut inner = self.inner.lock();
         if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
             if let Some(victim) = inner
@@ -305,7 +351,7 @@ impl CachedFlix {
                     self.admitted.inc();
                 } else {
                     self.rejected.inc();
-                    return (clip(fresh, opts.max_results), false);
+                    return;
                 }
             }
         }
@@ -318,7 +364,6 @@ impl CachedFlix {
                 stamp: tick,
             },
         );
-        (clip(fresh, opts.max_results), false)
     }
 
     /// Drops every cached result immediately (entries from superseded

@@ -99,7 +99,10 @@ impl Flix {
     /// HOPI meta document's staged cover pipeline with
     /// [`pool::split_budget`]: a monolithic plan hands the whole budget to
     /// HOPI's intra-build parallelism, many small metas saturate the
-    /// budget at the per-meta level.
+    /// budget at the per-meta level, and in between every outer worker
+    /// carries its own inner share so no part of the budget is stranded.
+    /// The inner share only changes wall clock, never output: HOPI covers
+    /// are byte-identical at any thread count.
     pub fn build_with(
         graph: Arc<CollectionGraph>,
         config: FlixConfig,
@@ -113,14 +116,14 @@ impl Flix {
         let indexing_started = Stopwatch::start();
         // Split the budget between the per-meta level and HOPI's staged
         // pipeline: a monolithic plan keeps everything for the latter.
-        let (threads, hopi_threads) =
-            pool::split_budget(opts.resolved_build_threads(), plans.len());
+        let (threads, shares) = pool::split_budget(opts.resolved_build_threads(), plans.len());
         // Workers pull jobs largest-first off a shared cursor; the pool
         // returns finished metas in plan order, so scheduling is invisible.
-        let built = pool::run_scheduled(threads, &plan_build_order(&plans), |mi| {
-            let plan = &plans[mi];
-            build_one(&graph, &plan.nodes, plan.strategy, opts, hopi_threads)
-        });
+        let built =
+            pool::run_scheduled_budgeted(&shares, &plan_build_order(&plans), |mi, inner| {
+                let plan = &plans[mi];
+                build_one(&graph, &plan.nodes, plan.strategy, opts, inner)
+            });
         let indexing_micros = indexing_started.elapsed_micros();
 
         let wiring_started = Stopwatch::start();
@@ -213,6 +216,48 @@ impl Flix {
             graph,
             config,
             metas: metas.into_iter().map(Arc::new).collect(),
+            meta_of,
+            local_of,
+            runtime_links,
+            runtime_links_rev,
+            build_time: Duration::ZERO,
+            report,
+        }
+    }
+
+    /// Assembles one shard's view of a built framework (see
+    /// [`crate::shard`]). The view shares the parent's meta-document
+    /// `Arc`s, so per-shard indexes cost no extra index memory; `metas`
+    /// is renumbered to shard-local ids so the evaluator's per-meta
+    /// scratch scales with the shard, not the collection.
+    ///
+    /// `meta_of`/`local_of` are full collection-size maps with
+    /// `u32::MAX` holes for foreign nodes: the generic evaluator reports
+    /// a foreign pop as an escape instead of indexing out of bounds. The
+    /// link tables are asymmetric — `runtime_links` holds every link
+    /// whose *source* lies in the shard (targets may be foreign), sorted
+    /// by source; `runtime_links_rev` holds every link whose *target*
+    /// lies in the shard as `(target, source)`, sorted by target — so
+    /// in-shard expansion sees exactly the slices the full framework
+    /// would serve.
+    ///
+    /// A view must never be driven through the public query API: public
+    /// methods assume every node resolves and would silently swallow an
+    /// escape. Only [`crate::shard::ShardedFlix`] evaluates on one.
+    pub(crate) fn shard_view(
+        graph: Arc<CollectionGraph>,
+        config: FlixConfig,
+        metas: Vec<Arc<MetaDocument>>,
+        meta_of: Vec<u32>,
+        local_of: Vec<u32>,
+        runtime_links: Vec<(NodeId, NodeId)>,
+        runtime_links_rev: Vec<(NodeId, NodeId)>,
+    ) -> Self {
+        let report = BuildReport::empty(config);
+        Self {
+            graph,
+            config,
+            metas,
             meta_of,
             local_of,
             runtime_links,

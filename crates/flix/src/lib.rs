@@ -83,6 +83,8 @@ pub mod persist;
 pub mod query;
 /// Build observability: per-meta and aggregate build reports.
 pub mod report;
+/// Sharded serving: per-shard index views with cross-shard merge.
+pub mod shard;
 /// Top-k aggregation (NRA) over scored result streams.
 pub mod topk;
 /// Workload monitoring and reconfiguration recommendations.
@@ -99,6 +101,7 @@ pub use obs::QueryPathMetrics;
 pub use pee::{PeeStats, QueryOptions, QueryOutcome, QueryResult, ResultStream};
 pub use query::{PathQuery, QueryBinding, QueryEngine};
 pub use report::{BuildReport, MetaBuildReport};
+pub use shard::{ShardPlan, ShardStats, ShardedFlix, ShardedStats};
 pub use topk::{top_k_nra, Aggregation, TopKResult};
 pub use tuning::{LoadMonitor, Recommendation, SharedLoadMonitor};
 pub use vague::{ScoredResult, TagSimilarity, VagueEvaluator, VagueQuery};

@@ -159,9 +159,77 @@ fn counters_since(before: &PeeStats, after: &PeeStats) -> SpanCounters {
 
 /// Direction of an axis evaluation.
 #[derive(Clone, Copy, PartialEq, Eq)]
-enum Axis {
+pub(crate) enum Axis {
+    /// Forward reachability (`a//B`).
     Descendants,
+    /// Backward reachability.
     Ancestors,
+}
+
+/// The node universe an evaluation runs over: the full framework, or one
+/// shard's view of it (see [`crate::shard`]). The evaluator in
+/// [`evaluate_axis_space`] is generic over this trait, so the sharded and
+/// unsharded paths execute the *same* loop over the same meta-document
+/// data — which is what makes their result streams byte-identical.
+pub(crate) trait MetaSpace {
+    /// Number of meta documents in this space.
+    fn meta_count(&self) -> usize;
+    /// `(meta, local)` of a global node, or `None` when the node lies
+    /// outside this space (a shard view popped a cross-shard link target).
+    fn resolve(&self, node: NodeId) -> Option<(u32, u32)>;
+    /// Meta document accessor (ids are space-local).
+    fn meta(&self, id: u32) -> &crate::meta::MetaDocument;
+    /// Global id of `(meta, local)`.
+    fn global_of(&self, meta: u32, local: u32) -> NodeId;
+    /// Runtime links out of `u` (global ids) known to this space.
+    fn links_out_of(&self, u: NodeId) -> &[(NodeId, NodeId)];
+    /// Runtime links into `v`, as `(target, source)` pairs.
+    fn links_into(&self, v: NodeId) -> &[(NodeId, NodeId)];
+}
+
+impl MetaSpace for Flix {
+    fn meta_count(&self) -> usize {
+        Flix::meta_count(self)
+    }
+
+    fn resolve(&self, node: NodeId) -> Option<(u32, u32)> {
+        // A full framework maps every node; shard views built by
+        // `Flix::shard_view` leave `u32::MAX` holes for foreign nodes.
+        let meta = Flix::meta_of(self, node);
+        (meta != u32::MAX).then(|| (meta, Flix::local_of(self, node)))
+    }
+
+    fn meta(&self, id: u32) -> &crate::meta::MetaDocument {
+        Flix::meta(self, id)
+    }
+
+    fn global_of(&self, meta: u32, local: u32) -> NodeId {
+        Flix::global_of(self, meta, local)
+    }
+
+    fn links_out_of(&self, u: NodeId) -> &[(NodeId, NodeId)] {
+        Flix::links_out_of(self, u)
+    }
+
+    fn links_into(&self, v: NodeId) -> &[(NodeId, NodeId)] {
+        Flix::links_into(self, v)
+    }
+}
+
+/// How a space-generic evaluation ended.
+pub(crate) enum EvalEnd {
+    /// The evaluation ran to completion (or was cut by its deadline /
+    /// result cap / distance bound — the same exits the unsharded
+    /// evaluator has).
+    Done {
+        /// True when the deadline expired before the evaluation finished.
+        timed_out: bool,
+    },
+    /// The queue surfaced a node the space cannot resolve: a shard view
+    /// popped a cross-shard link target. Everything emitted so far must be
+    /// discarded and the query re-run over a space that covers the node
+    /// (the sharded fan-out path does exactly that).
+    Escaped,
 }
 
 impl Flix {
@@ -522,15 +590,8 @@ impl Flix {
         self.evaluate_axis_traced(seeds, target, opts, axis, &mut stats, None, |r, _| emit(r));
     }
 
-    /// The instrumented core of the evaluator. Returns whether the
-    /// evaluation was cut by the deadline in `opts`.
-    ///
-    /// With `trace` set, every queue pop (including the §5.1 subsumption
-    /// check), meta-index block materialisation, and link-expansion step is
-    /// recorded as a timed span carrying the counter deltas charged during
-    /// it. The trace is write-only from the evaluator's point of view — no
-    /// branch of the algorithm consults it — so the emitted result stream
-    /// is bit-identical with tracing on and off.
+    /// The instrumented core of the evaluator, for the full framework.
+    /// Returns whether the evaluation was cut by the deadline in `opts`.
     #[allow(clippy::too_many_arguments)]
     fn evaluate_axis_traced(
         &self,
@@ -539,215 +600,84 @@ impl Flix {
         opts: &QueryOptions,
         axis: Axis,
         stats: &mut PeeStats,
-        mut trace: Option<&mut QueryTrace>,
-        mut emit: impl FnMut(QueryResult, PeeStats) -> ControlFlow<()>,
+        trace: Option<&mut QueryTrace>,
+        emit: impl FnMut(QueryResult, PeeStats) -> ControlFlow<()>,
     ) -> bool {
-        let trace_clock = trace.as_ref().map(|_| Stopwatch::start());
-        let mut queue: BinaryHeap<Reverse<(Distance, NodeId, bool)>> = BinaryHeap::new();
-        let mut entries: Vec<Vec<u32>> = vec![Vec::new(); self.meta_count()];
-        let mut returned = 0usize;
-        // Exact-order machinery (§7 optimisation): results are buffered and
-        // released only once the queue's lower bound proves them final.
-        // `best` deduplicates by node with the minimum distance; stale heap
-        // entries are dropped lazily.
-        let mut hold: BinaryHeap<Reverse<(Distance, NodeId)>> = BinaryHeap::new();
-        let mut best: std::collections::HashMap<NodeId, Distance> =
-            std::collections::HashMap::new();
-        let mut emitted: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
-        // Exact mode replaces §5.1 subsumption with Dijkstra-style entry
-        // settling: every entry node is processed once, at its minimal
-        // queue distance — reachability subsumption could hide shorter
-        // paths that enter a meta document through a different element.
-        let mut settled: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
-        for &(s, d) in seeds {
-            // the bool marks seed entries, whose self-match behaviour is
-            // governed by `include_start`
-            queue.push(Reverse((d, s, true)));
+        match evaluate_axis_space(self, seeds, target, opts, axis, stats, trace, emit) {
+            EvalEnd::Done { timed_out } => timed_out,
+            // A full framework resolves every node, so the evaluation can
+            // never escape; shard views only evaluate through
+            // `crate::shard`, which handles the escape itself.
+            EvalEnd::Escaped => false,
         }
-        let mut timed_out = false;
-        while let Some(Reverse((d, e, is_seed))) = queue.pop() {
-            // Deadline check: one clock read per pop, none when unset. The
-            // emitted prefix stands; nothing buffered is released.
-            if opts.deadline.is_some_and(|dl| dl.expired()) {
-                timed_out = true;
-                break;
-            }
-            // Release buffered results that no future entry can beat: every
-            // path through a remaining entry costs at least `d`.
-            if opts.exact_order {
-                while let Some(&Reverse((bd, bn))) = hold.peek() {
-                    if bd > d {
-                        break;
-                    }
-                    hold.pop();
-                    if best.get(&bn) != Some(&bd) || !emitted.insert(bn) {
-                        continue; // stale or already emitted
-                    }
-                    if let ControlFlow::Break(()) = emit(
-                        QueryResult {
-                            distance: bd,
-                            node: bn,
-                        },
-                        *stats,
-                    ) {
-                        return false;
-                    }
-                    returned += 1;
-                    if opts.max_results.is_some_and(|k| returned >= k) {
-                        return false;
-                    }
-                }
-            }
-            if let Some(limit) = opts.max_distance {
-                if d > limit {
+    }
+}
+
+/// The instrumented core of the evaluator (Fig. 4 generalised over
+/// direction, multiple seeds, and the node universe).
+///
+/// With `trace` set, every queue pop (including the §5.1 subsumption
+/// check), meta-index block materialisation, and link-expansion step is
+/// recorded as a timed span carrying the counter deltas charged during
+/// it. The trace is write-only from the evaluator's point of view — no
+/// branch of the algorithm consults it — so the emitted result stream
+/// is bit-identical with tracing on and off.
+///
+/// The priority queue orders entries by `(distance, node)` — the heap is a
+/// *set* of keyed entries, so any space presenting the same meta documents
+/// and link tables drives the loop through the same pop sequence. A shard
+/// view presents exactly the full framework's data for its own metas, which
+/// is why a run that never escapes is byte-identical to the unsharded one.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn evaluate_axis_space<S: MetaSpace + ?Sized>(
+    space: &S,
+    seeds: &[(NodeId, Distance)],
+    target: TagId,
+    opts: &QueryOptions,
+    axis: Axis,
+    stats: &mut PeeStats,
+    mut trace: Option<&mut QueryTrace>,
+    mut emit: impl FnMut(QueryResult, PeeStats) -> ControlFlow<()>,
+) -> EvalEnd {
+    let trace_clock = trace.as_ref().map(|_| Stopwatch::start());
+    let mut queue: BinaryHeap<Reverse<(Distance, NodeId, bool)>> = BinaryHeap::new();
+    let mut entries: Vec<Vec<u32>> = vec![Vec::new(); space.meta_count()];
+    let mut returned = 0usize;
+    // Exact-order machinery (§7 optimisation): results are buffered and
+    // released only once the queue's lower bound proves them final.
+    // `best` deduplicates by node with the minimum distance; stale heap
+    // entries are dropped lazily.
+    let mut hold: BinaryHeap<Reverse<(Distance, NodeId)>> = BinaryHeap::new();
+    let mut best: std::collections::HashMap<NodeId, Distance> = std::collections::HashMap::new();
+    let mut emitted: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    // Exact mode replaces §5.1 subsumption with Dijkstra-style entry
+    // settling: every entry node is processed once, at its minimal
+    // queue distance — reachability subsumption could hide shorter
+    // paths that enter a meta document through a different element.
+    let mut settled: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+    for &(s, d) in seeds {
+        // the bool marks seed entries, whose self-match behaviour is
+        // governed by `include_start`
+        queue.push(Reverse((d, s, true)));
+    }
+    let mut timed_out = false;
+    while let Some(Reverse((d, e, is_seed))) = queue.pop() {
+        // Deadline check: one clock read per pop, none when unset. The
+        // emitted prefix stands; nothing buffered is released.
+        if opts.deadline.is_some_and(|dl| dl.expired()) {
+            timed_out = true;
+            break;
+        }
+        // Release buffered results that no future entry can beat: every
+        // path through a remaining entry costs at least `d`.
+        if opts.exact_order {
+            while let Some(&Reverse((bd, bn))) = hold.peek() {
+                if bd > d {
                     break;
                 }
-            }
-            let pop_t0 = trace_clock.map(|c| c.elapsed_micros());
-            let pop_before = *stats;
-            let meta = self.meta_of(e);
-            let local = self.local_of(e);
-            let md = self.meta(meta);
-
-            // §5.1 duplicate elimination, step 1: drop subsumed entries.
-            // (Exact mode settles per entry node instead — see above.)
-            let subsumed = if opts.exact_order {
-                !settled.insert(e)
-            } else {
-                entries[meta as usize].iter().any(|&p| match axis {
-                    Axis::Descendants => md.index.is_reachable(p, local),
-                    Axis::Ancestors => md.index.is_reachable(local, p),
-                })
-            };
-            if subsumed {
-                stats.entries_subsumed += 1;
-            } else {
-                stats.entries_popped += 1;
-            }
-            if let (Some(tr), Some(c), Some(t0)) = (trace.as_deref_mut(), trace_clock, pop_t0) {
-                tr.record(
-                    SpanStage::QueuePop,
-                    t0,
-                    c.elapsed_micros().saturating_sub(t0),
-                    counters_since(&pop_before, stats),
-                );
-            }
-            if subsumed {
-                continue;
-            }
-
-            // Answer the block within this meta document. The whole block
-            // is materialised before any result is emitted, so its lookup
-            // work is charged up front.
-            let include_self = if is_seed { opts.include_start } else { true };
-            let fetch_t0 = trace_clock.map(|c| c.elapsed_micros());
-            let fetch_before = *stats;
-            let block = match axis {
-                Axis::Descendants => {
-                    let (block, work) =
-                        md.index
-                            .descendants_by_label_counted(local, target, include_self);
-                    stats.block_results_scanned += work;
-                    block
-                }
-                Axis::Ancestors => {
-                    let (block, work) =
-                        md.index
-                            .ancestors_by_label_counted(local, target, include_self);
-                    stats.block_results_scanned += work;
-                    block
-                }
-            };
-            // The span covers only the block materialisation, not the emit
-            // callbacks below — client time is not evaluator time.
-            if let (Some(tr), Some(c), Some(t0)) = (trace.as_deref_mut(), trace_clock, fetch_t0) {
-                tr.record(
-                    SpanStage::BlockFetch,
-                    t0,
-                    c.elapsed_micros().saturating_sub(t0),
-                    counters_since(&fetch_before, stats),
-                );
-            }
-            for (r, dr) in block {
-                // §5.1 step 2: skip results an earlier entry already
-                // returned. (Exact mode dedups through the best map.)
-                let seen = !opts.exact_order
-                    && entries[meta as usize].iter().any(|&p| match axis {
-                        Axis::Descendants => md.index.is_reachable(p, r),
-                        Axis::Ancestors => md.index.is_reachable(r, p),
-                    });
-                if seen {
-                    continue;
-                }
-                let total = d + dr;
-                if opts.max_distance.is_some_and(|m| total > m) {
-                    continue;
-                }
-                let node = self.global_of(meta, r);
-                if opts.exact_order {
-                    if emitted.contains(&node) {
-                        continue;
-                    }
-                    let cur = best.entry(node).or_insert(Distance::MAX);
-                    if total < *cur {
-                        *cur = total;
-                        hold.push(Reverse((total, node)));
-                    }
-                    continue;
-                }
-                let result = QueryResult {
-                    distance: total,
-                    node,
-                };
-                if let ControlFlow::Break(()) = emit(result, *stats) {
-                    return false;
-                }
-                returned += 1;
-                if opts.max_results.is_some_and(|k| returned >= k) {
-                    return false;
-                }
-            }
-
-            // Expand runtime links (Fig. 4's `findReachableLinks`).
-            let link_t0 = trace_clock.map(|c| c.elapsed_micros());
-            let link_before = *stats;
-            match axis {
-                Axis::Descendants => {
-                    for (ls, dls) in md.reachable_link_sources(local) {
-                        let global_src = self.global_of(meta, ls);
-                        for &(_, tgt) in self.links_out_of(global_src) {
-                            stats.links_expanded += 1;
-                            queue.push(Reverse((d + dls + 1, tgt, false)));
-                        }
-                    }
-                }
-                Axis::Ancestors => {
-                    for (lt, dlt) in md.reaching_link_targets(local) {
-                        let global_tgt = self.global_of(meta, lt);
-                        for &(_, src) in self.links_into(global_tgt) {
-                            stats.links_expanded += 1;
-                            queue.push(Reverse((d + dlt + 1, src, false)));
-                        }
-                    }
-                }
-            }
-            if let (Some(tr), Some(c), Some(t0)) = (trace.as_deref_mut(), trace_clock, link_t0) {
-                tr.record(
-                    SpanStage::LinkExpand,
-                    t0,
-                    c.elapsed_micros().saturating_sub(t0),
-                    counters_since(&link_before, stats),
-                );
-            }
-            entries[meta as usize].push(local);
-        }
-        // Queue drained: everything still buffered is final; drain in order.
-        // Not so on a deadline cut — a shorter result could still have
-        // appeared — so the buffer is dropped and the emitted prefix stands.
-        if opts.exact_order && !timed_out {
-            while let Some(Reverse((bd, bn))) = hold.pop() {
+                hold.pop();
                 if best.get(&bn) != Some(&bd) || !emitted.insert(bn) {
-                    continue;
+                    continue; // stale or already emitted
                 }
                 if let ControlFlow::Break(()) = emit(
                     QueryResult {
@@ -756,16 +686,185 @@ impl Flix {
                     },
                     *stats,
                 ) {
-                    return false;
+                    return EvalEnd::Done { timed_out: false };
                 }
                 returned += 1;
                 if opts.max_results.is_some_and(|k| returned >= k) {
-                    return false;
+                    return EvalEnd::Done { timed_out: false };
                 }
             }
         }
-        timed_out
+        if let Some(limit) = opts.max_distance {
+            if d > limit {
+                break;
+            }
+        }
+        let pop_t0 = trace_clock.map(|c| c.elapsed_micros());
+        let pop_before = *stats;
+        let Some((meta, local)) = space.resolve(e) else {
+            // The node lives outside this space: a shard view chased a
+            // cross-shard link. The caller falls back to a space that
+            // covers it; nothing emitted so far may be kept.
+            return EvalEnd::Escaped;
+        };
+        let md = space.meta(meta);
+
+        // §5.1 duplicate elimination, step 1: drop subsumed entries.
+        // (Exact mode settles per entry node instead — see above.)
+        let subsumed = if opts.exact_order {
+            !settled.insert(e)
+        } else {
+            entries[meta as usize].iter().any(|&p| match axis {
+                Axis::Descendants => md.index.is_reachable(p, local),
+                Axis::Ancestors => md.index.is_reachable(local, p),
+            })
+        };
+        if subsumed {
+            stats.entries_subsumed += 1;
+        } else {
+            stats.entries_popped += 1;
+        }
+        if let (Some(tr), Some(c), Some(t0)) = (trace.as_deref_mut(), trace_clock, pop_t0) {
+            tr.record(
+                SpanStage::QueuePop,
+                t0,
+                c.elapsed_micros().saturating_sub(t0),
+                counters_since(&pop_before, stats),
+            );
+        }
+        if subsumed {
+            continue;
+        }
+
+        // Answer the block within this meta document. The whole block
+        // is materialised before any result is emitted, so its lookup
+        // work is charged up front.
+        let include_self = if is_seed { opts.include_start } else { true };
+        let fetch_t0 = trace_clock.map(|c| c.elapsed_micros());
+        let fetch_before = *stats;
+        let block = match axis {
+            Axis::Descendants => {
+                let (block, work) =
+                    md.index
+                        .descendants_by_label_counted(local, target, include_self);
+                stats.block_results_scanned += work;
+                block
+            }
+            Axis::Ancestors => {
+                let (block, work) =
+                    md.index
+                        .ancestors_by_label_counted(local, target, include_self);
+                stats.block_results_scanned += work;
+                block
+            }
+        };
+        // The span covers only the block materialisation, not the emit
+        // callbacks below — client time is not evaluator time.
+        if let (Some(tr), Some(c), Some(t0)) = (trace.as_deref_mut(), trace_clock, fetch_t0) {
+            tr.record(
+                SpanStage::BlockFetch,
+                t0,
+                c.elapsed_micros().saturating_sub(t0),
+                counters_since(&fetch_before, stats),
+            );
+        }
+        for (r, dr) in block {
+            // §5.1 step 2: skip results an earlier entry already
+            // returned. (Exact mode dedups through the best map.)
+            let seen = !opts.exact_order
+                && entries[meta as usize].iter().any(|&p| match axis {
+                    Axis::Descendants => md.index.is_reachable(p, r),
+                    Axis::Ancestors => md.index.is_reachable(r, p),
+                });
+            if seen {
+                continue;
+            }
+            let total = d + dr;
+            if opts.max_distance.is_some_and(|m| total > m) {
+                continue;
+            }
+            let node = space.global_of(meta, r);
+            if opts.exact_order {
+                if emitted.contains(&node) {
+                    continue;
+                }
+                let cur = best.entry(node).or_insert(Distance::MAX);
+                if total < *cur {
+                    *cur = total;
+                    hold.push(Reverse((total, node)));
+                }
+                continue;
+            }
+            let result = QueryResult {
+                distance: total,
+                node,
+            };
+            if let ControlFlow::Break(()) = emit(result, *stats) {
+                return EvalEnd::Done { timed_out: false };
+            }
+            returned += 1;
+            if opts.max_results.is_some_and(|k| returned >= k) {
+                return EvalEnd::Done { timed_out: false };
+            }
+        }
+
+        // Expand runtime links (Fig. 4's `findReachableLinks`).
+        let link_t0 = trace_clock.map(|c| c.elapsed_micros());
+        let link_before = *stats;
+        match axis {
+            Axis::Descendants => {
+                for (ls, dls) in md.reachable_link_sources(local) {
+                    let global_src = space.global_of(meta, ls);
+                    for &(_, tgt) in space.links_out_of(global_src) {
+                        stats.links_expanded += 1;
+                        queue.push(Reverse((d + dls + 1, tgt, false)));
+                    }
+                }
+            }
+            Axis::Ancestors => {
+                for (lt, dlt) in md.reaching_link_targets(local) {
+                    let global_tgt = space.global_of(meta, lt);
+                    for &(_, src) in space.links_into(global_tgt) {
+                        stats.links_expanded += 1;
+                        queue.push(Reverse((d + dlt + 1, src, false)));
+                    }
+                }
+            }
+        }
+        if let (Some(tr), Some(c), Some(t0)) = (trace.as_deref_mut(), trace_clock, link_t0) {
+            tr.record(
+                SpanStage::LinkExpand,
+                t0,
+                c.elapsed_micros().saturating_sub(t0),
+                counters_since(&link_before, stats),
+            );
+        }
+        entries[meta as usize].push(local);
     }
+    // Queue drained: everything still buffered is final; drain in order.
+    // Not so on a deadline cut — a shorter result could still have
+    // appeared — so the buffer is dropped and the emitted prefix stands.
+    if opts.exact_order && !timed_out {
+        while let Some(Reverse((bd, bn))) = hold.pop() {
+            if best.get(&bn) != Some(&bd) || !emitted.insert(bn) {
+                continue;
+            }
+            if let ControlFlow::Break(()) = emit(
+                QueryResult {
+                    distance: bd,
+                    node: bn,
+                },
+                *stats,
+            ) {
+                return EvalEnd::Done { timed_out: false };
+            }
+            returned += 1;
+            if opts.max_results.is_some_and(|k| returned >= k) {
+                return EvalEnd::Done { timed_out: false };
+            }
+        }
+    }
+    EvalEnd::Done { timed_out }
 }
 
 /// Outcome of one step of a [`ConnectionSearch`].

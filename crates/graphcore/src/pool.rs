@@ -29,17 +29,25 @@ pub fn effective_threads(requested: usize, jobs: usize) -> usize {
 
 /// Splits a resolved thread budget between an outer stage running
 /// `outer_jobs` concurrent jobs and the nested parallelism each job may run
-/// itself. Returns `(outer_workers, inner_threads_per_job)`.
+/// itself. Returns `(outer_workers, inner_shares)` where `inner_shares[w]`
+/// is the inner thread budget of outer worker `w`.
 ///
 /// A monolithic outer stage (`outer_jobs == 1`) hands the whole budget to
 /// the single job's inner stages; many small outer jobs saturate the budget
-/// at the outer level and get one inner thread each. In every case
-/// `outer_workers * inner_threads_per_job <= max(total, 1)`, so the two
-/// layers together never oversubscribe the budget.
-pub fn split_budget(total: usize, outer_jobs: usize) -> (usize, usize) {
+/// at the outer level and get one inner thread each. In between, the
+/// budget is distributed *exactly*: a flooring split used to strand part
+/// of it (total=8 over 3 workers gave 3×2 = 6 threads), so the remainder
+/// now goes one-each to the first workers. The shares always satisfy
+/// `shares.len() == outer_workers`, `sum(shares) == max(total, 1)`, every
+/// share is at least 1, and no two shares differ by more than 1 — the two
+/// layers together use the whole budget and never oversubscribe it.
+pub fn split_budget(total: usize, outer_jobs: usize) -> (usize, Vec<usize>) {
     let total = total.max(1);
     let outer = total.min(outer_jobs).max(1);
-    (outer, (total / outer).max(1))
+    let base = total / outer;
+    let extra = total % outer;
+    let shares = (0..outer).map(|w| base + usize::from(w < extra)).collect();
+    (outer, shares)
 }
 
 /// Runs the jobs named by `schedule` (a permutation of `0..n`) on `threads`
@@ -55,23 +63,39 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_scheduled_budgeted(&vec![1; threads.max(1)], schedule, |id, _| job(id))
+}
+
+/// [`run_scheduled`] with one worker per entry of `shares`, each passing
+/// its own inner thread budget (`shares[w]`) to the jobs it claims — the
+/// consumption side of [`split_budget`]. Jobs must produce output
+/// independent of the inner budget they are handed (wall clock may vary,
+/// results may not), which keeps the ascending-job-id return order the
+/// only scheduling contract, exactly as for [`run_scheduled`].
+pub fn run_scheduled_budgeted<T, F>(shares: &[usize], schedule: &[usize], job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, usize) -> T + Sync,
+{
     let mut tagged: Vec<(usize, T)> = Vec::with_capacity(schedule.len());
-    if threads <= 1 || schedule.len() <= 1 {
+    if shares.len() <= 1 || schedule.len() <= 1 {
+        // Inline: the single worker owns the whole budget.
+        let inner = shares.iter().sum::<usize>().max(1);
         for &id in schedule {
-            tagged.push((id, job(id)));
+            tagged.push((id, job(id, inner)));
         }
     } else {
         let cursor = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel();
         std::thread::scope(|s| {
-            for _ in 0..threads {
+            for &share in shares {
                 let tx = tx.clone();
                 let (cursor, job) = (&cursor, &job);
                 s.spawn(move || loop {
                     // flixcheck: allow(atomic-ordering): the cursor only needs RMW uniqueness to claim slots; no data is published through it
                     let slot = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(&id) = schedule.get(slot) else { break };
-                    let out = job(id);
+                    let out = job(id, share.max(1));
                     if tx.send((id, out)).is_err() {
                         break;
                     }
@@ -146,18 +170,57 @@ mod tests {
     }
 
     #[test]
-    fn budget_split_never_oversubscribes() {
-        assert_eq!(split_budget(8, 1), (1, 8), "monolithic keeps the budget");
-        assert_eq!(split_budget(8, 100), (8, 1), "wide stages get the budget");
-        assert_eq!(split_budget(8, 3), (3, 2));
-        assert_eq!(split_budget(0, 5), (1, 1));
-        assert_eq!(split_budget(1, 1), (1, 1));
-        for total in 1..16 {
-            for jobs in 1..16 {
-                let (outer, inner) = split_budget(total, jobs);
-                assert!(outer * inner <= total.max(1), "{total}/{jobs}");
-                assert!(outer >= 1 && inner >= 1);
+    fn budget_split_is_exact_and_never_oversubscribes() {
+        assert_eq!(
+            split_budget(8, 1),
+            (1, vec![8]),
+            "monolithic keeps the budget"
+        );
+        assert_eq!(
+            split_budget(8, 100),
+            (8, vec![1; 8]),
+            "wide stages get the budget"
+        );
+        // The flooring split used to strand 2 of 8 threads here (3×2 = 6);
+        // the remainder now lands on the first workers.
+        assert_eq!(split_budget(8, 3), (3, vec![3, 3, 2]));
+        assert_eq!(split_budget(0, 5), (1, vec![1]));
+        assert_eq!(split_budget(1, 1), (1, vec![1]));
+        for total in 0..24 {
+            for jobs in 1..24 {
+                let (outer, shares) = split_budget(total, jobs);
+                assert_eq!(shares.len(), outer, "{total}/{jobs}");
+                assert!(
+                    outer >= 1 && shares.iter().all(|&s| s >= 1),
+                    "{total}/{jobs}"
+                );
+                // No oversubscription AND no stranded budget: the shares
+                // sum to exactly the (clamped) total, which is tighter
+                // than the old `outer × inner ≥ total − outer + 1` bound.
+                assert_eq!(shares.iter().sum::<usize>(), total.max(1), "{total}/{jobs}");
+                let (lo, hi) = (shares.iter().min(), shares.iter().max());
+                assert!(
+                    hi.unwrap() - lo.unwrap() <= 1,
+                    "{total}/{jobs}: uneven shares {shares:?}"
+                );
             }
         }
+    }
+
+    #[test]
+    fn budgeted_workers_hand_their_share_to_jobs() {
+        let (outer, shares) = split_budget(8, 3);
+        assert_eq!(outer, 3);
+        let seen = run_scheduled_budgeted(&shares, &[0, 1, 2, 3, 4, 5], |id, inner| (id, inner));
+        for (i, &(id, inner)) in seen.iter().enumerate() {
+            assert_eq!(id, i, "job-id return order");
+            assert!(
+                shares.contains(&inner),
+                "job {id} ran with a budget ({inner}) no worker owns"
+            );
+        }
+        // A single job gets the whole budget, whatever the worker count.
+        let solo = run_scheduled_budgeted(&shares, &[0], |_, inner| inner);
+        assert_eq!(solo, vec![8]);
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::trace::QueryTrace;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One retained slow query.
 #[derive(Debug, Clone)]
@@ -24,6 +25,11 @@ pub struct SlowQuery {
 pub struct SlowQueryLog {
     inner: Mutex<LogInner>,
     capacity: usize,
+    /// Lowest `total_micros` that could still be retained: 0 until the log
+    /// fills, then one past the fastest retained entry. Lets hot paths
+    /// skip building a trace (and taking the lock) for queries that could
+    /// not possibly displace anything — see [`SlowQueryLog::would_retain`].
+    floor: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -43,7 +49,18 @@ impl SlowQueryLog {
                 offered: 0,
             }),
             capacity: capacity.max(1),
+            floor: AtomicU64::new(0),
         }
+    }
+
+    /// Whether a finished trace with this total latency could be retained
+    /// right now. A cheap (lock-free) pre-check for hot paths: when it
+    /// returns `false`, [`SlowQueryLog::offer`] would reject the trace, so
+    /// the caller can skip building it entirely. A `true` is advisory —
+    /// a racing offer may still win — but never stays stale in the
+    /// rejecting direction for a given latency once the log has settled.
+    pub fn would_retain(&self, total_micros: u64) -> bool {
+        total_micros >= self.floor.load(Ordering::Relaxed)
     }
 
     /// Maximum number of retained traces.
@@ -61,6 +78,9 @@ impl SlowQueryLog {
         inner.next_seq += 1;
         if inner.entries.len() < self.capacity {
             inner.entries.push(SlowQuery { seq, trace });
+            if inner.entries.len() == self.capacity {
+                self.refresh_floor(&inner);
+            }
             return true;
         }
         let min_idx = inner
@@ -72,10 +92,24 @@ impl SlowQueryLog {
         match min_idx {
             Some(i) if inner.entries[i].trace.total_micros() < trace.total_micros() => {
                 inner.entries[i] = SlowQuery { seq, trace };
+                self.refresh_floor(&inner);
                 true
             }
             _ => false,
         }
+    }
+
+    /// Re-derives the retention floor from a full entry set: one past the
+    /// fastest retained entry, since `offer` only replaces on strictly
+    /// slower.
+    fn refresh_floor(&self, inner: &LogInner) {
+        let min = inner
+            .entries
+            .iter()
+            .map(|e| e.trace.total_micros())
+            .min()
+            .unwrap_or(0);
+        self.floor.store(min.saturating_add(1), Ordering::Relaxed);
     }
 
     /// Total traces offered so far (retained or not).
@@ -97,7 +131,10 @@ impl SlowQueryLog {
 
     /// Drops every retained trace (sequence numbers keep counting).
     pub fn clear(&self) {
-        self.inner.lock().entries.clear();
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        self.floor.store(0, Ordering::Relaxed);
+        drop(inner);
     }
 }
 
@@ -142,6 +179,24 @@ mod tests {
         log.offer(trace(20));
         assert_eq!(log.offered(), 2);
         assert_eq!(log.worst().len(), 1);
+    }
+
+    #[test]
+    fn would_retain_tracks_the_retention_floor() {
+        let log = SlowQueryLog::new(2);
+        // Below capacity everything is retainable, even a 0µs trace.
+        assert!(log.would_retain(0));
+        log.offer(trace(100));
+        assert!(log.would_retain(0));
+        log.offer(trace(200));
+        // Full: only traces strictly slower than the fastest entry pass.
+        assert!(!log.would_retain(100));
+        assert!(log.would_retain(101));
+        log.offer(trace(150));
+        assert!(!log.would_retain(150));
+        assert!(log.would_retain(151));
+        log.clear();
+        assert!(log.would_retain(0));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod loadgen;
 /// The worker-pool server: admission, deadlines, single-flight, drain.
 pub mod server;
 
-pub use loadgen::{closed_loop, open_loop, ClosedLoopReport, OpenLoopReport};
+pub use loadgen::{closed_loop, closed_loop_windowed, open_loop, ClosedLoopReport, OpenLoopReport};
 pub use server::{
     AxisKind, Backend, FlixServer, Request, Response, ServeConfig, ServeError, ServeStats, Ticket,
 };

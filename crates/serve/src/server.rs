@@ -4,13 +4,21 @@
 //! channel. [`FlixServer::submit`] is the admission controller: it rejects
 //! during drain, collapses duplicates of an in-flight query, enforces the
 //! in-flight ceiling, and round-robins the request over the worker queues
-//! with non-blocking sends — if every queue is full the request is shed
-//! with [`ServeError::Overloaded`] rather than parked. Shedding keeps the
-//! latency of *admitted* requests bounded by queue capacity instead of
-//! growing with offered load, which is the whole point of bounding the
-//! queues (see DESIGN.md §8).
+//! with non-blocking sends — if every eligible queue is full the request
+//! is shed with [`ServeError::Overloaded`] rather than parked. Shedding
+//! keeps the latency of *admitted* requests bounded by queue capacity
+//! instead of growing with offered load, which is the whole point of
+//! bounding the queues (see DESIGN.md §8).
+//!
+//! With a [`Backend::Sharded`] backend the workers *own shards*: they are
+//! partitioned into one group per shard (DESIGN.md §10), a request is
+//! routed to the group owning its start element's shard, and each group
+//! runs its own queue rotation, depth accounting, and
+//! `flixserve_shard_*` metrics. A group's queues filling up sheds only
+//! that shard's traffic — shards are independently admitted, exactly like
+//! their indexes are independently evaluated.
 
-use flix::{CachedFlix, Flix, PeeStats, QueryOptions, QueryResult, SharedLoadMonitor};
+use flix::{CachedFlix, Flix, PeeStats, QueryOptions, QueryResult, ShardedFlix, SharedLoadMonitor};
 use flixobs::{
     Counter, Deadline, Gauge, Histogram, MetricId, MetricsRegistry, QueryTrace, SlowQuery,
     SlowQueryLog, Stopwatch,
@@ -62,7 +70,12 @@ impl ServeConfig {
         self.workers.max(1)
     }
 
-    fn effective_max_in_flight(&self) -> usize {
+    /// The in-flight ceiling the admission controller actually enforces:
+    /// `max_in_flight`, or — when that is `0` (automatic) — every queue
+    /// full plus one request executing per worker. Every
+    /// [`ServeError::Overloaded`] reports an `in_flight` at or below this
+    /// value (tested).
+    pub fn effective_max_in_flight(&self) -> usize {
         if self.max_in_flight > 0 {
             self.max_in_flight
         } else {
@@ -164,7 +177,8 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// The query engine behind a server: a plain framework or a cached one.
+/// The query engine behind a server: a plain framework, a cached one, or
+/// a sharded one.
 pub enum Backend {
     /// Evaluate every query on the framework.
     Plain(Arc<Flix>),
@@ -172,6 +186,11 @@ pub enum Backend {
     /// queries go to the underlying framework; the cache only keys the
     /// descendants axis).
     Cached(Arc<CachedFlix>),
+    /// Route every query to the shard owning its start element; workers
+    /// are partitioned into per-shard groups so shards neither share
+    /// queues nor admission (ancestors queries route the same way — the
+    /// sharded ancestors path is escape-aware too).
+    Sharded(Arc<ShardedFlix>),
 }
 
 impl From<Arc<Flix>> for Backend {
@@ -183,6 +202,12 @@ impl From<Arc<Flix>> for Backend {
 impl From<Arc<CachedFlix>> for Backend {
     fn from(cached: Arc<CachedFlix>) -> Self {
         Self::Cached(cached)
+    }
+}
+
+impl From<Arc<ShardedFlix>> for Backend {
+    fn from(sharded: Arc<ShardedFlix>) -> Self {
+        Self::Sharded(sharded)
     }
 }
 
@@ -276,13 +301,36 @@ pub struct ServeStats {
     pub in_flight: usize,
 }
 
+/// One shard group's admission state: the queues of the workers that own
+/// a shard, their rotation cursor, and the per-shard metric cells
+/// (published as `flixserve_shard_*`). Unsharded backends run one group
+/// covering every worker.
+struct Group {
+    /// Worker indexes owned by this group (contiguous span).
+    workers: std::ops::Range<usize>,
+    /// Per-request rotation cursor: every submission starts its try_send
+    /// sweep one queue further, so under partial load the assignments
+    /// stay near-uniform instead of saturating the low-numbered queues.
+    next: AtomicUsize,
+    /// Requests queued in this group's queues right now.
+    queued: AtomicUsize,
+    submitted: Counter,
+    shed: Counter,
+    depth: Gauge,
+}
+
 struct Shared {
     backend: Backend,
     config: ServeConfig,
     draining: AtomicBool,
     in_flight: AtomicUsize,
     queued: AtomicUsize,
-    next_worker: AtomicUsize,
+    /// One group per shard ([`Backend::Sharded`]) — capped at the worker
+    /// count — or a single group otherwise.
+    groups: Vec<Group>,
+    /// Per-worker-queue assignment counters (admission audit; see
+    /// [`FlixServer::queue_assignments`]).
+    assigned: Vec<Counter>,
     single_flight: Mutex<HashMap<SfKey, Vec<Reply>>>,
     metrics: ServeMetrics,
     slow_log: SlowQueryLog,
@@ -290,10 +338,23 @@ struct Shared {
 }
 
 impl Shared {
-    fn overloaded(&self) -> ServeError {
+    /// Builds the shed error from a coherent `in_flight` snapshot taken
+    /// at the rejection decision itself (the failed `fetch_update`'s
+    /// observed value, or the post-decrement count on a queue-full shed).
+    /// `queued` is clamped to it: every queued request is in flight, so a
+    /// larger independently-loaded value can only be a torn read.
+    fn overloaded(&self, in_flight: usize) -> ServeError {
         ServeError::Overloaded {
-            queued: self.queued.load(SeqCst),
-            in_flight: self.in_flight.load(SeqCst),
+            queued: self.queued.load(SeqCst).min(in_flight),
+            in_flight,
+        }
+    }
+
+    /// The group a request for `start` is routed to.
+    fn group_of(&self, start: NodeId) -> usize {
+        match &self.backend {
+            Backend::Sharded(sharded) => sharded.shard_of(start) as usize % self.groups.len(),
+            _ => 0,
         }
     }
 
@@ -340,15 +401,41 @@ pub struct FlixServer {
 }
 
 impl FlixServer {
-    /// Starts `config.workers` worker threads over `backend`.
+    /// Starts `config.workers` worker threads over `backend`. A sharded
+    /// backend partitions the workers into one group per shard (capped at
+    /// the worker count — a group always has at least one worker), each
+    /// group serving only its shards' requests.
     pub fn start(backend: impl Into<Backend>, config: ServeConfig) -> Self {
+        let backend = backend.into();
+        let workers = config.effective_workers();
+        let group_count = match &backend {
+            Backend::Sharded(sharded) => sharded.shard_count().min(workers),
+            _ => 1,
+        };
+        // Contiguous worker spans, remainder workers on the first groups.
+        let (base, extra) = (workers / group_count, workers % group_count);
+        let mut groups = Vec::with_capacity(group_count);
+        let mut start = 0;
+        for g in 0..group_count {
+            let len = base + usize::from(g < extra);
+            groups.push(Group {
+                workers: start..start + len,
+                next: AtomicUsize::new(0),
+                queued: AtomicUsize::new(0),
+                submitted: Counter::new(),
+                shed: Counter::new(),
+                depth: Gauge::new(),
+            });
+            start += len;
+        }
         let shared = Arc::new(Shared {
-            backend: backend.into(),
+            backend,
             config,
             draining: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             queued: AtomicUsize::new(0),
-            next_worker: AtomicUsize::new(0),
+            groups,
+            assigned: (0..workers).map(|_| Counter::new()).collect(),
             single_flight: Mutex::new(HashMap::new()),
             metrics: ServeMetrics::new(),
             slow_log: SlowQueryLog::new(config.slow_log_capacity.max(1)),
@@ -356,10 +443,15 @@ impl FlixServer {
         });
         let mut senders = Vec::new();
         let mut handles = Vec::new();
-        for _ in 0..config.effective_workers() {
+        for w in 0..workers {
+            let group = shared
+                .groups
+                .iter()
+                .position(|g| g.workers.contains(&w))
+                .unwrap_or(0);
             let (tx, rx) = crossbeam::channel::bounded(config.queue_capacity.max(1));
             let worker_shared = Arc::clone(&shared);
-            let handle = std::thread::spawn(move || worker_loop(&worker_shared, &rx));
+            let handle = std::thread::spawn(move || worker_loop(&worker_shared, &rx, group));
             senders.push(tx);
             handles.push(handle);
         }
@@ -373,6 +465,19 @@ impl FlixServer {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.shared.config.effective_workers()
+    }
+
+    /// Number of shard groups the workers are partitioned into (1 for
+    /// unsharded backends).
+    pub fn shard_groups(&self) -> usize {
+        self.shared.groups.len()
+    }
+
+    /// How many requests each worker queue has been assigned, in worker
+    /// order — the admission audit behind the round-robin rotation test
+    /// (near-uniform under uniform load).
+    pub fn queue_assignments(&self) -> Vec<u64> {
+        self.shared.assigned.iter().map(Counter::get).collect()
     }
 
     /// Submits a request through admission control. Returns a [`Ticket`]
@@ -411,14 +516,15 @@ impl FlixServer {
             None
         };
 
-        // In-flight ceiling.
+        // In-flight ceiling. The failed `fetch_update` hands back the
+        // count it observed — that value (< ceiling never rejects, so it
+        // is at the ceiling, never above) goes into the error verbatim.
         let max = shared.config.effective_max_in_flight();
-        if shared
+        if let Err(cur) = shared
             .in_flight
             .fetch_update(SeqCst, SeqCst, |cur| (cur < max).then_some(cur + 1))
-            .is_err()
         {
-            let err = shared.overloaded();
+            let err = shared.overloaded(cur);
             shared.metrics.shed.inc();
             shared.abort_single_flight(sf_key, &err);
             return Err(err);
@@ -428,25 +534,35 @@ impl FlixServer {
             .in_flight
             .set(shared.in_flight.load(SeqCst) as f64);
 
-        // Round-robin over the worker queues with non-blocking sends.
+        // Rotate over the owning group's worker queues with non-blocking
+        // sends. The sweep start advances per request, so a sweep that
+        // skips full queues does not pin later requests to the same
+        // low-numbered survivors.
         let senders = self.senders.read();
         let Some(senders) = senders.as_deref() else {
             shared.in_flight.fetch_sub(1, SeqCst);
             shared.abort_single_flight(sf_key, &ServeError::ShuttingDown);
             return Err(ServeError::ShuttingDown);
         };
+        let group = &shared.groups[shared.group_of(request.start)];
+        let span = group.workers.clone();
         let mut job = Job {
             request,
             admitted: Stopwatch::start(),
             reply: reply_tx,
             sf_key,
         };
-        let first = shared.next_worker.fetch_add(1, SeqCst);
-        for i in 0..senders.len() {
-            let tx = &senders[(first + i) % senders.len()];
-            match tx.try_send(job) {
+        let first = group.next.fetch_add(1, SeqCst);
+        for i in 0..span.len() {
+            let w = span.start + (first + i) % span.len();
+            match senders[w].try_send(job) {
                 Ok(()) => {
+                    shared.assigned[w].inc();
                     shared.metrics.submitted.inc();
+                    group.submitted.inc();
+                    group
+                        .depth
+                        .set(group.queued.fetch_add(1, SeqCst) as f64 + 1.0);
                     shared
                         .metrics
                         .queue_depth
@@ -459,14 +575,14 @@ impl FlixServer {
                 }
             }
         }
-        // Every queue full (or gone): shed.
-        shared.in_flight.fetch_sub(1, SeqCst);
-        shared
-            .metrics
-            .in_flight
-            .set(shared.in_flight.load(SeqCst) as f64);
-        let err = shared.overloaded();
+        // Every queue in the group full (or gone): shed. The decrement's
+        // return value is the coherent in-flight count after this request
+        // stepped back out.
+        let now = shared.in_flight.fetch_sub(1, SeqCst) - 1;
+        shared.metrics.in_flight.set(now as f64);
+        let err = shared.overloaded(now);
         shared.metrics.shed.inc();
+        group.shed.inc();
         shared.abort_single_flight(sf_key, &err);
         Err(err)
     }
@@ -564,6 +680,28 @@ impl FlixServer {
         ] {
             registry.bind_histogram(MetricId::with_labels(name, labels), histogram);
         }
+        // Per-shard admission cells, one series per group, tagged with a
+        // `shard` label on top of the caller's.
+        if self.shared.groups.len() > 1 {
+            for (g, group) in self.shared.groups.iter().enumerate() {
+                let shard = g.to_string();
+                let mut shard_labels: Vec<(&str, &str)> = labels.to_vec();
+                shard_labels.push(("shard", &shard));
+                for (name, counter) in [
+                    ("flixserve_shard_submitted_total", &group.submitted),
+                    ("flixserve_shard_shed_total", &group.shed),
+                ] {
+                    registry.bind_counter(MetricId::with_labels(name, &shard_labels), counter);
+                }
+                registry.bind_gauge(
+                    MetricId::with_labels("flixserve_shard_queue_depth", &shard_labels),
+                    &group.depth,
+                );
+            }
+        }
+        if let Backend::Sharded(sharded) = &self.shared.backend {
+            sharded.publish_metrics(registry, labels);
+        }
     }
 }
 
@@ -597,11 +735,24 @@ fn compute(backend: &Backend, req: &Request) -> (Arc<Vec<QueryResult>>, bool, Op
             let out = flix.find_ancestors_outcome(req.start, req.target, &req.opts);
             (Arc::new(out.results), out.timed_out, Some(out.stats))
         }
+        (Backend::Sharded(sharded), AxisKind::Descendants) => {
+            let (results, timed_out) =
+                sharded.find_descendants_deadline(req.start, req.target, &req.opts);
+            (results, timed_out, None)
+        }
+        (Backend::Sharded(sharded), AxisKind::Ancestors) => {
+            let out = sharded.find_ancestors_outcome(req.start, req.target, &req.opts);
+            (Arc::new(out.results), out.timed_out, Some(out.stats))
+        }
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>) {
+fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>, group: usize) {
+    let group = &shared.groups[group];
     while let Ok(job) = rx.recv() {
+        group
+            .depth
+            .set(group.queued.fetch_sub(1, SeqCst) as f64 - 1.0);
         shared
             .metrics
             .queue_depth
@@ -619,12 +770,16 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>) {
         if let Some(stats) = stats {
             shared.load.record(stats, results.len());
         }
-        let mut trace = QueryTrace::new(&format!(
-            "{}//{:?} ({:?})",
-            job.request.start, job.request.target, job.request.axis
-        ));
-        trace.finish(total_micros);
-        shared.slow_log.offer(trace);
+        // Only pay for trace construction (a format! per query) when the
+        // latency could actually displace a slow-log entry.
+        if shared.slow_log.would_retain(total_micros) {
+            let mut trace = QueryTrace::new(&format!(
+                "{}//{:?} ({:?})",
+                job.request.start, job.request.target, job.request.axis
+            ));
+            trace.finish(total_micros);
+            shared.slow_log.offer(trace);
+        }
 
         let response = Response {
             results,
@@ -787,5 +942,116 @@ mod tests {
         );
         assert_eq!(cached.len(), 1, "ancestors do not populate the cache");
         server.shutdown();
+    }
+
+    #[test]
+    fn sharded_backend_serves_oracle_answers_per_group() {
+        let (flix, t) = tiny();
+        let sharded = Arc::new(ShardedFlix::new(Arc::clone(&flix), 2));
+        let server = FlixServer::start(Arc::clone(&sharded), ServeConfig::default());
+        assert_eq!(server.shard_groups(), sharded.shard_count().min(4));
+        let nodes = flix.collection().node_count() as NodeId;
+        for start in 0..nodes {
+            for req in [
+                Request::descendants(start, t, QueryOptions::default()),
+                Request::ancestors(start, t, QueryOptions::default()),
+            ] {
+                let got = server.query(req).unwrap();
+                let want = match req.axis {
+                    AxisKind::Descendants => flix.find_descendants(start, t, &req.opts),
+                    AxisKind::Ancestors => flix.find_ancestors(start, t, &req.opts),
+                };
+                assert_eq!(*got.results, want, "start {start} {:?}", req.axis);
+            }
+        }
+        let assigned: u64 = server.queue_assignments().iter().sum();
+        assert_eq!(assigned, u64::from(nodes) * 2, "every request was assigned");
+        server.shutdown();
+    }
+
+    #[test]
+    fn admission_rotation_spreads_sequential_load_evenly() {
+        let (flix, t) = tiny();
+        let config = ServeConfig {
+            workers: 4,
+            single_flight: false,
+            ..ServeConfig::default()
+        };
+        let server = FlixServer::start(flix, config);
+        for _ in 0..100 {
+            server
+                .query(Request::descendants(0, t, QueryOptions::default()))
+                .unwrap();
+        }
+        let assigned = server.queue_assignments();
+        assert_eq!(assigned.len(), 4);
+        assert_eq!(assigned.iter().sum::<u64>(), 100);
+        let (lo, hi) = (
+            *assigned.iter().min().unwrap(),
+            *assigned.iter().max().unwrap(),
+        );
+        // Sequential submissions with idle queues land exactly round-robin;
+        // allow a whisker of slack for a sweep that skipped a busy queue.
+        assert!(
+            hi - lo <= 1,
+            "rotation failed to spread load: {assigned:?} (max-min {})",
+            hi - lo
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn shed_errors_report_coherent_snapshots() {
+        let (flix, t) = tiny();
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_in_flight: 2,
+            single_flight: false,
+            ..ServeConfig::default()
+        };
+        let server = Arc::new(FlixServer::start(flix, config));
+        let ceiling = config.effective_max_in_flight();
+        let errors: Vec<ServeError> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let server = Arc::clone(&server);
+                    s.spawn(move || {
+                        let mut shed = Vec::new();
+                        for _ in 0..200 {
+                            match server.submit(Request::descendants(0, t, QueryOptions::default()))
+                            {
+                                Ok(ticket) => drop(ticket.wait()),
+                                Err(err) => shed.push(err),
+                            }
+                        }
+                        shed
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(
+            !errors.is_empty(),
+            "the storm should overrun a 1-worker, capacity-1, ceiling-2 server"
+        );
+        for err in &errors {
+            let ServeError::Overloaded { queued, in_flight } = err else {
+                panic!("unexpected error under load: {err}");
+            };
+            assert!(
+                *in_flight <= ceiling,
+                "shed reported in_flight {in_flight} above the ceiling {ceiling}"
+            );
+            assert!(
+                queued <= in_flight,
+                "shed reported queued {queued} > in_flight {in_flight}"
+            );
+        }
+        server.shutdown();
+        server.wait_idle();
     }
 }

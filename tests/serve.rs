@@ -4,11 +4,14 @@
 //! prefixes of the oracle's distance-ordered result — and a drain must
 //! finish admitted work while refusing new work with typed errors.
 
-use flix::{Flix, FlixConfig, QueryOptions};
+use flix::{Flix, FlixConfig, QueryOptions, ShardedFlix};
 use flixobs::Deadline;
 use flixserve::{FlixServer, Request, ServeConfig, ServeError};
 use std::sync::Arc;
-use workloads::{descendant_queries, generate_mixed, generate_web, MixedConfig, WebConfig};
+use workloads::{
+    descendant_queries, generate_dblp, generate_mixed, generate_web, DblpConfig, MixedConfig,
+    WebConfig,
+};
 use xmlgraph::CollectionGraph;
 
 fn mixed_corpus() -> Arc<CollectionGraph> {
@@ -225,13 +228,19 @@ fn identical_in_flight_queries_collapse() {
         },
     );
     let queries = descendant_queries(&cg, 2, 5);
-    // Occupy the single worker so the identical burst is provably in flight
-    // together.
-    let blocker = server.submit(Request::descendants(
-        queries[0].start,
-        queries[0].target_tag,
-        QueryOptions::exact(),
-    ));
+    // Occupy the single worker with a queue of mutually-distinct requests
+    // (different `max_results`, so they cannot collapse with each other)
+    // so the identical burst that follows is provably in flight together:
+    // its leader cannot complete before every follower has attached.
+    let blockers: Vec<_> = (0..16)
+        .map(|i| {
+            server.submit(Request::descendants(
+                queries[0].start,
+                queries[0].target_tag,
+                QueryOptions::top_k(i + 1),
+            ))
+        })
+        .collect();
     let shared = Request::descendants(
         queries[1].start,
         queries[1].target_tag,
@@ -255,6 +264,105 @@ fn identical_in_flight_queries_collapse() {
         "followers ride the leader's evaluation"
     );
     assert!(server.stats().collapsed >= 3);
-    blocker.unwrap().wait().unwrap();
+    for blocker in blockers {
+        blocker.unwrap().wait().unwrap();
+    }
     server.shutdown();
+}
+
+/// A small DBLP-like citation corpus (mostly-isolated documents with a
+/// skewed citation minority) for the sharding property tests.
+fn dblp_corpus() -> Arc<CollectionGraph> {
+    let cfg = DblpConfig {
+        documents: 120,
+        seed: 7,
+        ..DblpConfig::default()
+    };
+    Arc::new(generate_dblp(&cfg).seal())
+}
+
+/// The sharding property (ISSUE 7): at every shard count, a server over a
+/// [`ShardedFlix`] returns byte-for-byte the unsharded oracle's results —
+/// single-shard queries served shard-locally and multi-shard queries
+/// through the cross-shard fan-out alike. Runs over both a DBLP-like
+/// citation corpus and a random cyclic web, under the three standard
+/// option shapes including `exact()`.
+#[test]
+fn sharded_serving_matches_the_unsharded_oracle_at_every_shard_count() {
+    for (name, cg) in [("dblp", dblp_corpus()), ("web", web_corpus())] {
+        let flix = Arc::new(Flix::build(cg.clone(), FlixConfig::Naive));
+        let mix = oracle_mix(&flix, &cg);
+        for shards in [1usize, 2, 7] {
+            let sharded = Arc::new(ShardedFlix::new(flix.clone(), shards));
+            let server = FlixServer::start(
+                sharded,
+                ServeConfig {
+                    workers: 4,
+                    single_flight: false,
+                    ..ServeConfig::default()
+                },
+            );
+            std::thread::scope(|scope| {
+                for c in 0..4 {
+                    let server = &server;
+                    let mix = &mix;
+                    scope.spawn(move || {
+                        for (request, oracle) in mix.iter().skip(c).step_by(4) {
+                            let response = server.query(*request).unwrap();
+                            assert!(!response.timed_out, "{name}: no deadline was set");
+                            assert_eq!(
+                                *response.results, *oracle,
+                                "{name}: {shards} shards, start {}",
+                                request.start
+                            );
+                        }
+                    });
+                }
+            });
+            server.shutdown();
+        }
+    }
+}
+
+/// Deadline-cut sharded answers are proper prefixes of the unsharded
+/// oracle's distance-ordered result — the truncation point may differ
+/// from the unsharded server's (an escaped query restarts its clock-
+/// burdened evaluation on the fan-out view) but never the order.
+#[test]
+fn sharded_deadline_cuts_are_prefixes_of_the_unsharded_oracle() {
+    let cg = dblp_corpus();
+    let flix = Arc::new(Flix::build(cg.clone(), FlixConfig::Naive));
+    let queries = descendant_queries(&cg, 8, 11);
+    for shards in [2usize, 7] {
+        let sharded = Arc::new(ShardedFlix::new(flix.clone(), shards));
+        let server = FlixServer::start(sharded, ServeConfig::default());
+        for opts in [QueryOptions::default(), QueryOptions::exact()] {
+            for q in &queries {
+                let oracle = flix.find_descendants(q.start, q.target_tag, &opts);
+                for budget in [0u64, 50, 10_000_000] {
+                    let req = Request::descendants(
+                        q.start,
+                        q.target_tag,
+                        opts.with_deadline(Deadline::within_micros(budget)),
+                    );
+                    let response = server.query(req).unwrap();
+                    assert!(
+                        oracle.starts_with(&response.results),
+                        "{shards} shards, start {}: deadline-cut answer must be a \
+                         prefix of the unsharded oracle (budget {budget}µs)",
+                        q.start
+                    );
+                    if budget == 0 {
+                        assert!(response.timed_out);
+                        assert!(response.results.is_empty());
+                    }
+                    if budget == 10_000_000 {
+                        assert!(!response.timed_out, "ten seconds is plenty");
+                        assert_eq!(*response.results, oracle);
+                    }
+                }
+            }
+        }
+        server.shutdown();
+    }
 }
