@@ -46,4 +46,16 @@ cargo run -q -p bench --bin repro -- serve --scale 0.02 --serve-threads 2,8 --sh
 echo "== repro serve smoke test (sharded serving at 4 shards)"
 cargo run -q -p bench --bin repro -- serve --scale 0.02 --serve-threads 2 --shards 4
 
+echo "== repro trace smoke test (flight recorder + Chrome trace export)"
+cargo run -q -p bench --bin repro -- trace --scale 0.02
+# Shape-check the artifacts: trace.json must be a Chrome trace-event file
+# with duration spans and instants, BENCH_obs.json must carry the
+# overhead and adaptive-admission numbers.
+grep -q '"traceEvents"' trace.json
+grep -q '"ph":"X"' trace.json
+grep -q '"ph":"i"' trace.json
+grep -q '"overhead_pct"' BENCH_obs.json
+grep -q '"events_per_sec"' BENCH_obs.json
+grep -q '"limit_changes"' BENCH_obs.json
+
 echo "CI green."

@@ -7,8 +7,8 @@
 //!
 //! Subcommands: `table1`, `figure5`, `errors`, `connect`, `hybrid`,
 //! `ablation-partition`, `ablation-dedup`, `query`, `build`, `hopi`,
-//! `serve`, `all`. The default corpus is the paper's scale (6,210
-//! documents); `--scale F` shrinks it.
+//! `serve`, `trace`, `all`. The default corpus is the paper's scale
+//! (6,210 documents); `--scale F` shrinks it.
 //!
 //! `query` exercises the query-path observability layer: every strategy
 //! runs the same DBLP and random-cyclic workloads under one shared
@@ -56,7 +56,7 @@ fn main() {
     let mut serve_threads: Vec<usize> = vec![1, 2, 4, 8];
     let mut serve_shards: Vec<usize> = vec![1, 2, 4, 8];
     let mut commands: Vec<String> = Vec::new();
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 14] = [
         "all",
         "table1",
         "figure5",
@@ -70,6 +70,7 @@ fn main() {
         "build",
         "hopi",
         "serve",
+        "trace",
     ];
     const KNOWN_EXTRA: [&str; 2] = ["ablation-exact", "ablation-bidir"];
     let mut it = args.iter();
@@ -231,6 +232,198 @@ fn main() {
     }
     if wants("serve") {
         serve_bench(&cg, &built, scale, &serve_threads, &serve_shards);
+    }
+    if wants("trace") {
+        trace_bench(&cg);
+    }
+}
+
+/// `trace`: the flight recorder end to end (ISSUE 9). (a) Overhead: the
+/// same closed-loop DBLP workload runs on an untraced and a traced server
+/// (interleaved, best-of-two each) — the recorder must cost well under 5%
+/// of closed-loop qps, and an untraced server must journal nothing at
+/// all. (b) Causal artifact: a 4-shard traced server serves a mixed
+/// workload — uncapped fan-out queries, an identical-request burst for
+/// single-flight, zero-budget deadline cuts, and an adaptive admission
+/// target — and its journal snapshot is exported to `trace.json`
+/// (Chrome trace-event JSON; load it at <https://ui.perfetto.dev>) plus a
+/// text timeline of the slowest requests. Writes `BENCH_obs.json`.
+fn trace_bench(cg: &Arc<CollectionGraph>) {
+    use flix::ShardedFlix;
+    use flixobs::{Deadline, EventKind};
+    use flixserve::{closed_loop_windowed, FlixServer, Request, ServeConfig};
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== flight recorder: overhead + causal trace export (host: {cores} cores) ==");
+    let flix = Arc::new(Flix::build(Arc::clone(cg), FlixConfig::Naive));
+    let opts = QueryOptions {
+        max_distance: Some(2),
+        ..QueryOptions::top_k(10)
+    };
+    let distinct: Vec<Request> = descendant_queries(cg, 192, 17)
+        .into_iter()
+        .map(|q| Request::descendants(q.start, q.target_tag, opts))
+        .collect();
+    let requests: Vec<Request> = (0..8).flat_map(|_| distinct.iter().copied()).collect();
+
+    // (a) Overhead: same workload, recorder off vs on, interleaved runs,
+    // best of two each so a stray scheduling hiccup cannot charge either
+    // side. The traced server's rings are sized to wrap (drops are cheap
+    // and counted); what matters is the append cost on the serve path.
+    let workers = 4usize.min(cores.max(1));
+    let config = ServeConfig {
+        workers,
+        queue_capacity: 128,
+        single_flight: false,
+        ..ServeConfig::default()
+    };
+    // Warmup (discarded): page in the index and the thread pool.
+    {
+        let warm = FlixServer::start(Arc::clone(&flix), config);
+        closed_loop_windowed(&warm, &distinct, 2, 64);
+        warm.shutdown();
+    }
+    let mut qps_off = 0f64;
+    let mut qps_on = 0f64;
+    let mut traced_events = 0u64;
+    let mut traced_dropped = 0u64;
+    let mut traced_wall_micros = 0u64;
+    for _round in 0..3 {
+        let off = FlixServer::start(Arc::clone(&flix), config);
+        let report = closed_loop_windowed(&off, &requests, 2, 64);
+        qps_off = qps_off.max(report.throughput_qps());
+        off.shutdown();
+
+        let on = FlixServer::start_traced(Arc::clone(&flix), config, 1 << 14);
+        let report = closed_loop_windowed(&on, &requests, 2, 64);
+        if report.throughput_qps() > qps_on {
+            qps_on = report.throughput_qps();
+            traced_events = on.recorder().map_or(0, |r| r.events_logged());
+            traced_dropped = on.recorder().map_or(0, |r| r.events_dropped());
+            traced_wall_micros = report.wall_micros;
+        }
+        on.shutdown();
+    }
+    let overhead_pct = (qps_off - qps_on) / qps_off.max(1e-9) * 100.0;
+    let events_per_sec = traced_events as f64 / (traced_wall_micros as f64 / 1e6).max(1e-9);
+    let drop_rate = traced_dropped as f64 / (traced_events as f64).max(1.0);
+    println!(
+        "-- recorder overhead ({} requests, {workers} workers) --",
+        requests.len()
+    );
+    println!(
+        "off {qps_off:.0} qps; on {qps_on:.0} qps -> {overhead_pct:.1}% overhead \
+         ({traced_events} events journaled, {:.0} events/s, {:.1}% dropped by ring wrap)\n",
+        events_per_sec,
+        drop_rate * 100.0
+    );
+
+    // (b) Causal artifact: a deliberately mixed workload on a 4-shard
+    // traced server, rings sized to keep every event.
+    let sharded = Arc::new(ShardedFlix::new(Arc::clone(&flix), 4));
+    let server = FlixServer::start_traced(
+        Arc::clone(&sharded),
+        ServeConfig {
+            workers: 4,
+            latency_target_p99_micros: Some(200),
+            ..ServeConfig::default()
+        },
+        1 << 16,
+    );
+    // Uncapped queries fan out or escape across shards.
+    for q in descendant_queries(cg, 48, 43) {
+        // flixcheck: allow(swallowed-result): sheds are a legitimate outcome while the adaptive limit moves
+        let _ = server.query(Request::descendants(
+            q.start,
+            q.target_tag,
+            QueryOptions::default(),
+        ));
+    }
+    // An identical-request burst exercises single-flight journal events.
+    if let Some(shared_request) = distinct.first() {
+        let tickets: Vec<_> = (0..12)
+            .filter_map(|_| server.submit(*shared_request).ok())
+            .collect();
+        for ticket in tickets {
+            // flixcheck: allow(swallowed-result): burst answers only feed the journal
+            let _ = ticket.wait();
+        }
+    }
+    // Zero-budget deadlines journal their expiry.
+    for request in distinct.iter().take(8) {
+        let req = Request {
+            opts: request.opts.with_deadline(Deadline::within_micros(0)),
+            ..*request
+        };
+        // flixcheck: allow(swallowed-result): the cut itself is the point
+        let _ = server.query(req);
+    }
+    server.wait_idle();
+    let stats = server.stats();
+    let snapshot = match server.journal_snapshot() {
+        Some(s) => s,
+        None => {
+            eprintln!("error: traced server has no journal");
+            std::process::exit(1);
+        }
+    };
+    let crossed = snapshot
+        .request_ids()
+        .into_iter()
+        .filter(|id| {
+            snapshot.request_events(*id).iter().any(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::RouteFanout { .. } | EventKind::RouteEscaped { .. }
+                )
+            })
+        })
+        .count();
+    let limit_changes = snapshot
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::LimitChange { .. }))
+        .count();
+    let chrome = snapshot.to_chrome_trace();
+    match std::fs::write("trace.json", &chrome) {
+        Ok(()) => println!(
+            "wrote trace.json ({} events, {} cross-shard requests; open in ui.perfetto.dev)",
+            snapshot.events.len(),
+            crossed
+        ),
+        Err(e) => eprintln!("warning: could not write trace.json: {e}"),
+    }
+    println!(
+        "adaptive admission: target p99 200us -> live limit {} (configured {}), \
+         {limit_changes} journaled changes",
+        stats.max_in_flight,
+        ServeConfig::default().effective_max_in_flight()
+    );
+    let slow = server.slow_queries();
+    println!("\n-- worst requests, stitched from the journal --");
+    println!("{}", snapshot.worst_timelines(&slow));
+    server.shutdown();
+
+    let json = format!(
+        "{{\n  \"cores\": {cores},\n  \
+         \"overhead\": {{\"workers\": {workers}, \"requests\": {}, \"qps_off\": {qps_off:.1}, \
+         \"qps_on\": {qps_on:.1}, \"overhead_pct\": {overhead_pct:.2}, \
+         \"events_logged\": {traced_events}, \"events_per_sec\": {events_per_sec:.0}, \
+         \"dropped\": {traced_dropped}, \"drop_rate\": {drop_rate:.4}}},\n  \
+         \"artifact\": {{\"events\": {}, \"dropped\": {}, \"chrome_bytes\": {}, \
+         \"crossed_shard_requests\": {crossed}}},\n  \
+         \"adaptive\": {{\"target_p99_micros\": 200, \"final_limit\": {}, \
+         \"configured_limit\": {}, \"limit_changes\": {limit_changes}}}\n}}\n",
+        requests.len(),
+        snapshot.events.len(),
+        snapshot.dropped,
+        chrome.len(),
+        stats.max_in_flight,
+        ServeConfig::default().effective_max_in_flight(),
+    );
+    match std::fs::write("BENCH_obs.json", &json) {
+        Ok(()) => println!("wrote BENCH_obs.json\n"),
+        Err(e) => eprintln!("warning: could not write BENCH_obs.json: {e}"),
     }
 }
 

@@ -18,6 +18,7 @@
 
 use crate::framework::Flix;
 use crate::pee::{QueryOptions, QueryResult};
+use flixobs::journal::{EventKind, JournalHandle, SHARD_NONE};
 use flixobs::{Counter, MetricId, MetricsRegistry};
 use graphcore::{Distance, NodeId};
 use parking_lot::Mutex;
@@ -256,22 +257,54 @@ impl CachedFlix {
         target: TagId,
         opts: &QueryOptions,
     ) -> (Arc<Vec<QueryResult>>, bool) {
+        self.find_descendants_deadline_journaled(start, target, opts, None)
+    }
+
+    /// [`Self::find_descendants_deadline`] with flight-recorder events:
+    /// the cache verdict (`cache_hit`/`cache_miss` under the
+    /// [`SHARD_NONE`] sentinel), TinyLFU admission outcome, evaluator
+    /// spans, and deadline expiry are journaled under the handle's
+    /// request. The journal is write-only — results stay byte-identical
+    /// to the unjournaled call.
+    pub fn find_descendants_deadline_journaled(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+        journal: Option<&JournalHandle<'_>>,
+    ) -> (Arc<Vec<QueryResult>>, bool) {
         let generation = match self.lookup_for(start, target, opts) {
-            Ok(hit) => return (hit, false),
+            Ok(hit) => {
+                if let Some(j) = journal {
+                    j.event(EventKind::CacheHit { shard: SHARD_NONE });
+                }
+                return (hit, false);
+            }
             Err(generation) => generation,
         };
+        if let Some(j) = journal {
+            j.event(EventKind::CacheMiss { shard: SHARD_NONE });
+        }
         let flix = self.framework();
         // Evaluate uncapped so one entry serves every `max_results`.
         let full_opts = QueryOptions {
             max_results: None,
             ..*opts
         };
-        let outcome = flix.find_descendants_outcome(start, target, &full_opts);
+        if let Some(j) = journal {
+            j.event(EventKind::EvalStart { shard: SHARD_NONE });
+        }
+        let outcome = flix.find_descendants_outcome_journaled(start, target, &full_opts, journal);
+        if let Some(j) = journal {
+            j.event(EventKind::EvalEnd {
+                results: outcome.results.len() as u64,
+            });
+        }
         let fresh = Arc::new(outcome.results);
         if outcome.timed_out {
             return (clip(fresh, opts.max_results), true);
         }
-        self.insert_full(start, target, opts, generation, Arc::clone(&fresh));
+        self.insert_full(start, target, opts, generation, Arc::clone(&fresh), journal);
         (clip(fresh, opts.max_results), false)
     }
 
@@ -324,8 +357,9 @@ impl CachedFlix {
     /// *uncapped* result vector for the keyed query under `generation`
     /// (as returned by the preceding [`Self::lookup_for`] miss), subject
     /// to the TinyLFU admission gate at capacity. Counts
-    /// evictions/admitted/rejected. Callers must never insert partial
-    /// (timed-out) answers.
+    /// evictions/admitted/rejected (journaling the same outcomes when a
+    /// handle is given). Callers must never insert partial (timed-out)
+    /// answers.
     pub(crate) fn insert_full(
         &self,
         start: NodeId,
@@ -333,6 +367,7 @@ impl CachedFlix {
         opts: &QueryOptions,
         generation: u64,
         fresh: Arc<Vec<QueryResult>>,
+        journal: Option<&JournalHandle<'_>>,
     ) {
         let key: Key = (start, target, OptsKey::from(opts));
         let mut inner = self.inner.lock();
@@ -349,8 +384,15 @@ impl CachedFlix {
                     inner.map.remove(&victim);
                     self.evictions.inc();
                     self.admitted.inc();
+                    if let Some(j) = journal {
+                        j.event(EventKind::CacheEvict);
+                        j.event(EventKind::CacheAdmit);
+                    }
                 } else {
                     self.rejected.inc();
+                    if let Some(j) = journal {
+                        j.event(EventKind::CacheReject);
+                    }
                     return;
                 }
             }
@@ -395,14 +437,41 @@ impl CachedFlix {
     /// with the given labels. The counters keep accumulating in place —
     /// later snapshots see later values without re-binding.
     pub fn publish_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
-        for (name, counter) in [
-            ("flix_cache_hits_total", &self.hits),
-            ("flix_cache_misses_total", &self.misses),
-            ("flix_cache_evictions_total", &self.evictions),
-            ("flix_cache_invalidations_total", &self.invalidations),
-            ("flix_cache_admitted_total", &self.admitted),
-            ("flix_cache_rejected_total", &self.rejected),
+        for (name, help, counter) in [
+            (
+                "flix_cache_hits_total",
+                "Query-cache lookups served from a stored result.",
+                &self.hits,
+            ),
+            (
+                "flix_cache_misses_total",
+                "Query-cache lookups that had to evaluate the query.",
+                &self.misses,
+            ),
+            (
+                "flix_cache_evictions_total",
+                "Cache entries displaced by LRU pressure at capacity.",
+                &self.evictions,
+            ),
+            (
+                "flix_cache_invalidations_total",
+                "Cache entries dropped on lookup for being computed under an \
+                 older framework generation.",
+                &self.invalidations,
+            ),
+            (
+                "flix_cache_admitted_total",
+                "At-capacity insertions the TinyLFU gate admitted.",
+                &self.admitted,
+            ),
+            (
+                "flix_cache_rejected_total",
+                "At-capacity insertions the TinyLFU gate rejected in favour \
+                 of the incumbent victim.",
+                &self.rejected,
+            ),
         ] {
+            registry.describe(name, help);
             registry.bind_counter(MetricId::with_labels(name, labels), counter);
         }
     }

@@ -16,6 +16,7 @@
 //! already been returned and is skipped.
 
 use crate::framework::Flix;
+use flixobs::journal::{EventKind, JournalHandle};
 use flixobs::{Deadline, QueryTrace, SpanCounters, SpanStage, Stopwatch};
 use graphcore::{Distance, NodeId};
 use std::cmp::Reverse;
@@ -340,25 +341,21 @@ impl Flix {
         target: TagId,
         opts: &QueryOptions,
     ) -> QueryOutcome {
-        let mut stats = PeeStats::default();
-        let mut results = Vec::new();
-        let timed_out = self.evaluate_axis_traced(
-            &[(start, 0)],
-            target,
-            opts,
-            Axis::Descendants,
-            &mut stats,
-            None,
-            |r, _| {
-                results.push(r);
-                ControlFlow::Continue(())
-            },
-        );
-        QueryOutcome {
-            results,
-            timed_out,
-            stats,
-        }
+        self.axis_outcome_journaled(start, target, opts, Axis::Descendants, None)
+    }
+
+    /// [`Self::find_descendants_outcome`] with flight-recorder events:
+    /// evaluator span boundaries and deadline expiry are journaled under
+    /// the handle's request. The journal is write-only — the result
+    /// stream is byte-identical to the unjournaled call.
+    pub fn find_descendants_outcome_journaled(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+        journal: Option<&JournalHandle<'_>>,
+    ) -> QueryOutcome {
+        self.axis_outcome_journaled(start, target, opts, Axis::Descendants, journal)
     }
 
     /// Ancestors variant of [`Self::find_descendants_outcome`].
@@ -368,20 +365,51 @@ impl Flix {
         target: TagId,
         opts: &QueryOptions,
     ) -> QueryOutcome {
+        self.axis_outcome_journaled(start, target, opts, Axis::Ancestors, None)
+    }
+
+    /// Ancestors variant of [`Self::find_descendants_outcome_journaled`].
+    pub fn find_ancestors_outcome_journaled(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+        journal: Option<&JournalHandle<'_>>,
+    ) -> QueryOutcome {
+        self.axis_outcome_journaled(start, target, opts, Axis::Ancestors, journal)
+    }
+
+    /// Shared body of the outcome entry points.
+    fn axis_outcome_journaled(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+        axis: Axis,
+        journal: Option<&JournalHandle<'_>>,
+    ) -> QueryOutcome {
         let mut stats = PeeStats::default();
         let mut results = Vec::new();
-        let timed_out = self.evaluate_axis_traced(
+        let end = evaluate_axis_space(
+            self,
             &[(start, 0)],
             target,
             opts,
-            Axis::Ancestors,
+            axis,
             &mut stats,
             None,
+            journal,
             |r, _| {
                 results.push(r);
                 ControlFlow::Continue(())
             },
         );
+        let timed_out = match end {
+            EvalEnd::Done { timed_out } => timed_out,
+            // A full framework resolves every node; see
+            // `evaluate_axis_traced`.
+            EvalEnd::Escaped => false,
+        };
         QueryOutcome {
             results,
             timed_out,
@@ -603,7 +631,7 @@ impl Flix {
         trace: Option<&mut QueryTrace>,
         emit: impl FnMut(QueryResult, PeeStats) -> ControlFlow<()>,
     ) -> bool {
-        match evaluate_axis_space(self, seeds, target, opts, axis, stats, trace, emit) {
+        match evaluate_axis_space(self, seeds, target, opts, axis, stats, trace, None, emit) {
             EvalEnd::Done { timed_out } => timed_out,
             // A full framework resolves every node, so the evaluation can
             // never escape; shard views only evaluate through
@@ -628,6 +656,10 @@ impl Flix {
 /// and link tables drives the loop through the same pop sequence. A shard
 /// view presents exactly the full framework's data for its own metas, which
 /// is why a run that never escapes is byte-identical to the unsharded one.
+///
+/// `journal` follows the same write-only discipline as `trace`: with it
+/// set, a deadline cut is recorded as a flight-recorder event; with it
+/// unset no journal (and no extra clock read) is touched.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_axis_space<S: MetaSpace + ?Sized>(
     space: &S,
@@ -637,6 +669,7 @@ pub(crate) fn evaluate_axis_space<S: MetaSpace + ?Sized>(
     axis: Axis,
     stats: &mut PeeStats,
     mut trace: Option<&mut QueryTrace>,
+    journal: Option<&JournalHandle<'_>>,
     mut emit: impl FnMut(QueryResult, PeeStats) -> ControlFlow<()>,
 ) -> EvalEnd {
     let trace_clock = trace.as_ref().map(|_| Stopwatch::start());
@@ -665,6 +698,11 @@ pub(crate) fn evaluate_axis_space<S: MetaSpace + ?Sized>(
         // Deadline check: one clock read per pop, none when unset. The
         // emitted prefix stands; nothing buffered is released.
         if opts.deadline.is_some_and(|dl| dl.expired()) {
+            if let Some(j) = journal {
+                j.event(EventKind::DeadlineExpired {
+                    budget_micros: opts.deadline.map(|dl| dl.budget_micros()).unwrap_or(0),
+                });
+            }
             timed_out = true;
             break;
         }

@@ -49,6 +49,7 @@ use crate::framework::Flix;
 use crate::meta::MetaDocument;
 use crate::pee::{evaluate_axis_space, Axis, EvalEnd, MetaSpace, PeeStats};
 use crate::pee::{QueryOptions, QueryOutcome, QueryResult};
+use flixobs::journal::{EventKind, JournalHandle, SHARD_MERGE};
 use flixobs::{Counter, MetricId, MetricsRegistry};
 use graphcore::{partition_greedy, Digraph, NodeId};
 use std::ops::ControlFlow;
@@ -416,15 +417,21 @@ impl ShardedFlix {
 
     /// The distance-ordered cross-shard merge: evaluate over the fan-out
     /// space, which stitches every shard view together (module docs).
+    /// With a journal, the merge pass is bracketed by
+    /// `eval_start`/`eval_end` events under the [`SHARD_MERGE`] sentinel.
     fn fanout_outcome(
         &self,
         start: NodeId,
         target: TagId,
         opts: &QueryOptions,
         axis: Axis,
+        journal: Option<&JournalHandle<'_>>,
     ) -> QueryOutcome {
         let mut stats = PeeStats::default();
         let mut results = Vec::new();
+        if let Some(j) = journal {
+            j.event(EventKind::EvalStart { shard: SHARD_MERGE });
+        }
         let end = evaluate_axis_space(
             &FanoutSpace { sharded: self },
             &[(start, 0)],
@@ -433,11 +440,17 @@ impl ShardedFlix {
             axis,
             &mut stats,
             None,
+            journal,
             |r, _| {
                 results.push(r);
                 ControlFlow::Continue(())
             },
         );
+        if let Some(j) = journal {
+            j.event(EventKind::EvalEnd {
+                results: results.len() as u64,
+            });
+        }
         // The fan-out space resolves every node, so it can only end in
         // `Done`.
         let timed_out = matches!(end, EvalEnd::Done { timed_out: true });
@@ -463,18 +476,26 @@ impl ShardedFlix {
         target: TagId,
         opts: &QueryOptions,
         axis: Axis,
+        journal: Option<&JournalHandle<'_>>,
     ) -> QueryOutcome {
         let s = self.shard_of(start) as usize;
+        let shard = s as u64;
         // An uncapped query (no result cap, no distance bound) walks its
         // whole reachable component, so when the boundary is reachable at
         // all the local attempt is futile: go straight to the merge.
         let uncapped = opts.max_results.is_none() && opts.max_distance.is_none();
         if uncapped && !self.proven_local(start, opts, axis) {
             self.cells[s].fanout.inc();
-            return self.fanout_outcome(start, target, opts, axis);
+            if let Some(j) = journal {
+                j.event(EventKind::RouteFanout { shard });
+            }
+            return self.fanout_outcome(start, target, opts, axis, journal);
         }
         let mut stats = PeeStats::default();
         let mut results = Vec::new();
+        if let Some(j) = journal {
+            j.event(EventKind::EvalStart { shard });
+        }
         let end = evaluate_axis_space(
             &*self.shards[s],
             &[(start, 0)],
@@ -483,6 +504,7 @@ impl ShardedFlix {
             axis,
             &mut stats,
             None,
+            journal,
             |r, _| {
                 results.push(r);
                 ControlFlow::Continue(())
@@ -491,6 +513,12 @@ impl ShardedFlix {
         match end {
             EvalEnd::Done { timed_out } => {
                 self.cells[s].direct.inc();
+                if let Some(j) = journal {
+                    j.event(EventKind::EvalEnd {
+                        results: results.len() as u64,
+                    });
+                    j.event(EventKind::RouteDirect { shard });
+                }
                 QueryOutcome {
                     results,
                     timed_out,
@@ -504,7 +532,12 @@ impl ShardedFlix {
                 // re-run spends only the remaining budget — the wasted
                 // attempt costs latency, never correctness.
                 self.cells[s].escaped.inc();
-                self.fanout_outcome(start, target, opts, axis)
+                if let Some(j) = journal {
+                    // The aborted attempt's results are discarded.
+                    j.event(EventKind::EvalEnd { results: 0 });
+                    j.event(EventKind::RouteEscaped { shard });
+                }
+                self.fanout_outcome(start, target, opts, axis, journal)
             }
         }
     }
@@ -517,7 +550,22 @@ impl ShardedFlix {
         target: TagId,
         opts: &QueryOptions,
     ) -> QueryOutcome {
-        self.axis_outcome(start, target, opts, Axis::Descendants)
+        self.axis_outcome(start, target, opts, Axis::Descendants, None)
+    }
+
+    /// [`Self::find_descendants_outcome`] with flight-recorder events:
+    /// the routing verdict (`route_direct`/`route_fanout`/
+    /// `route_escaped`), evaluator pass boundaries, and deadline expiry
+    /// are journaled under the handle's request. The journal is
+    /// write-only — results stay byte-identical to the unjournaled call.
+    pub fn find_descendants_outcome_journaled(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+        journal: Option<&JournalHandle<'_>>,
+    ) -> QueryOutcome {
+        self.axis_outcome(start, target, opts, Axis::Descendants, journal)
     }
 
     /// Ancestors variant of [`Self::find_descendants_outcome`].
@@ -528,7 +576,18 @@ impl ShardedFlix {
         target: TagId,
         opts: &QueryOptions,
     ) -> QueryOutcome {
-        self.axis_outcome(start, target, opts, Axis::Ancestors)
+        self.axis_outcome(start, target, opts, Axis::Ancestors, None)
+    }
+
+    /// Ancestors variant of [`Self::find_descendants_outcome_journaled`].
+    pub fn find_ancestors_outcome_journaled(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+        journal: Option<&JournalHandle<'_>>,
+    ) -> QueryOutcome {
+        self.axis_outcome(start, target, opts, Axis::Ancestors, journal)
     }
 
     /// `a//B` collected into a vector, routed through the shards.
@@ -553,27 +612,56 @@ impl ShardedFlix {
         target: TagId,
         opts: &QueryOptions,
     ) -> (Arc<Vec<QueryResult>>, bool) {
+        self.find_descendants_deadline_journaled(start, target, opts, None)
+    }
+
+    /// [`Self::find_descendants_deadline`] with flight-recorder events:
+    /// the owning shard's cache verdict (`cache_hit`/`cache_miss` with
+    /// the shard as payload), TinyLFU admission outcome, routing verdict,
+    /// evaluator spans, and deadline expiry are journaled under the
+    /// handle's request. The journal is write-only — results stay
+    /// byte-identical to the unjournaled call.
+    pub fn find_descendants_deadline_journaled(
+        &self,
+        start: NodeId,
+        target: TagId,
+        opts: &QueryOptions,
+        journal: Option<&JournalHandle<'_>>,
+    ) -> (Arc<Vec<QueryResult>>, bool) {
         let Some(caches) = &self.caches else {
-            let o = self.find_descendants_outcome(start, target, opts);
+            let o = self.axis_outcome(start, target, opts, Axis::Descendants, journal);
             return (Arc::new(o.results), o.timed_out);
         };
-        let cache = &caches[self.shard_of(start) as usize];
+        let shard = self.shard_of(start);
+        let cache = &caches[shard as usize];
         let generation = match cache.lookup_for(start, target, opts) {
-            Ok(hit) => return (hit, false),
+            Ok(hit) => {
+                if let Some(j) = journal {
+                    j.event(EventKind::CacheHit {
+                        shard: u64::from(shard),
+                    });
+                }
+                return (hit, false);
+            }
             Err(generation) => generation,
         };
+        if let Some(j) = journal {
+            j.event(EventKind::CacheMiss {
+                shard: u64::from(shard),
+            });
+        }
         // Evaluate uncapped so one entry serves every `max_results`,
         // exactly like the unsharded cache.
         let full_opts = QueryOptions {
             max_results: None,
             ..*opts
         };
-        let o = self.axis_outcome(start, target, &full_opts, Axis::Descendants);
+        let o = self.axis_outcome(start, target, &full_opts, Axis::Descendants, journal);
         let fresh = Arc::new(o.results);
         if o.timed_out {
             return (clip(fresh, opts.max_results), true);
         }
-        cache.insert_full(start, target, opts, generation, Arc::clone(&fresh));
+        cache.insert_full(start, target, opts, generation, Arc::clone(&fresh), journal);
         (clip(fresh, opts.max_results), false)
     }
 
@@ -624,6 +712,19 @@ impl ShardedFlix {
     /// `flix_shard_{direct,fanout,escaped}_total` plus the [`CachedFlix`]
     /// names, each tagged with a `shard` label on top of `labels`.
     pub fn publish_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
+        registry.describe(
+            "flix_shard_direct_total",
+            "Queries answered entirely inside one shard's view.",
+        );
+        registry.describe(
+            "flix_shard_fanout_total",
+            "Queries routed straight to the cross-shard fan-out merge.",
+        );
+        registry.describe(
+            "flix_shard_escaped_total",
+            "Optimistic local attempts that popped a foreign node and re-ran \
+             over the cross-shard merge.",
+        );
         for (s, cell) in self.cells.iter().enumerate() {
             let shard = s.to_string();
             let mut with_shard: Vec<(&str, &str)> = labels.to_vec();

@@ -15,9 +15,10 @@
 //! * `unsafe` — `unsafe` only where the allowlist explicitly permits it.
 //! * `missing-docs` — public items in the core crates (see [`DOC_CRATES`])
 //!   must carry a doc comment.
-//! * `instant-now` — `Instant::now()` only inside the `obs` crate: all
-//!   other code must time through `flixobs::Stopwatch`, so measurements
-//!   cannot bypass the observability layer.
+//! * `instant-now` — `Instant::now()` and `SystemTime::now()` only inside
+//!   the `obs` crate: all other code must time through
+//!   `flixobs::Stopwatch`, so measurements cannot bypass the
+//!   observability layer (and wall-clock steps cannot corrupt durations).
 //! * `unbounded-channel` — no `unbounded()` / `mpsc::channel()` channel
 //!   construction outside the allowlist: the serving path must use bounded
 //!   queues so overload sheds instead of buffering without limit.
@@ -101,7 +102,8 @@ pub enum Rule {
     Unsafe,
     /// Undocumented public item in a documented crate.
     MissingDocs,
-    /// `Instant::now()` outside the `obs` crate (use `flixobs::Stopwatch`).
+    /// `Instant::now()` or `SystemTime::now()` outside the `obs` crate
+    /// (use `flixobs::Stopwatch`).
     InstantNow,
     /// `unbounded()` / `mpsc::channel()` channel construction outside the
     /// allowlist (bounded queues only on hot paths).
@@ -585,18 +587,26 @@ fn text_rules(rel_path: &str, src: &str, diags: &mut Vec<Diagnostic>) {
     }
 
     if !rel_path.starts_with(CLOCK_CRATE_PREFIX) {
-        for pos in find_all(&stripped, "Instant::now") {
-            if in_tests(pos) {
-                continue;
+        // Both raw clocks bypass the obs layer: `Instant::now()` dodges
+        // `Stopwatch` (so the measurement is invisible to traces and the
+        // flight recorder), and `SystemTime::now()` additionally isn't
+        // monotonic — wall-clock steps corrupt any duration computed
+        // from it.
+        for clock in ["Instant::now", "SystemTime::now"] {
+            for pos in find_all(&stripped, clock) {
+                if in_tests(pos) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line: line_of(&stripped, pos),
+                    rule: Rule::InstantNow,
+                    message: format!(
+                        "`{clock}()` outside the obs crate; time through \
+                         `flixobs::Stopwatch` so measurements stay observable"
+                    ),
+                });
             }
-            diags.push(Diagnostic {
-                path: rel_path.to_string(),
-                line: line_of(&stripped, pos),
-                rule: Rule::InstantNow,
-                message: "`Instant::now()` outside the obs crate; time through \
-                          `flixobs::Stopwatch` so measurements stay observable"
-                    .to_string(),
-            });
         }
     }
 
@@ -1125,6 +1135,27 @@ mod tests {
         // Comments and strings never fire.
         let doc_src = "// Instant::now is banned here\n";
         assert!(lint_file("crates/flix/src/pee.rs", doc_src)
+            .iter()
+            .all(|d| d.rule != Rule::InstantNow));
+    }
+
+    #[test]
+    fn system_time_now_flagged_outside_the_obs_crate() {
+        let src = "fn f() { let t = std::time::SystemTime::now(); }\n";
+        let diags = lint_file("crates/serve/src/server.rs", src);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::InstantNow)
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("SystemTime::now"));
+        // The obs crate owns the clocks.
+        assert!(lint_file("crates/obs/src/clock.rs", src)
+            .iter()
+            .all(|d| d.rule != Rule::InstantNow));
+        // Test code is exempt, same as Instant::now.
+        let test_src = "#[cfg(test)]\nmod t { fn g() { let t = SystemTime::now(); } }\n";
+        assert!(lint_file("crates/serve/src/server.rs", test_src)
             .iter()
             .all(|d| d.rule != Rule::InstantNow));
     }

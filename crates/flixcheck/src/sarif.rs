@@ -107,7 +107,7 @@ fn rule_description(id: &str) -> &'static str {
         "panic" => "panic!/unreachable!/todo! in production code",
         "unsafe" => "unsafe block outside the allowlist",
         "missing-docs" => "public item without a doc comment",
-        "instant-now" => "raw Instant::now bypassing the obs clock",
+        "instant-now" => "raw Instant::now or SystemTime::now bypassing the obs clock",
         "unbounded-channel" => "unbounded channel constructor",
         "allowlist-stale" => "allowlist ceiling higher than observed count",
         "lock-order" => "lock acquisition order forms a cycle (potential deadlock)",

@@ -15,6 +15,12 @@
 //! * [`SlowQueryLog`] — a fixed-capacity buffer that retains the N worst
 //!   traces by latency, so the outliers that matter for tuning survive
 //!   aggregation.
+//! * [`FlightRecorder`] — a per-lane bounded event journal (the "flight
+//!   recorder") capturing every per-request serve-path decision —
+//!   admit/shed, queueing, shard routing, evaluator spans, cache
+//!   outcomes, single-flight roles, deadline expiry — tagged with a
+//!   [`RequestId`] so one request's events reconstruct into a causal
+//!   trace, exportable as Chrome trace-event JSON or a text timeline.
 //! * [`Stopwatch`] — the one sanctioned wall-clock source. The `flixcheck`
 //!   lint flags `Instant::now()` anywhere else in the workspace, so ad-hoc
 //!   timing cannot bypass this layer. [`Deadline`] builds per-request time
@@ -30,6 +36,9 @@
 
 /// Wall-clock measurement: the workspace's only `Instant::now` call site.
 pub mod clock;
+/// The flight recorder: per-lane event journals with causal request
+/// stitching, Chrome-trace export, and text timelines.
+pub mod journal;
 /// Counters, gauges, histograms, the registry, and snapshot export.
 pub mod registry;
 /// The fixed-capacity worst-N slow-query log.
@@ -38,6 +47,10 @@ pub mod slowlog;
 pub mod trace;
 
 pub use clock::{Deadline, Stopwatch};
+pub use journal::{
+    EventKind, FlightRecorder, JournalEvent, JournalHandle, JournalRing, JournalSnapshot,
+    RequestId, SHARD_MERGE, SHARD_NONE,
+};
 pub use registry::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricId, MetricsRegistry, MetricsSnapshot,
 };

@@ -303,6 +303,7 @@ struct RegistryInner {
     counters: BTreeMap<MetricId, Counter>,
     gauges: BTreeMap<MetricId, Gauge>,
     histograms: BTreeMap<MetricId, Histogram>,
+    help: BTreeMap<String, String>,
 }
 
 /// The metric registry: get-or-create handles by id, snapshot on demand.
@@ -368,6 +369,17 @@ impl MetricsRegistry {
         self.inner.lock().histograms.entry(id).or_default().clone()
     }
 
+    /// Attaches a one-line description to the metric *name* (all label
+    /// variants share it). Descriptions surface as `# HELP` lines in
+    /// [`MetricsSnapshot::to_prometheus`]; re-describing a name replaces
+    /// the previous text.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.inner
+            .lock()
+            .help
+            .insert(name.to_string(), help.to_string());
+    }
+
     /// A point-in-time copy of every registered metric, sorted by id.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock();
@@ -387,6 +399,11 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(id, h)| (id.clone(), h.snapshot()))
                 .collect(),
+            help: inner
+                .help
+                .iter()
+                .map(|(name, text)| (name.clone(), text.clone()))
+                .collect(),
         }
     }
 }
@@ -400,6 +417,9 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(MetricId, f64)>,
     /// Histogram snapshots, sorted by id.
     pub histograms: Vec<(MetricId, HistogramSnapshot)>,
+    /// Per-name descriptions registered via [`MetricsRegistry::describe`],
+    /// sorted by name.
+    pub help: Vec<(String, String)>,
 }
 
 impl MetricsSnapshot {
@@ -442,28 +462,43 @@ impl MetricsSnapshot {
         out
     }
 
+    /// The registered description for a metric name, if any.
+    fn help_for(&self, name: &str) -> Option<&str> {
+        self.help
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.help[i].1.as_str())
+    }
+
     /// Renders the snapshot in the Prometheus text exposition format:
-    /// one `# TYPE` line per metric name, counters and gauges as single
-    /// samples, histograms as cumulative `_bucket{le=...}` series plus
-    /// `_sum` and `_count`.
+    /// one `# HELP` line per described metric name and one `# TYPE` line
+    /// per metric name, counters and gauges as single samples, histograms
+    /// as cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         let mut typed: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        let header = |out: &mut String, snap: &Self, name: &str, kind: &str| {
+            if let Some(help) = snap.help_for(name) {
+                let escaped = help.replace('\\', "\\\\").replace('\n', "\\n");
+                let _ = writeln!(out, "# HELP {name} {escaped}");
+            }
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+        };
         for (id, v) in &self.counters {
             if typed.insert(&id.name) {
-                let _ = writeln!(out, "# TYPE {} counter", id.name);
+                header(&mut out, self, &id.name, "counter");
             }
             let _ = writeln!(out, "{} {v}", id.render(&[]));
         }
         for (id, v) in &self.gauges {
             if typed.insert(&id.name) {
-                let _ = writeln!(out, "# TYPE {} gauge", id.name);
+                header(&mut out, self, &id.name, "gauge");
             }
             let _ = writeln!(out, "{} {v}", id.render(&[]));
         }
         for (id, h) in &self.histograms {
             if typed.insert(&id.name) {
-                let _ = writeln!(out, "# TYPE {} histogram", id.name);
+                header(&mut out, self, &id.name, "histogram");
             }
             let bucket_id = MetricId {
                 name: format!("{}_bucket", id.name),
@@ -660,6 +695,34 @@ mod tests {
             assert!(!name.is_empty(), "malformed line {line:?}");
             assert!(value.parse::<f64>().is_ok(), "malformed value in {line:?}");
         }
+    }
+
+    #[test]
+    fn describe_emits_help_lines_before_type() {
+        let reg = MetricsRegistry::new();
+        reg.counter_with("hits_total", &[("cache", "query")]).add(3);
+        reg.gauge("depth").set(2.0);
+        reg.describe("hits_total", "Cache lookups answered from a stored result.");
+        reg.describe("depth", "Current queue \\ depth\nacross workers.");
+        let text = reg.snapshot().to_prometheus();
+        assert!(
+            text.contains("# HELP hits_total Cache lookups answered from a stored result."),
+            "{text}"
+        );
+        // Help text is escaped for the exposition format.
+        assert!(
+            text.contains("# HELP depth Current queue \\\\ depth\\nacross workers."),
+            "{text}"
+        );
+        let help_pos = text.find("# HELP hits_total").unwrap();
+        let type_pos = text.find("# TYPE hits_total").unwrap();
+        assert!(help_pos < type_pos, "{text}");
+        // Undescribed metrics still get TYPE lines and only one HELP each.
+        reg.counter("plain_total").inc();
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE plain_total counter"), "{text}");
+        assert!(!text.contains("# HELP plain_total"), "{text}");
+        assert_eq!(text.matches("# HELP hits_total").count(), 1, "{text}");
     }
 
     #[test]

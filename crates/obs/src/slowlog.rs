@@ -7,6 +7,7 @@
 //! — i.e. the log always retains the N worst queries seen so far, in
 //! O(capacity) per offer with no allocation churn.
 
+use crate::journal::RequestId;
 use crate::trace::QueryTrace;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,6 +17,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct SlowQuery {
     /// Monotone sequence number of the offer (order of arrival).
     pub seq: u64,
+    /// The serve-path request that produced the trace
+    /// ([`RequestId::NONE`] for traces recorded outside the serve path),
+    /// so a slow-log hit can be looked up directly in the exported
+    /// flight-recorder journal.
+    pub request: RequestId,
     /// The full trace, including per-stage totals.
     pub trace: QueryTrace,
 }
@@ -76,8 +82,13 @@ impl SlowQueryLog {
         inner.offered += 1;
         let seq = inner.next_seq;
         inner.next_seq += 1;
+        let request = trace.request();
         if inner.entries.len() < self.capacity {
-            inner.entries.push(SlowQuery { seq, trace });
+            inner.entries.push(SlowQuery {
+                seq,
+                request,
+                trace,
+            });
             if inner.entries.len() == self.capacity {
                 self.refresh_floor(&inner);
             }
@@ -91,7 +102,11 @@ impl SlowQueryLog {
             .map(|(i, _)| i);
         match min_idx {
             Some(i) if inner.entries[i].trace.total_micros() < trace.total_micros() => {
-                inner.entries[i] = SlowQuery { seq, trace };
+                inner.entries[i] = SlowQuery {
+                    seq,
+                    request,
+                    trace,
+                };
                 self.refresh_floor(&inner);
                 true
             }

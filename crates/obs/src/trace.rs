@@ -8,6 +8,12 @@
 //! spans only bump a dropped-span count — but per-stage *totals* are
 //! accumulated unconditionally, so [`StageTotals`] stays exact no matter
 //! how long the query ran.
+//!
+//! Traces produced on the serve path are tagged with the request's
+//! [`RequestId`] (see [`QueryTrace::tag_request`]), so a slow-log entry
+//! can be joined against the flight recorder's exported journal.
+
+use crate::journal::RequestId;
 
 /// Which evaluator stage a span covers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -110,6 +116,7 @@ pub struct QueryTrace {
     dropped: u64,
     totals: [StageTotals; 3],
     total_micros: u64,
+    request: RequestId,
 }
 
 impl QueryTrace {
@@ -127,7 +134,20 @@ impl QueryTrace {
             dropped: 0,
             totals: [StageTotals::default(); 3],
             total_micros: 0,
+            request: RequestId::NONE,
         }
+    }
+
+    /// Tags the trace with the serve-path request that produced it, so it
+    /// can be joined against the flight recorder's journal.
+    pub fn tag_request(&mut self, request: RequestId) {
+        self.request = request;
+    }
+
+    /// The request this trace belongs to ([`RequestId::NONE`] when the
+    /// trace was not produced by the serve path).
+    pub fn request(&self) -> RequestId {
+        self.request
     }
 
     /// Records one span. Past capacity the span itself is dropped (the

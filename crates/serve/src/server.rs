@@ -20,15 +20,25 @@
 
 use flix::{CachedFlix, Flix, PeeStats, QueryOptions, QueryResult, ShardedFlix, SharedLoadMonitor};
 use flixobs::{
-    Counter, Deadline, Gauge, Histogram, MetricId, MetricsRegistry, QueryTrace, SlowQuery,
-    SlowQueryLog, Stopwatch,
+    Counter, Deadline, EventKind, FlightRecorder, Gauge, Histogram, JournalHandle, JournalSnapshot,
+    MetricId, MetricsRegistry, QueryTrace, RequestId, SlowQuery, SlowQueryLog, Stopwatch,
+    SHARD_NONE,
 };
 use graphcore::{Distance, NodeId};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 use xmlgraph::TagId;
+
+/// The submit path records its journal events on lane 0; worker `w`
+/// records on lane `w + 1` (see [`FlightRecorder::for_workers`]).
+const SUBMIT_LANE: usize = 0;
+
+/// How many completions the adaptive admission controller waits between
+/// looks at the latency histogram. Small enough to react within a burst,
+/// large enough that the p99 estimate has fresh samples behind it.
+const ADAPT_WINDOW: u64 = 32;
 
 /// Server sizing and policy knobs.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +60,16 @@ pub struct ServeConfig {
     pub single_flight: bool,
     /// Worst-trace capacity of the server's slow-query log.
     pub slow_log_capacity: usize,
+    /// End-to-end p99 latency target for the adaptive admission
+    /// controller. `None` (the default) disables adaptation: the in-flight
+    /// ceiling stays at [`Self::effective_max_in_flight`]. `Some(target)`
+    /// runs AIMD over the live ceiling — every [`ADAPT_WINDOW`]
+    /// completions a worker compares the latency histogram's p99 against
+    /// the target and halves the ceiling (floor: one per worker) when
+    /// over, or raises it by one (cap: the configured ceiling) when at or
+    /// under. Every change lands in the journal as a
+    /// [`EventKind::LimitChange`] and in [`ServeStats::max_in_flight`].
+    pub latency_target_p99_micros: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +81,7 @@ impl Default for ServeConfig {
             default_deadline_micros: None,
             single_flight: true,
             slow_log_capacity: 8,
+            latency_target_p99_micros: None,
         }
     }
 }
@@ -244,8 +265,17 @@ impl SfKey {
 
 type Reply = crossbeam::channel::Sender<Result<Response, ServeError>>;
 
+/// One in-flight single-flight registration: the leader's identity (so
+/// followers can journal who they attached to) and the reply channels of
+/// the followers waiting on its result.
+struct SfEntry {
+    leader: RequestId,
+    waiters: Vec<Reply>,
+}
+
 struct Job {
     request: Request,
+    id: RequestId,
     admitted: Stopwatch,
     reply: Reply,
     sf_key: Option<SfKey>,
@@ -264,6 +294,7 @@ struct ServeMetrics {
     shed: Counter,
     timeouts: Counter,
     collapsed: Counter,
+    admission_limit: Gauge,
 }
 
 impl ServeMetrics {
@@ -278,6 +309,7 @@ impl ServeMetrics {
             shed: Counter::new(),
             timeouts: Counter::new(),
             collapsed: Counter::new(),
+            admission_limit: Gauge::new(),
         }
     }
 }
@@ -299,6 +331,11 @@ pub struct ServeStats {
     pub queued: usize,
     /// Admitted-but-unfinished requests right now.
     pub in_flight: usize,
+    /// The in-flight ceiling admission enforces right now. Equal to
+    /// [`ServeConfig::effective_max_in_flight`] unless the adaptive
+    /// controller ([`ServeConfig::latency_target_p99_micros`]) has moved
+    /// it.
+    pub max_in_flight: usize,
 }
 
 /// One shard group's admission state: the queues of the workers that own
@@ -331,10 +368,23 @@ struct Shared {
     /// Per-worker-queue assignment counters (admission audit; see
     /// [`FlixServer::queue_assignments`]).
     assigned: Vec<Counter>,
-    single_flight: Mutex<HashMap<SfKey, Vec<Reply>>>,
+    single_flight: Mutex<HashMap<SfKey, SfEntry>>,
     metrics: ServeMetrics,
     slow_log: SlowQueryLog,
     load: SharedLoadMonitor,
+    /// The flight recorder, when this server was started traced
+    /// ([`FlixServer::start_traced`]). `None` adds zero clock reads to the
+    /// serve path: every journal site goes through [`Shared::journal`] or
+    /// an `Option<&JournalHandle>` that is `None`.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Mints [`RequestId`]s; starts at 1 so id 0 stays [`RequestId::NONE`].
+    next_request: AtomicU64,
+    /// The live in-flight ceiling. Fixed at
+    /// [`ServeConfig::effective_max_in_flight`] unless the adaptive
+    /// controller is on.
+    limit: AtomicUsize,
+    /// Completion counter driving the controller's sampling window.
+    completions: AtomicU64,
 }
 
 impl Shared {
@@ -362,12 +412,30 @@ impl Shared {
     /// attached while the leader was being (unsuccessfully) admitted.
     fn abort_single_flight(&self, key: Option<SfKey>, error: &ServeError) {
         let Some(key) = key else { return };
-        let waiters = self.single_flight.lock().remove(&key).unwrap_or_default();
+        let waiters = self
+            .single_flight
+            .lock()
+            .remove(&key)
+            .map(|e| e.waiters)
+            .unwrap_or_default();
         for waiter in waiters {
             self.metrics.shed.inc();
             // flixcheck: allow(swallowed-result): the waiter may have timed out and dropped its receiver; nothing to do
             let _ = waiter.send(Err(error.clone()));
         }
+    }
+
+    /// Records one journal event if the recorder is on. Off = a single
+    /// `Option` check; no clock is read, no memory is touched.
+    fn journal(&self, lane: usize, request: RequestId, kind: EventKind) {
+        if let Some(recorder) = &self.recorder {
+            recorder.record(lane, request, kind);
+        }
+    }
+
+    /// Mints the next [`RequestId`] (never [`RequestId::NONE`]).
+    fn mint(&self) -> RequestId {
+        RequestId::new(self.next_request.fetch_add(1, SeqCst))
     }
 }
 
@@ -406,7 +474,33 @@ impl FlixServer {
     /// the worker count — a group always has at least one worker), each
     /// group serving only its shards' requests.
     pub fn start(backend: impl Into<Backend>, config: ServeConfig) -> Self {
-        let backend = backend.into();
+        Self::start_with(backend.into(), config, None)
+    }
+
+    /// [`Self::start`] with the flight recorder on: every admission
+    /// decision, queue handoff, routing verdict, evaluator span, cache
+    /// verdict, and deadline cut is journaled into per-lane ring buffers
+    /// holding the last `journal_capacity` events per lane (lane 0 is the
+    /// submit path, lane `w + 1` is worker `w`). Read the journal back
+    /// with [`Self::journal_snapshot`]. Result streams are bit-identical
+    /// to an untraced server's — the recorder only *observes*.
+    pub fn start_traced(
+        backend: impl Into<Backend>,
+        config: ServeConfig,
+        journal_capacity: usize,
+    ) -> Self {
+        let recorder = Arc::new(FlightRecorder::for_workers(
+            config.effective_workers(),
+            journal_capacity,
+        ));
+        Self::start_with(backend.into(), config, Some(recorder))
+    }
+
+    fn start_with(
+        backend: Backend,
+        config: ServeConfig,
+        recorder: Option<Arc<FlightRecorder>>,
+    ) -> Self {
         let workers = config.effective_workers();
         let group_count = match &backend {
             Backend::Sharded(sharded) => sharded.shard_count().min(workers),
@@ -440,7 +534,15 @@ impl FlixServer {
             metrics: ServeMetrics::new(),
             slow_log: SlowQueryLog::new(config.slow_log_capacity.max(1)),
             load: SharedLoadMonitor::new(),
+            recorder,
+            next_request: AtomicU64::new(1),
+            limit: AtomicUsize::new(config.effective_max_in_flight()),
+            completions: AtomicU64::new(0),
         });
+        shared
+            .metrics
+            .admission_limit
+            .set(config.effective_max_in_flight() as f64);
         let mut senders = Vec::new();
         let mut handles = Vec::new();
         for w in 0..workers {
@@ -451,7 +553,7 @@ impl FlixServer {
                 .unwrap_or(0);
             let (tx, rx) = crossbeam::channel::bounded(config.queue_capacity.max(1));
             let worker_shared = Arc::clone(&shared);
-            let handle = std::thread::spawn(move || worker_loop(&worker_shared, &rx, group));
+            let handle = std::thread::spawn(move || worker_loop(&worker_shared, &rx, group, w));
             senders.push(tx);
             handles.push(handle);
         }
@@ -494,6 +596,7 @@ impl FlixServer {
                 request.opts.deadline = Some(Deadline::within_micros(budget));
             }
         }
+        let id = shared.mint();
         let (reply_tx, reply_rx) = crossbeam::channel::bounded(1);
         let ticket = Ticket { rx: reply_rx };
 
@@ -503,12 +606,27 @@ impl FlixServer {
             let key = SfKey::of(&request);
             let mut sf = shared.single_flight.lock();
             match sf.get_mut(&key) {
-                Some(waiters) => {
-                    waiters.push(reply_tx);
+                Some(entry) => {
+                    entry.waiters.push(reply_tx);
+                    let leader = entry.leader;
+                    drop(sf);
+                    shared.journal(
+                        SUBMIT_LANE,
+                        id,
+                        EventKind::SfFollower {
+                            leader: leader.raw(),
+                        },
+                    );
                     return Ok(ticket);
                 }
                 None => {
-                    sf.insert(key, Vec::new());
+                    sf.insert(
+                        key,
+                        SfEntry {
+                            leader: id,
+                            waiters: Vec::new(),
+                        },
+                    );
                     Some(key)
                 }
             }
@@ -516,14 +634,23 @@ impl FlixServer {
             None
         };
 
-        // In-flight ceiling. The failed `fetch_update` hands back the
-        // count it observed — that value (< ceiling never rejects, so it
-        // is at the ceiling, never above) goes into the error verbatim.
-        let max = shared.config.effective_max_in_flight();
+        // In-flight ceiling — the *live* one: the adaptive controller may
+        // have pulled it under the configured ceiling. The failed
+        // `fetch_update` hands back the count it observed — that value
+        // (< ceiling never rejects, so it is at the ceiling, never above)
+        // goes into the error verbatim.
+        let max = shared.limit.load(SeqCst);
         if let Err(cur) = shared
             .in_flight
             .fetch_update(SeqCst, SeqCst, |cur| (cur < max).then_some(cur + 1))
         {
+            shared.journal(
+                SUBMIT_LANE,
+                id,
+                EventKind::Shed {
+                    in_flight: cur as u64,
+                },
+            );
             let err = shared.overloaded(cur);
             shared.metrics.shed.inc();
             shared.abort_single_flight(sf_key, &err);
@@ -533,6 +660,7 @@ impl FlixServer {
             .metrics
             .in_flight
             .set(shared.in_flight.load(SeqCst) as f64);
+        shared.journal(SUBMIT_LANE, id, EventKind::Admitted);
 
         // Rotate over the owning group's worker queues with non-blocking
         // sends. The sweep start advances per request, so a sweep that
@@ -548,11 +676,17 @@ impl FlixServer {
         let span = group.workers.clone();
         let mut job = Job {
             request,
+            id,
             admitted: Stopwatch::start(),
             reply: reply_tx,
             sf_key,
         };
         let first = group.next.fetch_add(1, SeqCst);
+        // Timestamp the handoff *before* the send: the dequeuing worker's
+        // own clock read then always sorts at-or-after it, so the merged
+        // trace keeps Enqueued before Dequeued even when the worker wins
+        // the race to the journal.
+        let enqueue_micros = shared.recorder.as_ref().map(|r| r.now_micros());
         for i in 0..span.len() {
             let w = span.start + (first + i) % span.len();
             match senders[w].try_send(job) {
@@ -567,6 +701,14 @@ impl FlixServer {
                         .metrics
                         .queue_depth
                         .set(shared.queued.fetch_add(1, SeqCst) as f64 + 1.0);
+                    if let (Some(recorder), Some(at)) = (&shared.recorder, enqueue_micros) {
+                        recorder.record_at(
+                            SUBMIT_LANE,
+                            at,
+                            id,
+                            EventKind::Enqueued { worker: w as u64 },
+                        );
+                    }
                     return Ok(ticket);
                 }
                 Err(crossbeam::channel::TrySendError::Full(returned))
@@ -580,6 +722,13 @@ impl FlixServer {
         // stepped back out.
         let now = shared.in_flight.fetch_sub(1, SeqCst) - 1;
         shared.metrics.in_flight.set(now as f64);
+        shared.journal(
+            SUBMIT_LANE,
+            id,
+            EventKind::Shed {
+                in_flight: now as u64,
+            },
+        );
         let err = shared.overloaded(now);
         shared.metrics.shed.inc();
         group.shed.inc();
@@ -596,7 +745,12 @@ impl FlixServer {
     /// request completes, the workers exit, and the metrics and slow-query
     /// log remain readable. Idempotent.
     pub fn shutdown(&self) {
-        self.shared.draining.store(true, SeqCst);
+        if !self.shared.draining.swap(true, SeqCst) {
+            // First drain only — shutdown is idempotent, the journal
+            // records the transition once.
+            self.shared
+                .journal(SUBMIT_LANE, RequestId::NONE, EventKind::Drain);
+        }
         // Dropping the senders closes the queues; the channel contract
         // delivers everything already buffered before the workers see the
         // disconnect, so admitted work always finishes.
@@ -628,7 +782,22 @@ impl FlixServer {
             collapsed: m.collapsed.get(),
             queued: self.shared.queued.load(SeqCst),
             in_flight: self.shared.in_flight.load(SeqCst),
+            max_in_flight: self.shared.limit.load(SeqCst),
         }
+    }
+
+    /// The flight recorder, when this server was started with
+    /// [`Self::start_traced`].
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.shared.recorder.as_ref()
+    }
+
+    /// A consistent snapshot of the journal: every lane's surviving
+    /// events, merged into one timeline. `None` for an untraced server.
+    /// Safe to call while the server is running — appends racing the
+    /// snapshot are either fully visible or fully absent, never torn.
+    pub fn journal_snapshot(&self) -> Option<JournalSnapshot> {
+        self.shared.recorder.as_ref().map(|r| r.snapshot())
     }
 
     /// End-to-end latency histogram (admission to completion).
@@ -659,30 +828,86 @@ impl FlixServer {
     /// end-to-end latency and queue-wait histograms.
     pub fn publish_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
         let m = &self.shared.metrics;
-        for (name, counter) in [
-            ("flixserve_submitted_total", &m.submitted),
-            ("flixserve_completed_total", &m.completed),
-            ("flixserve_shed_total", &m.shed),
-            ("flixserve_timeout_total", &m.timeouts),
-            ("flixserve_collapsed_total", &m.collapsed),
+        for (name, help, counter) in [
+            (
+                "flixserve_submitted_total",
+                "Requests admitted past the controller and handed to a worker queue.",
+                &m.submitted,
+            ),
+            (
+                "flixserve_completed_total",
+                "Requests a worker finished answering (leaders only).",
+                &m.completed,
+            ),
+            (
+                "flixserve_shed_total",
+                "Requests rejected by admission control (ceiling or full queues).",
+                &m.shed,
+            ),
+            (
+                "flixserve_timeout_total",
+                "Answers cut short by their deadline (distance-ordered prefixes).",
+                &m.timeouts,
+            ),
+            (
+                "flixserve_collapsed_total",
+                "Follower responses served by single-flight fan-out.",
+                &m.collapsed,
+            ),
         ] {
+            registry.describe(name, help);
             registry.bind_counter(MetricId::with_labels(name, labels), counter);
         }
-        for (name, gauge) in [
-            ("flixserve_queue_depth", &m.queue_depth),
-            ("flixserve_in_flight", &m.in_flight),
+        for (name, help, gauge) in [
+            (
+                "flixserve_queue_depth",
+                "Requests sitting in worker queues right now.",
+                &m.queue_depth,
+            ),
+            (
+                "flixserve_in_flight",
+                "Admitted-but-unfinished requests right now.",
+                &m.in_flight,
+            ),
+            (
+                "flixserve_admission_limit",
+                "Live in-flight ceiling; moves only when adaptive admission is on.",
+                &m.admission_limit,
+            ),
         ] {
+            registry.describe(name, help);
             registry.bind_gauge(MetricId::with_labels(name, labels), gauge);
         }
-        for (name, histogram) in [
-            ("flixserve_latency_micros", &m.latency),
-            ("flixserve_queue_micros", &m.queue_wait),
+        for (name, help, histogram) in [
+            (
+                "flixserve_latency_micros",
+                "End-to-end request latency: admission to completion, queue wait included.",
+                &m.latency,
+            ),
+            (
+                "flixserve_queue_micros",
+                "Queue wait: admission to worker pickup.",
+                &m.queue_wait,
+            ),
         ] {
+            registry.describe(name, help);
             registry.bind_histogram(MetricId::with_labels(name, labels), histogram);
         }
         // Per-shard admission cells, one series per group, tagged with a
         // `shard` label on top of the caller's.
         if self.shared.groups.len() > 1 {
+            registry.describe(
+                "flixserve_shard_submitted_total",
+                "Requests admitted into this shard group's queues.",
+            );
+            registry.describe(
+                "flixserve_shard_shed_total",
+                "Requests shed because this shard group's queues were full.",
+            );
+            registry.describe(
+                "flixserve_shard_queue_depth",
+                "Requests queued in this shard group right now.",
+            );
             for (g, group) in self.shared.groups.iter().enumerate() {
                 let shard = g.to_string();
                 let mut shard_labels: Vec<(&str, &str)> = labels.to_vec();
@@ -714,41 +939,79 @@ impl Drop for FlixServer {
 /// Evaluates one request on the backend. Returns the (possibly partial)
 /// results, the timeout marker, and — when the evaluator ran in-process —
 /// its counters for the load monitor.
-fn compute(backend: &Backend, req: &Request) -> (Arc<Vec<QueryResult>>, bool, Option<PeeStats>) {
+///
+/// `journal` is the write-only flight-recorder handle for this request's
+/// worker lane (`None` when the recorder is off — no clock reads, no
+/// events, bit-identical results). The sharded and cached backends journal
+/// their own routing/cache/eval events inside the flix crate; the plain
+/// backend and the cached-ancestors bypass have no interior decision
+/// points, so this function brackets them with one eval span itself.
+fn compute(
+    backend: &Backend,
+    req: &Request,
+    journal: Option<&JournalHandle<'_>>,
+) -> (Arc<Vec<QueryResult>>, bool, Option<PeeStats>) {
+    let span_open = |shard: u64| {
+        if let Some(j) = journal {
+            j.event(EventKind::EvalStart { shard });
+        }
+    };
+    let span_close = |results: usize| {
+        if let Some(j) = journal {
+            j.event(EventKind::EvalEnd {
+                results: results as u64,
+            });
+        }
+    };
     match (backend, req.axis) {
         (Backend::Cached(cached), AxisKind::Descendants) => {
-            let (results, timed_out) =
-                cached.find_descendants_deadline(req.start, req.target, &req.opts);
+            let (results, timed_out) = cached
+                .find_descendants_deadline_journaled(req.start, req.target, &req.opts, journal);
             (results, timed_out, None)
         }
         (Backend::Cached(cached), AxisKind::Ancestors) => {
+            span_open(SHARD_NONE);
             let out = cached
                 .framework()
-                .find_ancestors_outcome(req.start, req.target, &req.opts);
+                .find_ancestors_outcome_journaled(req.start, req.target, &req.opts, journal);
+            span_close(out.results.len());
             (Arc::new(out.results), out.timed_out, Some(out.stats))
         }
         (Backend::Plain(flix), AxisKind::Descendants) => {
-            let out = flix.find_descendants_outcome(req.start, req.target, &req.opts);
+            span_open(SHARD_NONE);
+            let out =
+                flix.find_descendants_outcome_journaled(req.start, req.target, &req.opts, journal);
+            span_close(out.results.len());
             (Arc::new(out.results), out.timed_out, Some(out.stats))
         }
         (Backend::Plain(flix), AxisKind::Ancestors) => {
-            let out = flix.find_ancestors_outcome(req.start, req.target, &req.opts);
+            span_open(SHARD_NONE);
+            let out =
+                flix.find_ancestors_outcome_journaled(req.start, req.target, &req.opts, journal);
+            span_close(out.results.len());
             (Arc::new(out.results), out.timed_out, Some(out.stats))
         }
         (Backend::Sharded(sharded), AxisKind::Descendants) => {
-            let (results, timed_out) =
-                sharded.find_descendants_deadline(req.start, req.target, &req.opts);
+            let (results, timed_out) = sharded
+                .find_descendants_deadline_journaled(req.start, req.target, &req.opts, journal);
             (results, timed_out, None)
         }
         (Backend::Sharded(sharded), AxisKind::Ancestors) => {
-            let out = sharded.find_ancestors_outcome(req.start, req.target, &req.opts);
+            let out =
+                sharded.find_ancestors_outcome_journaled(req.start, req.target, &req.opts, journal);
             (Arc::new(out.results), out.timed_out, Some(out.stats))
         }
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>, group: usize) {
+fn worker_loop(
+    shared: &Shared,
+    rx: &crossbeam::channel::Receiver<Job>,
+    group: usize,
+    worker: usize,
+) {
     let group = &shared.groups[group];
+    let lane = worker + 1;
     while let Ok(job) = rx.recv() {
         group
             .depth
@@ -757,8 +1020,18 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>, group: u
             .metrics
             .queue_depth
             .set(shared.queued.fetch_sub(1, SeqCst) as f64 - 1.0);
+        shared.journal(
+            lane,
+            job.id,
+            EventKind::Dequeued {
+                worker: worker as u64,
+            },
+        );
         let queue_micros = job.admitted.elapsed_micros();
-        let (results, timed_out, stats) = compute(&shared.backend, &job.request);
+        // The handle pins (lane, request) so every event the evaluator
+        // journals below stitches into this request's causal trace.
+        let handle = shared.recorder.as_ref().map(|r| r.handle(lane, job.id));
+        let (results, timed_out, stats) = compute(&shared.backend, &job.request, handle.as_ref());
         let total_micros = job.admitted.elapsed_micros();
 
         shared.metrics.queue_wait.record(queue_micros);
@@ -777,6 +1050,7 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>, group: u
                 "{}//{:?} ({:?})",
                 job.request.start, job.request.target, job.request.axis
             ));
+            trace.tag_request(job.id);
             trace.finish(total_micros);
             shared.slow_log.offer(trace);
         }
@@ -792,7 +1066,21 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>, group: u
         // leader. Removing the key before replying means any identical
         // request arriving from here on becomes a fresh leader.
         if let Some(key) = job.sf_key {
-            let waiters = shared.single_flight.lock().remove(&key).unwrap_or_default();
+            let waiters = shared
+                .single_flight
+                .lock()
+                .remove(&key)
+                .map(|e| e.waiters)
+                .unwrap_or_default();
+            if !waiters.is_empty() {
+                shared.journal(
+                    lane,
+                    job.id,
+                    EventKind::SfLeader {
+                        followers: waiters.len() as u64,
+                    },
+                );
+            }
             for waiter in waiters {
                 shared.metrics.collapsed.inc();
                 let mut copy = response.clone();
@@ -807,6 +1095,43 @@ fn worker_loop(shared: &Shared, rx: &crossbeam::channel::Receiver<Job>, group: u
             .metrics
             .in_flight
             .set(shared.in_flight.fetch_sub(1, SeqCst) as f64 - 1.0);
+        adapt_limit(shared, lane);
+    }
+}
+
+/// The AIMD admission controller, run once per completion by whichever
+/// worker finished the request. Off unless
+/// [`ServeConfig::latency_target_p99_micros`] is set. Every
+/// [`ADAPT_WINDOW`]-th completion compares the end-to-end latency
+/// histogram's p99 estimate to the target: over → multiplicative decrease
+/// (halve, floored at one in-flight slot per worker), at-or-under →
+/// additive increase (one slot, capped at the configured ceiling). The
+/// limit only tightens admission; it never grows past
+/// [`ServeConfig::effective_max_in_flight`], so an adaptive server under
+/// target behaves exactly like a fixed one.
+fn adapt_limit(shared: &Shared, lane: usize) {
+    let Some(target) = shared.config.latency_target_p99_micros else {
+        return;
+    };
+    let completion = shared.completions.fetch_add(1, SeqCst) + 1;
+    if completion % ADAPT_WINDOW != 0 {
+        return;
+    }
+    let p99 = shared.metrics.latency.snapshot().p99();
+    let cur = shared.limit.load(SeqCst);
+    let next = if p99 > target {
+        (cur / 2).max(shared.config.effective_workers())
+    } else {
+        (cur + 1).min(shared.config.effective_max_in_flight())
+    };
+    if next != cur {
+        shared.limit.store(next, SeqCst);
+        shared.metrics.admission_limit.set(next as f64);
+        shared.journal(
+            lane,
+            RequestId::NONE,
+            EventKind::LimitChange { limit: next as u64 },
+        );
     }
 }
 

@@ -182,3 +182,248 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Flight-recorder journal: concurrency and export well-formedness.
+// ---------------------------------------------------------------------
+
+/// Hammer one recorder from many writer threads while a reader snapshots
+/// concurrently: snapshots must never tear (every surviving event decodes
+/// to exactly what some writer appended), never panic, and the logged /
+/// dropped accounting must reconcile with the ring capacity.
+#[test]
+fn journal_multi_writer_stress_never_tears() {
+    use flixobs::{EventKind, FlightRecorder, RequestId};
+    let workers = 4;
+    let recorder = Arc::new(FlightRecorder::for_workers(workers, 64));
+    let appends_per_thread = 2_000u64;
+    std::thread::scope(|scope| {
+        for t in 0..workers as u64 {
+            let recorder = Arc::clone(&recorder);
+            scope.spawn(move || {
+                for i in 0..appends_per_thread {
+                    // Self-validating payload: results encodes (thread, i),
+                    // so a torn read would surface as an impossible value.
+                    let payload = t * 1_000_000 + i;
+                    // All threads hit ALL lanes: the ring is deliberately
+                    // stressed beyond its single-writer design point.
+                    let lane = (i % (workers as u64 + 1)) as usize;
+                    recorder.record(
+                        lane,
+                        RequestId::new(t + 1),
+                        EventKind::EvalEnd { results: payload },
+                    );
+                }
+            });
+        }
+        // Concurrent reader: snapshots while the writers are appending.
+        let recorder = Arc::clone(&recorder);
+        scope.spawn(move || {
+            for _ in 0..200 {
+                let snapshot = recorder.snapshot();
+                for e in &snapshot.events {
+                    let flixobs::EventKind::EvalEnd { results } = e.kind else {
+                        panic!("foreign event appeared: {:?}", e.kind);
+                    };
+                    let (t, i) = (results / 1_000_000, results % 1_000_000);
+                    assert!(t < 4 && i < 2_000, "torn payload {results}");
+                    assert_eq!(e.request, flixobs::RequestId::new(t + 1));
+                }
+            }
+        });
+    });
+    let total = workers as u64 * appends_per_thread;
+    assert_eq!(recorder.events_logged(), total);
+    let snapshot = recorder.snapshot();
+    // Each of the 5 lanes holds at most its capacity of survivors.
+    assert!(snapshot.events.len() <= (workers + 1) * 64);
+    assert!(!snapshot.events.is_empty());
+    assert_eq!(snapshot.logged, total);
+    assert!(snapshot.dropped >= total - ((workers as u64 + 1) * 64));
+}
+
+/// A minimal recursive-descent JSON syntax check — enough to catch any
+/// malformed output from the hand-rolled Chrome-trace exporter.
+fn json_well_formed(s: &str) -> Result<(), String> {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && (b[i] as char).is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize, depth: usize) -> Result<usize, String> {
+        if depth > 64 {
+            return Err("nesting too deep".into());
+        }
+        let i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b'{') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    i = value(b, i + 1, depth + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = value(b, i, depth + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(b't') => lit(b, i, "true"),
+            Some(b'f') => lit(b, i, "false"),
+            Some(b'n') => lit(b, i, "null"),
+            Some(_) => number(b, i),
+            None => Err("unexpected end".into()),
+        }
+    }
+    fn lit(b: &[u8], i: usize, word: &str) -> Result<usize, String> {
+        if b[i..].starts_with(word.as_bytes()) {
+            Ok(i + word.len())
+        } else {
+            Err(format!("bad literal at {i}"))
+        }
+    }
+    fn string(b: &[u8], i: usize) -> Result<usize, String> {
+        if b.get(i) != Some(&b'"') {
+            return Err(format!("expected string at {i}"));
+        }
+        let mut i = i + 1;
+        while let Some(&c) = b.get(i) {
+            match c {
+                b'"' => return Ok(i + 1),
+                b'\\' => i += 2,
+                0x00..=0x1f => return Err(format!("raw control char at {i}")),
+                _ => i += 1,
+            }
+        }
+        Err("unterminated string".into())
+    }
+    fn number(b: &[u8], i: usize) -> Result<usize, String> {
+        let start = i;
+        let mut i = i;
+        if b.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        while i < b.len() && (b[i].is_ascii_digit() || b"+-.eE".contains(&b[i])) {
+            i += 1;
+        }
+        if i == start {
+            Err(format!("expected number at {i}"))
+        } else {
+            Ok(i)
+        }
+    }
+    let b = s.as_bytes();
+    let end = value(b, 0, 0)?;
+    if skip_ws(b, end) != b.len() {
+        return Err(format!("trailing garbage at {end}"));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random event streams — nested spans, instants, sheds, multiple
+    /// requests, rings small enough to wrap — always export to
+    /// syntactically well-formed Chrome-trace JSON whose per-request
+    /// event sequences are time-monotonic and whose span events nest
+    /// properly (every exported `X` span came from a matched
+    /// EvalStart/EvalEnd pair on one lane).
+    #[test]
+    fn chrome_trace_export_is_well_formed(
+        seed in 0u64..10_000,
+        capacity in 8usize..256,
+        events in 8usize..200,
+        requests in 1u64..12,
+    ) {
+        use flixobs::{EventKind, FlightRecorder, RequestId};
+        let recorder = FlightRecorder::for_workers(2, capacity);
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut rand = move |n: u64| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % n.max(1)
+        };
+        // Per-lane span depth so EvalStart/EvalEnd stay properly nested
+        // (the recorder's real callers guarantee this shape).
+        let mut depth = [0u32; 3];
+        for _ in 0..events {
+            let lane = rand(3) as usize;
+            let id = RequestId::new(rand(requests) + 1);
+            match rand(6) {
+                0 => recorder.record(lane, id, EventKind::Admitted),
+                1 => recorder.record(lane, id, EventKind::Shed { in_flight: rand(100) }),
+                2 => recorder.record(lane, id, EventKind::CacheHit { shard: rand(4) }),
+                3 => recorder.record(lane, id, EventKind::Enqueued { worker: rand(2) }),
+                _ => {
+                    if depth[lane] > 0 && rand(2) == 0 {
+                        recorder.record(lane, id, EventKind::EvalEnd { results: rand(50) });
+                        depth[lane] -= 1;
+                    } else {
+                        recorder.record(lane, id, EventKind::EvalStart { shard: rand(4) });
+                        depth[lane] += 1;
+                    }
+                }
+            }
+        }
+        let snapshot = recorder.snapshot();
+        let chrome = snapshot.to_chrome_trace();
+        prop_assert!(
+            json_well_formed(&chrome).is_ok(),
+            "malformed chrome trace: {:?}\n{}",
+            json_well_formed(&chrome),
+            chrome
+        );
+        prop_assert!(chrome.contains("\"traceEvents\""));
+        // Per-request monotonicity in the merged snapshot.
+        for id in snapshot.request_ids() {
+            let events = snapshot.request_events(id);
+            prop_assert!(events.windows(2).all(|w| w[0].micros <= w[1].micros));
+        }
+        // Span pairing: the exporter emits exactly one X event per
+        // EvalStart that found its matching EvalEnd on the same lane.
+        let mut expected_spans = 0usize;
+        for lane in 0..3 {
+            let mut open = 0i64;
+            for e in snapshot.events.iter().filter(|e| e.lane == lane) {
+                match e.kind {
+                    EventKind::EvalStart { .. } => open += 1,
+                    EventKind::EvalEnd { .. } if open > 0 => {
+                        open -= 1;
+                        expected_spans += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let exported_spans = chrome.matches("\"ph\":\"X\",\"pid\"").count()
+            - chrome.matches("\"name\":\"queued\"").count();
+        prop_assert_eq!(exported_spans, expected_spans);
+    }
+}

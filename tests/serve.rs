@@ -366,3 +366,255 @@ fn sharded_deadline_cuts_are_prefixes_of_the_unsharded_oracle() {
         server.shutdown();
     }
 }
+
+/// The flight recorder is write-only: a traced server returns byte-for-
+/// byte the same answers as an untraced one over every backend — complete
+/// answers, empty zero-budget cuts, and generous-budget answers alike —
+/// while actually journaling events.
+#[test]
+fn traced_server_answers_are_bit_identical_to_untraced() {
+    use flix::CachedFlix;
+    let cg = dblp_corpus();
+    let flix = Arc::new(Flix::build(cg.clone(), FlixConfig::Naive));
+    let mix = oracle_mix(&flix, &cg);
+    type BackendFactory = Box<dyn Fn() -> flixserve::Backend>;
+    let backends: Vec<(&str, BackendFactory)> = vec![
+        (
+            "plain",
+            Box::new({
+                let flix = flix.clone();
+                move || flixserve::Backend::from(flix.clone())
+            }),
+        ),
+        (
+            "cached",
+            Box::new({
+                let flix = flix.clone();
+                move || flixserve::Backend::from(Arc::new(CachedFlix::new(flix.clone(), 64)))
+            }),
+        ),
+        (
+            "sharded",
+            Box::new({
+                let flix = flix.clone();
+                move || flixserve::Backend::from(Arc::new(ShardedFlix::new(flix.clone(), 3)))
+            }),
+        ),
+    ];
+    for (name, make) in &backends {
+        let config = ServeConfig {
+            workers: 2,
+            single_flight: false,
+            ..ServeConfig::default()
+        };
+        let plain_server = FlixServer::start(make(), config);
+        let traced_server = FlixServer::start_traced(make(), config, 4096);
+        assert!(plain_server.journal_snapshot().is_none());
+        for (request, oracle) in &mix {
+            let plain = plain_server.query(*request).unwrap();
+            let traced = traced_server.query(*request).unwrap();
+            assert_eq!(*plain.results, *oracle, "{name}: untraced diverged");
+            assert_eq!(*traced.results, *oracle, "{name}: traced diverged");
+            assert_eq!(plain.timed_out, traced.timed_out, "{name}");
+        }
+        // Deadline cuts: zero budget and a generous budget are the two
+        // deterministic points — both servers must agree exactly (the cut
+        // point of an intermediate budget is timing-dependent by design).
+        for (request, oracle) in mix.iter().take(6) {
+            for (budget, want_empty) in [(0u64, true), (10_000_000, false)] {
+                let mut req = *request;
+                req.opts = req.opts.with_deadline(Deadline::within_micros(budget));
+                let plain = plain_server.query(req).unwrap();
+                let traced = traced_server.query(req).unwrap();
+                assert_eq!(*plain.results, *traced.results, "{name} budget {budget}");
+                assert_eq!(plain.timed_out, traced.timed_out, "{name} budget {budget}");
+                if want_empty {
+                    // A zero budget expires before evaluation starts —
+                    // unless the warm result cache answers without
+                    // evaluating at all (the cached backend, by design).
+                    assert!(
+                        traced.results.is_empty() && traced.timed_out || *traced.results == *oracle,
+                        "{name}: zero budget must cut to empty or hit the cache"
+                    );
+                } else {
+                    assert_eq!(*traced.results, *oracle, "{name}: 10s is plenty");
+                }
+            }
+        }
+        let snapshot = traced_server.journal_snapshot().unwrap();
+        assert!(
+            snapshot.events.len() > mix.len(),
+            "{name}: a traced server journals at least one event per request"
+        );
+        plain_server.shutdown();
+        traced_server.shutdown();
+    }
+}
+
+/// ISSUE 9 acceptance: one request's events — admission, queue handoff,
+/// dequeue, shard-routing verdict, and evaluator spans, spread over the
+/// submit lane and a worker lane — stitch into a single causally-ordered
+/// trace keyed by its [`flixobs::RequestId`], and at least one request in
+/// a multi-shard run actually crosses shards (fan-out or escape).
+#[test]
+fn fanout_request_events_stitch_into_one_causal_trace() {
+    use flixobs::EventKind;
+    let cg = dblp_corpus();
+    let flix = Arc::new(Flix::build(cg.clone(), FlixConfig::Naive));
+    let sharded = Arc::new(ShardedFlix::new(flix.clone(), 4));
+    let server = FlixServer::start_traced(
+        Arc::clone(&sharded),
+        ServeConfig {
+            workers: 4,
+            single_flight: false,
+            ..ServeConfig::default()
+        },
+        8192,
+    );
+    // Uncapped queries over a citation graph: plenty fan out or escape.
+    for q in descendant_queries(&cg, 40, 13) {
+        server
+            .query(Request::descendants(
+                q.start,
+                q.target_tag,
+                QueryOptions::default(),
+            ))
+            .unwrap();
+    }
+    let snapshot = server.journal_snapshot().unwrap();
+    assert_eq!(snapshot.dropped, 0, "capacity was sized for the run");
+    let crossed: Vec<flixobs::RequestId> = snapshot
+        .request_ids()
+        .into_iter()
+        .filter(|id| {
+            snapshot.request_events(*id).iter().any(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::RouteFanout { .. } | EventKind::RouteEscaped { .. }
+                )
+            })
+        })
+        .collect();
+    assert!(
+        !crossed.is_empty(),
+        "at least one uncapped citation query must cross shards"
+    );
+    for id in &crossed {
+        let events = snapshot.request_events(*id);
+        // Causal order inside one request's trace: the merged snapshot is
+        // sorted by time, and the lifecycle events appear in order.
+        let pos = |pred: &dyn Fn(&EventKind) -> bool| events.iter().position(|e| pred(&e.kind));
+        let admitted = pos(&|k| matches!(k, EventKind::Admitted)).expect("admitted");
+        let enqueued = pos(&|k| matches!(k, EventKind::Enqueued { .. })).expect("enqueued");
+        let dequeued = pos(&|k| matches!(k, EventKind::Dequeued { .. })).expect("dequeued");
+        let eval = pos(&|k| matches!(k, EventKind::EvalStart { .. })).expect("eval start");
+        assert!(admitted < enqueued && enqueued < dequeued && dequeued < eval);
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::EvalEnd { .. })),
+            "every span closes"
+        );
+        // The submit lane and a worker lane both contributed: the trace
+        // really does stitch across threads.
+        assert!(events.iter().any(|e| e.lane == 0));
+        assert!(events.iter().any(|e| e.lane > 0));
+        // Timestamps are monotone within the request's merged view.
+        assert!(events.windows(2).all(|w| w[0].micros <= w[1].micros));
+        // And every one of these events belongs to this request.
+        assert!(events.iter().all(|e| e.request == *id));
+    }
+    // The Chrome export carries the spans (ph:X) and instants for Perfetto.
+    let chrome = snapshot.to_chrome_trace();
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"ph\":\"X\""));
+    assert!(chrome.contains("\"ph\":\"i\""));
+    server.shutdown();
+}
+
+/// The adaptive admission controller (ISSUE 9 satellite, ROADMAP carry-
+/// over): an impossible latency target walks the live ceiling down to the
+/// per-worker floor — visible in [`flixserve::ServeStats::max_in_flight`]
+/// and journaled as `LimitChange` events — while a generous target leaves
+/// the configured ceiling untouched.
+#[test]
+fn adaptive_admission_tracks_the_latency_target() {
+    use flixobs::EventKind;
+    let cg = mixed_corpus();
+    let flix = Arc::new(Flix::build(cg.clone(), FlixConfig::Naive));
+    let queries = descendant_queries(&cg, 30, 3);
+    let base = ServeConfig {
+        workers: 2,
+        queue_capacity: 4,
+        single_flight: false,
+        ..ServeConfig::default()
+    };
+
+    // Impossible target: p99 of any real workload exceeds 0µs, so every
+    // window halves the limit until it hits the floor (one per worker).
+    let strict = FlixServer::start_traced(
+        flix.clone(),
+        ServeConfig {
+            latency_target_p99_micros: Some(0),
+            ..base
+        },
+        4096,
+    );
+    for _ in 0..8 {
+        for q in &queries {
+            // flixcheck: allow(swallowed-result): sheds are expected while the limit tightens
+            let _ = strict.query(Request::descendants(
+                q.start,
+                q.target_tag,
+                QueryOptions::default(),
+            ));
+        }
+    }
+    let stats = strict.stats();
+    assert_eq!(
+        stats.max_in_flight, 2,
+        "the limit must fall to the per-worker floor"
+    );
+    let snapshot = strict.journal_snapshot().unwrap();
+    let changes: Vec<u64> = snapshot
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::LimitChange { limit } => Some(limit),
+            _ => None,
+        })
+        .collect();
+    assert!(!changes.is_empty(), "limit changes are journaled");
+    assert!(
+        changes.windows(2).all(|w| w[1] <= w[0]),
+        "under an impossible target the limit only falls: {changes:?}"
+    );
+    assert_eq!(*changes.last().unwrap(), 2);
+    strict.shutdown();
+
+    // Generous target: the limit never moves off the configured ceiling.
+    let relaxed = FlixServer::start(
+        flix.clone(),
+        ServeConfig {
+            latency_target_p99_micros: Some(u64::MAX),
+            ..base
+        },
+    );
+    for _ in 0..4 {
+        for q in &queries {
+            relaxed
+                .query(Request::descendants(
+                    q.start,
+                    q.target_tag,
+                    QueryOptions::default(),
+                ))
+                .unwrap();
+        }
+    }
+    assert_eq!(
+        relaxed.stats().max_in_flight,
+        base.effective_max_in_flight(),
+        "an achievable target leaves the ceiling alone"
+    );
+    relaxed.shutdown();
+}
