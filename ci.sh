@@ -58,4 +58,14 @@ grep -q '"overhead_pct"' BENCH_obs.json
 grep -q '"events_per_sec"' BENCH_obs.json
 grep -q '"limit_changes"' BENCH_obs.json
 
+echo "== repro recover smoke test (WAL, kill-point sweep, live hot swap)"
+cargo run -q -p bench --bin repro -- recover --scale 0.02
+# Shape-check: the sweep must report zero mismatches and the hot swap
+# zero dropped/mismatched answers (the binary itself asserts the same).
+grep -q '"kill_points"' BENCH_recovery.json
+grep -q '"mismatches": 0' BENCH_recovery.json
+grep -q '"dropped": 0' BENCH_recovery.json
+grep -q '"mismatched": 0' BENCH_recovery.json
+grep -q '"file_commits_per_sec"' BENCH_recovery.json
+
 echo "CI green."

@@ -56,7 +56,7 @@ fn main() {
     let mut serve_threads: Vec<usize> = vec![1, 2, 4, 8];
     let mut serve_shards: Vec<usize> = vec![1, 2, 4, 8];
     let mut commands: Vec<String> = Vec::new();
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
         "all",
         "table1",
         "figure5",
@@ -71,6 +71,7 @@ fn main() {
         "hopi",
         "serve",
         "trace",
+        "recover",
     ];
     const KNOWN_EXTRA: [&str; 2] = ["ablation-exact", "ablation-bidir"];
     let mut it = args.iter();
@@ -236,6 +237,351 @@ fn main() {
     if wants("trace") {
         trace_bench(&cg);
     }
+    if wants("recover") {
+        recover_bench();
+    }
+}
+
+/// Unwraps a result in the repro harness, exiting with the binary's
+/// usual `error:` style instead of a panic backtrace.
+fn must<T, E: std::fmt::Display>(result: Result<T, E>, what: &str) -> T {
+    match result {
+        Ok(value) => value,
+        Err(e) => {
+            eprintln!("error: {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `recover`: the durability subsystem end to end (ISSUE 10). (a) WAL
+/// commit throughput on an in-memory log and on a real fsynced file. (b)
+/// Recovery time as a function of un-checkpointed log length, with the
+/// replay counts from the [`pagestore::RecoveryReport`]. (c) A kill-point
+/// sweep: a committed workload's log is truncated at *every byte
+/// boundary* and recovered; each recovery must land byte-identically on
+/// the state of the last commit whose marker survived — zero mismatches
+/// tolerated. (d) A live hot swap: closed-loop clients hammer a
+/// [`flixserve::FlixServer`] while a background [`flixserve::Rebuilder`]
+/// rebuilds the recommended configuration and swaps it in; every answer
+/// is checked against the single-generation oracle and nothing may be
+/// dropped. Writes `BENCH_recovery.json`.
+fn recover_bench() {
+    use pagestore::{DurableStore, FileDisk, FileLog, LogDevice, MemDisk, MemLog, MemManifests};
+    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+
+    println!("== recover: WAL, crash recovery, and online rebuild ==");
+
+    // -- (a) commit throughput ------------------------------------------
+    let payload = vec![0xA5u8; 4096];
+    let mem_commits = 512usize;
+    let (mem_store, _) = durable_mem(64);
+    let (mut store, report) = mem_store;
+    assert_eq!(report.batches_replayed, 0);
+    let (_, mem_time) = time_once(|| {
+        for i in 0..mem_commits {
+            must(store.put_blob(&format!("m{i}"), &payload), "mem put");
+            must(store.commit(), "mem commit");
+        }
+    });
+    let mem_cps = mem_commits as f64 / mem_time.as_secs_f64();
+    println!(
+        "wal commits (mem log):  {mem_commits} x 4 KiB blobs in {mem_time:.1?} ({mem_cps:.0} commits/s)"
+    );
+
+    let dir = std::env::temp_dir().join("flix-recover-bench");
+    must(std::fs::create_dir_all(&dir), "temp dir");
+    let db = dir.join("data.db");
+    let wal_path = dir.join("wal.log");
+    let _ = std::fs::remove_file(&db);
+    let _ = std::fs::remove_file(&wal_path);
+    let file_commits = 64usize;
+    let file_cps = {
+        let disk = Arc::new(must(FileDisk::open(&db), "file disk"));
+        let log = Arc::new(must(FileLog::open(&wal_path), "file log"));
+        let manifests = Arc::new(MemManifests::new());
+        let (mut store, _) = must(
+            DurableStore::open(disk, log, manifests, 64),
+            "file store open",
+        );
+        let (_, file_time) = time_once(|| {
+            for i in 0..file_commits {
+                must(store.put_blob(&format!("f{i}"), &payload), "file put");
+                must(store.commit(), "file commit");
+            }
+        });
+        file_commits as f64 / file_time.as_secs_f64()
+    };
+    let _ = std::fs::remove_file(&db);
+    let _ = std::fs::remove_file(&wal_path);
+    println!(
+        "wal commits (file log): {file_commits} x 4 KiB blobs, fsync per commit ({file_cps:.0} commits/s)"
+    );
+
+    // -- (b) recovery time vs log length --------------------------------
+    let mut recovery_rows = String::new();
+    for &batches in &[8usize, 32, 128] {
+        let disk = Arc::new(MemDisk::new());
+        let log = Arc::new(MemLog::new());
+        let manifests = Arc::new(MemManifests::new());
+        let (mut store, _) = must(
+            DurableStore::open(
+                disk.clone() as Arc<dyn pagestore::DiskManager>,
+                log.clone(),
+                manifests.clone(),
+                64,
+            ),
+            "open",
+        );
+        for i in 0..batches {
+            must(store.put_blob(&format!("b{i}"), &payload), "put");
+            must(store.commit(), "commit");
+        }
+        let wal_bytes = must(log.len(), "wal length") as usize;
+        drop(store);
+        // Reopen over the same devices: the whole log replays.
+        let crash_disk = Arc::new(MemDisk::from_frames(disk.snapshot_frames()));
+        let crash_log = Arc::new(MemLog::from_bytes(log.snapshot()));
+        let crash_manifests = Arc::new(MemManifests::from_snapshot(manifests.snapshot()));
+        let ((_, report), dt) = time_once(|| {
+            must(
+                DurableStore::open(
+                    crash_disk.clone() as Arc<dyn pagestore::DiskManager>,
+                    crash_log,
+                    crash_manifests,
+                    64,
+                ),
+                "recover",
+            )
+        });
+        println!(
+            "recovery: {batches:>4} committed batches ({}) replayed in {dt:>8.1?} \
+             ({} pages)",
+            mb(wal_bytes),
+            report.pages_replayed
+        );
+        if !recovery_rows.is_empty() {
+            recovery_rows.push_str(", ");
+        }
+        recovery_rows.push_str(&format!(
+            "{{\"batches\": {batches}, \"wal_bytes\": {wal_bytes}, \
+             \"replayed\": {}, \"micros\": {}}}",
+            report.batches_replayed,
+            dt.as_micros()
+        ));
+    }
+
+    // -- (c) kill-point sweep -------------------------------------------
+    let (kill_points, kill_mismatches) = kill_point_sweep(6);
+    assert_eq!(
+        kill_mismatches, 0,
+        "every kill point must recover the committed prefix exactly"
+    );
+    println!(
+        "kill-point sweep: {kill_points} byte-boundary truncations, {kill_mismatches} mismatches"
+    );
+
+    // -- (d) hot swap under live traffic --------------------------------
+    use flixserve::{FlixServer, RebuildConfig, Rebuilder, Request, ServeConfig};
+    let (chain, tag) = chain_collection(24);
+    let oracle = chain.find_descendants(0, tag, &QueryOptions::default());
+    let server = Arc::new(FlixServer::start(
+        Arc::clone(&chain),
+        ServeConfig {
+            workers: 4,
+            single_flight: false,
+            ..ServeConfig::default()
+        },
+    ));
+    let rebuilder = Rebuilder::spawn(
+        Arc::clone(&server),
+        RebuildConfig {
+            min_queries: 64,
+            interval: Duration::from_millis(2),
+            build_threads: 1,
+        },
+    );
+    let answered = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
+    let mismatched = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..5_000 {
+                    match server.query(Request::descendants(0, tag, QueryOptions::default())) {
+                        Ok(response) => {
+                            answered.fetch_add(1, SeqCst);
+                            if *response.results != oracle {
+                                mismatched.fetch_add(1, SeqCst);
+                            }
+                        }
+                        Err(_) => {
+                            dropped.fetch_add(1, SeqCst);
+                        }
+                    }
+                    if server.generation() > 2 {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    rebuilder.stop();
+    let generation = server.generation();
+    let stats = server.stats();
+    server.shutdown();
+    let answered = answered.load(SeqCst);
+    let dropped = dropped.load(SeqCst);
+    let mismatched = mismatched.load(SeqCst);
+    assert!(
+        generation > 1,
+        "the rebuilder must swap at least once under this load"
+    );
+    assert_eq!(dropped, 0, "hot swap must not drop queries");
+    assert_eq!(mismatched, 0, "hot swap must not change answers");
+    println!(
+        "hot swap: {answered} closed-loop answers across {} swap(s) \
+         (final generation {generation}), {dropped} dropped, {mismatched} mismatched",
+        generation - 1
+    );
+
+    let json = format!(
+        "{{\n  \"wal\": {{\"mem_commits_per_sec\": {mem_cps:.0}, \
+         \"file_commits_per_sec\": {file_cps:.0}, \"blob_bytes\": {}}},\n  \
+         \"recovery\": [{recovery_rows}],\n  \
+         \"kill_points\": {{\"points\": {kill_points}, \"mismatches\": {kill_mismatches}}},\n  \
+         \"hot_swap\": {{\"answers\": {answered}, \"dropped\": {dropped}, \
+         \"mismatched\": {mismatched}, \"swaps\": {}, \"generation\": {generation}, \
+         \"completed\": {}}}\n}}\n",
+        payload.len(),
+        generation - 1,
+        stats.completed,
+    );
+    // flixcheck: allow(unsynced-write): bench artifact, not durable state; losing it on crash only costs a rerun
+    match std::fs::write("BENCH_recovery.json", &json) {
+        Ok(()) => println!("wrote BENCH_recovery.json\n"),
+        Err(e) => eprintln!("warning: could not write BENCH_recovery.json: {e}"),
+    }
+}
+
+/// Oracle state after a commit: directory bytes plus blob contents.
+type SweepOracle = (Vec<u8>, Vec<(String, Vec<u8>)>);
+/// The in-memory crash-simulation devices behind a [`pagestore::DurableStore`].
+type MemDevices = (
+    Arc<pagestore::MemDisk>,
+    Arc<pagestore::MemLog>,
+    Arc<pagestore::MemManifests>,
+);
+
+/// A fresh in-memory [`pagestore::DurableStore`] plus its devices.
+fn durable_mem(
+    capacity: usize,
+) -> (
+    (pagestore::DurableStore, pagestore::RecoveryReport),
+    MemDevices,
+) {
+    use pagestore::{DurableStore, MemDisk, MemLog, MemManifests};
+    let disk = Arc::new(MemDisk::new());
+    let log = Arc::new(MemLog::new());
+    let manifests = Arc::new(MemManifests::new());
+    let opened = must(
+        DurableStore::open(
+            disk.clone() as Arc<dyn pagestore::DiskManager>,
+            log.clone(),
+            manifests.clone(),
+            capacity,
+        ),
+        "mem open",
+    );
+    (opened, (disk, log, manifests))
+}
+
+/// Runs `commits` small-blob commits on an in-memory durable store, then
+/// truncates the WAL image at every byte boundary, recovers each
+/// truncation over a copy of the checkpoint-time disk, and compares the
+/// recovered state against the oracle of the last surviving commit.
+/// Returns (kill points tried, mismatches found).
+fn kill_point_sweep(commits: usize) -> (usize, usize) {
+    use pagestore::{DurableStore, LogDevice, MemDisk, MemLog, MemManifests};
+    let ((mut store, _), (disk, log, manifests)) = durable_mem(16);
+    // Checkpoint-time images: the crash disk every recovery starts from.
+    let base_frames = disk.snapshot_frames();
+    let base_manifests = manifests.snapshot();
+    // Oracle state after commit n (directory bytes + blob contents);
+    // index 0 is "nothing committed". `boundaries[n]` is the log length
+    // once commit n's marker is durable.
+    let mut oracle: Vec<SweepOracle> = vec![(store.committed_directory().to_vec(), Vec::new())];
+    let mut boundaries: Vec<usize> = vec![0];
+    let mut blobs: Vec<(String, Vec<u8>)> = Vec::new();
+    for i in 0..commits {
+        let name = format!("k{i}");
+        let data = vec![i as u8 ^ 0x5A; 200 + 37 * i];
+        must(store.put_blob(&name, &data), "sweep put");
+        must(store.commit(), "sweep commit");
+        blobs.push((name, data));
+        oracle.push((store.committed_directory().to_vec(), blobs.clone()));
+        boundaries.push(must(log.len(), "wal length") as usize);
+    }
+    let image = log.snapshot();
+    let mut mismatches = 0usize;
+    for cut in 0..=image.len() {
+        let crash_disk = Arc::new(MemDisk::from_frames(base_frames.clone()));
+        let crash_log = Arc::new(MemLog::from_bytes(image[..cut].to_vec()));
+        let crash_manifests = Arc::new(MemManifests::from_snapshot(base_manifests.clone()));
+        let (recovered, _) = must(
+            DurableStore::open(
+                crash_disk as Arc<dyn pagestore::DiskManager>,
+                crash_log,
+                crash_manifests,
+                16,
+            ),
+            "sweep recover",
+        );
+        let survived = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+        let (want_dir, want_blobs) = &oracle[survived];
+        let mut ok = recovered.committed_directory() == &want_dir[..];
+        if ok {
+            for (name, data) in want_blobs {
+                if recovered.get_blob(name).ok().flatten().as_deref() != Some(&data[..]) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            mismatches += 1;
+        }
+    }
+    (image.len() + 1, mismatches)
+}
+
+/// A chain of single-element documents linked head-to-tail — the
+/// link-heaviest possible layout, guaranteed to trip the load monitor's
+/// lookups-per-query rebuild trigger under `Naive`.
+fn chain_collection(docs: usize) -> (Arc<Flix>, xmlgraph::TagId) {
+    use xmlgraph::{Collection, Document, LinkTarget};
+    let mut c = Collection::new();
+    let t = c.tags.intern("t");
+    for d in 0..docs {
+        let mut doc = Document::new(format!("d{d}.xml"));
+        let root = doc.add_element(t, None);
+        if d + 1 < docs {
+            doc.add_link(
+                root,
+                LinkTarget {
+                    document: Some(format!("d{}.xml", d + 1)),
+                    fragment: None,
+                },
+            );
+        }
+        must(c.add_document(doc), "chain doc");
+    }
+    let cg = Arc::new(c.seal());
+    let tag = must(
+        cg.collection.tags.get("t").ok_or("tag missing"),
+        "chain tag",
+    );
+    (Arc::new(Flix::build(cg, FlixConfig::Naive)), tag)
 }
 
 /// `trace`: the flight recorder end to end (ISSUE 9). (a) Overhead: the
@@ -385,6 +731,7 @@ fn trace_bench(cg: &Arc<CollectionGraph>) {
         .filter(|e| matches!(e.kind, EventKind::LimitChange { .. }))
         .count();
     let chrome = snapshot.to_chrome_trace();
+    // flixcheck: allow(unsynced-write): bench artifact, not durable state; losing it on crash only costs a rerun
     match std::fs::write("trace.json", &chrome) {
         Ok(()) => println!(
             "wrote trace.json ({} events, {} cross-shard requests; open in ui.perfetto.dev)",
@@ -421,6 +768,7 @@ fn trace_bench(cg: &Arc<CollectionGraph>) {
         stats.max_in_flight,
         ServeConfig::default().effective_max_in_flight(),
     );
+    // flixcheck: allow(unsynced-write): bench artifact, not durable state; losing it on crash only costs a rerun
     match std::fs::write("BENCH_obs.json", &json) {
         Ok(()) => println!("wrote BENCH_obs.json\n"),
         Err(e) => eprintln!("warning: could not write BENCH_obs.json: {e}"),
@@ -847,6 +1195,7 @@ fn serve_bench(
         sf_stats.collapsed,
         shard_entries.join(",\n"),
     );
+    // flixcheck: allow(unsynced-write): bench artifact, not durable state; losing it on crash only costs a rerun
     match std::fs::write("BENCH_serve.json", &json) {
         Ok(()) => println!("wrote BENCH_serve.json\n"),
         Err(e) => eprintln!("warning: could not write BENCH_serve.json: {e}"),
@@ -947,6 +1296,7 @@ fn hopi_bench(cg: &Arc<CollectionGraph>) {
         cg.node_count(),
         entries.join(",\n")
     );
+    // flixcheck: allow(unsynced-write): bench artifact, not durable state; losing it on crash only costs a rerun
     match std::fs::write("BENCH_hopi.json", &json) {
         Ok(()) => println!("wrote BENCH_hopi.json\n"),
         Err(e) => eprintln!("warning: could not write BENCH_hopi.json: {e}"),
@@ -1189,6 +1539,7 @@ fn query_bench(cg: &Arc<CollectionGraph>, built: &[(FlixConfig, Arc<Flix>, Durat
         entries.join(",\n"),
         json_escape(&snapshot.to_prometheus())
     );
+    // flixcheck: allow(unsynced-write): bench artifact, not durable state; losing it on crash only costs a rerun
     match std::fs::write("BENCH_query.json", &json) {
         Ok(()) => println!("wrote BENCH_query.json\n"),
         Err(e) => eprintln!("warning: could not write BENCH_query.json: {e}"),
@@ -1259,6 +1610,7 @@ fn build_bench(cg: &Arc<CollectionGraph>) {
         "{{\n  \"cores\": {cores},\n  \"max_speedup\": {max_speedup:.3},\n  \"configs\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
+    // flixcheck: allow(unsynced-write): bench artifact, not durable state; losing it on crash only costs a rerun
     match std::fs::write("BENCH_build.json", &json) {
         Ok(()) => println!("wrote BENCH_build.json\n"),
         Err(e) => eprintln!("warning: could not write BENCH_build.json: {e}"),

@@ -213,6 +213,11 @@ impl CachedFlix {
         Arc::clone(&self.flix.lock())
     }
 
+    /// The cache's entry capacity (fixed at construction).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Swaps in a rebuilt (or extended) framework. All entries cached for
     /// the previous framework become unservable immediately: the generation
     /// bump outlives them, and lookups drop stale-generation entries.

@@ -397,6 +397,16 @@ impl ShardedFlix {
         self.shards.len()
     }
 
+    /// Per-shard result-cache capacity, or `None` when caching is off —
+    /// enough to rebuild a sharded backend of the same shape (see
+    /// [`Self::with_caches`]).
+    pub fn cache_capacity(&self) -> Option<usize> {
+        self.caches
+            .as_ref()
+            .and_then(|caches| caches.first())
+            .map(CachedFlix::capacity)
+    }
+
     /// Shard owning a global node (its start-element route).
     pub fn shard_of(&self, node: NodeId) -> u32 {
         self.plan.shard_of_meta[self.parent.meta_of(node) as usize]

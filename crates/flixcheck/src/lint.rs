@@ -22,6 +22,11 @@
 //! * `unbounded-channel` — no `unbounded()` / `mpsc::channel()` channel
 //!   construction outside the allowlist: the serving path must use bounded
 //!   queues so overload sheds instead of buffering without limit.
+//! * `unsynced-write` — no raw `fs::write(` / `File::create(` outside
+//!   pagestore's durability layer ([`DURABILITY_FILES`]): durable state
+//!   must go through the disk/WAL/manifest protocol, which pairs every
+//!   write with its fsync or atomic rename; non-durable artifacts carry
+//!   an inline suppression saying so.
 //!
 //! **Token rules** over the real token stream ([`crate::lex`]) and parse
 //! ([`crate::parse`]):
@@ -78,6 +83,17 @@ const DOC_CRATES: &[&str] = &[
 /// `flixobs::Stopwatch`, the sanctioned clock).
 const CLOCK_CRATE_PREFIX: &str = "crates/obs/";
 
+/// The files allowed to create and write files directly: pagestore's
+/// durability layer, where every write is paired with the fsync or
+/// atomic-rename step the recovery protocol needs. Everywhere else a raw
+/// `fs::write`/`File::create` is either durable state bypassing that
+/// protocol (a bug) or a non-durable artifact (suppress with a reason).
+const DURABILITY_FILES: &[&str] = &[
+    "crates/pagestore/src/disk.rs",
+    "crates/pagestore/src/wal.rs",
+    "crates/pagestore/src/snapshot.rs",
+];
+
 /// Final callees whose `Result` must not be discarded via `let _ =`.
 const FALLIBLE_BUILTINS: &[&str] = &[
     "send",
@@ -118,6 +134,9 @@ pub enum Rule {
     SwallowedResult,
     /// Bare `Ordering::Relaxed` outside the sanctioned counter hot path.
     AtomicOrdering,
+    /// `fs::write` / `File::create` outside pagestore's durability layer
+    /// (no fsync / atomic-rename protocol behind the write).
+    UnsyncedWrite,
     /// Malformed, reason-less, or unused inline suppression.
     Suppression,
     /// Allowlist entry whose ceiling is higher than reality (or whose
@@ -139,6 +158,7 @@ impl Rule {
         Rule::CastTruncation,
         Rule::SwallowedResult,
         Rule::AtomicOrdering,
+        Rule::UnsyncedWrite,
         Rule::Suppression,
         Rule::AllowlistStale,
     ];
@@ -157,6 +177,7 @@ impl Rule {
             Rule::CastTruncation => "cast-truncation",
             Rule::SwallowedResult => "swallowed-result",
             Rule::AtomicOrdering => "atomic-ordering",
+            Rule::UnsyncedWrite => "unsynced-write",
             Rule::Suppression => "suppression",
             Rule::AllowlistStale => "allowlist-stale",
         }
@@ -624,6 +645,26 @@ fn text_rules(rel_path: &str, src: &str, diags: &mut Vec<Diagnostic>) {
                      overload sheds instead of buffering without limit"
                 ),
             });
+        }
+    }
+
+    if !DURABILITY_FILES.contains(&rel_path) {
+        for pat in ["fs::write(", "File::create("] {
+            for pos in find_all(&stripped, pat) {
+                if in_tests(pos) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    path: rel_path.to_string(),
+                    line: line_of(&stripped, pos),
+                    rule: Rule::UnsyncedWrite,
+                    message: format!(
+                        "`{pat}..)` writes a file with no fsync or atomic-rename behind \
+                         it; durable state belongs in pagestore's disk/WAL/manifest \
+                         layer — suppress with a reason if this is a non-durable artifact"
+                    ),
+                });
+            }
         }
     }
 
@@ -1185,6 +1226,49 @@ mod tests {
         assert!(lint_file("crates/demo/src/lib.rs", ident_src)
             .iter()
             .all(|d| d.rule != Rule::UnboundedChannel));
+    }
+
+    #[test]
+    fn unsynced_write_flagged_outside_the_durability_layer() {
+        let src = "fn f() {\n\
+                   std::fs::write(\"state.bin\", b\"x\").unwrap();\n\
+                   let f = std::fs::File::create(\"log\").unwrap();\n\
+                   }\n";
+        let diags = lint_file("crates/flix/src/persist.rs", src);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.rule == Rule::UnsyncedWrite)
+            .collect();
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[1].line, 3);
+        // The durability layer pairs every write with its fsync/rename.
+        for allowed in [
+            "crates/pagestore/src/disk.rs",
+            "crates/pagestore/src/wal.rs",
+            "crates/pagestore/src/snapshot.rs",
+        ] {
+            assert!(
+                lint_file(allowed, src)
+                    .iter()
+                    .all(|d| d.rule != Rule::UnsyncedWrite),
+                "{allowed} is allowlisted"
+            );
+        }
+        // Test code writes scratch files freely.
+        let test_src =
+            "#[cfg(test)]\nmod t { fn g() { std::fs::write(\"t\", b\"x\").unwrap(); } }\n";
+        assert!(lint_file("crates/flix/src/persist.rs", test_src)
+            .iter()
+            .all(|d| d.rule != Rule::UnsyncedWrite));
+        // A suppression with a reason silences it.
+        let suppressed = "fn f() {\n\
+             // flixcheck: allow(unsynced-write): scratch artifact\n\
+             std::fs::write(\"out.json\", b\"x\").unwrap();\n\
+             }\n";
+        assert!(lint_file("crates/flix/src/persist.rs", suppressed)
+            .iter()
+            .all(|d| d.rule != Rule::UnsyncedWrite && d.rule != Rule::Suppression));
     }
 
     #[test]

@@ -115,6 +115,7 @@ fn rule_description(id: &str) -> &'static str {
         "cast-truncation" => "narrowing cast on a length/index value",
         "swallowed-result" => "Result silently discarded via let _ =",
         "atomic-ordering" => "bare Ordering::Relaxed outside sanctioned counters",
+        "unsynced-write" => "file write outside the fsync-paired durability layer",
         "suppression" => "malformed or unused inline suppression",
         _ => "flixcheck diagnostic",
     }

@@ -174,6 +174,27 @@ pub enum EventKind {
         /// The new admission limit.
         limit: u64,
     },
+    /// A background index rebuild began.
+    RebuildStart {
+        /// Configuration discriminant chosen for the rebuild (serve-layer
+        /// convention; opaque to the journal).
+        config: u64,
+    },
+    /// The background rebuild finished building the new index.
+    RebuildFinish {
+        /// Wall-clock build time in microseconds.
+        micros: u64,
+    },
+    /// A new index generation was swapped in under live traffic.
+    Swap {
+        /// The generation now serving new admissions.
+        generation: u64,
+    },
+    /// Crash recovery replayed committed WAL batches.
+    RecoveryReplay {
+        /// Number of batches replayed over the snapshot.
+        batches: u64,
+    },
 }
 
 impl EventKind {
@@ -199,6 +220,10 @@ impl EventKind {
             EventKind::DeadlineExpired { .. } => "deadline_expired",
             EventKind::Drain => "drain",
             EventKind::LimitChange { .. } => "limit_change",
+            EventKind::RebuildStart { .. } => "rebuild_start",
+            EventKind::RebuildFinish { .. } => "rebuild_finish",
+            EventKind::Swap { .. } => "swap",
+            EventKind::RecoveryReplay { .. } => "recovery_replay",
         }
     }
 
@@ -224,6 +249,10 @@ impl EventKind {
             EventKind::DeadlineExpired { budget_micros } => (16, budget_micros),
             EventKind::Drain => (17, 0),
             EventKind::LimitChange { limit } => (18, limit),
+            EventKind::RebuildStart { config } => (19, config),
+            EventKind::RebuildFinish { micros } => (20, micros),
+            EventKind::Swap { generation } => (21, generation),
+            EventKind::RecoveryReplay { batches } => (22, batches),
         }
     }
 
@@ -252,6 +281,12 @@ impl EventKind {
             },
             17 => EventKind::Drain,
             18 => EventKind::LimitChange { limit: payload },
+            19 => EventKind::RebuildStart { config: payload },
+            20 => EventKind::RebuildFinish { micros: payload },
+            21 => EventKind::Swap {
+                generation: payload,
+            },
+            22 => EventKind::RecoveryReplay { batches: payload },
             _ => return None,
         })
     }
@@ -279,6 +314,10 @@ impl EventKind {
             EventKind::SfFollower { leader } => Some(("leader", leader)),
             EventKind::DeadlineExpired { budget_micros } => Some(("budget_micros", budget_micros)),
             EventKind::LimitChange { limit } => Some(("limit", limit)),
+            EventKind::RebuildStart { config } => Some(("config", config)),
+            EventKind::RebuildFinish { micros } => Some(("micros", micros)),
+            EventKind::Swap { generation } => Some(("generation", generation)),
+            EventKind::RecoveryReplay { batches } => Some(("batches", batches)),
         }
     }
 }
@@ -833,6 +872,10 @@ mod tests {
             EventKind::DeadlineExpired { budget_micros: 500 },
             EventKind::Drain,
             EventKind::LimitChange { limit: 16 },
+            EventKind::RebuildStart { config: 2 },
+            EventKind::RebuildFinish { micros: 1234 },
+            EventKind::Swap { generation: 3 },
+            EventKind::RecoveryReplay { batches: 6 },
         ];
         for kind in kinds {
             let (disc, payload) = kind.encode();

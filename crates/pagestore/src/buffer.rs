@@ -5,12 +5,19 @@
 //! outlive their frame; the pool latch (`parking_lot::Mutex`) is held for
 //! the duration of the closure, which is fine for the short record-level
 //! operations the index layers perform.
+//!
+//! For the durability layer the pool additionally tracks the set of page
+//! ids *modified since the last [`BufferPool::take_modified`]* — a strict
+//! superset of the currently-dirty frames, because a dirty frame may have
+//! been evicted (written back) in between. Commit uses that set to decide
+//! which page images go into the WAL; checkpoints therefore only rewrite
+//! pages touched since the previous checkpoint instead of the whole store.
 
 use crate::disk::DiskManager;
 use crate::page::{Page, PageId};
 use flixobs::{Counter, MetricId, MetricsRegistry};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 struct Frame {
@@ -22,6 +29,14 @@ struct Frame {
 struct PoolInner {
     frames: HashMap<PageId, Frame>,
     tick: u64,
+    /// Page ids written through [`BufferPool::with_page_mut`] since the last
+    /// [`BufferPool::take_modified`]. Survives eviction of the frame.
+    modified: BTreeSet<PageId>,
+    /// First write-back error since the last [`BufferPool::flush_all`].
+    /// Eviction happens inside `with_page*` closures whose return type is
+    /// caller-chosen, so the error is parked here and surfaced at the next
+    /// flush instead of being silently dropped.
+    deferred_error: Option<String>,
 }
 
 /// Point-in-time buffer-pool counters.
@@ -34,6 +49,8 @@ pub struct PoolStats {
     /// Frames displaced by LRU pressure at capacity (dirty victims are
     /// written back first).
     pub evictions: u64,
+    /// Write-backs (eviction or flush) that returned an I/O error.
+    pub write_errors: u64,
 }
 
 /// A latching LRU buffer pool.
@@ -44,6 +61,7 @@ pub struct BufferPool {
     hits: Counter,
     misses: Counter,
     evictions: Counter,
+    write_errors: Counter,
 }
 
 impl BufferPool {
@@ -59,10 +77,13 @@ impl BufferPool {
             inner: Mutex::new(PoolInner {
                 frames: HashMap::new(),
                 tick: 0,
+                modified: BTreeSet::new(),
+                deferred_error: None,
             }),
             hits: Counter::new(),
             misses: Counter::new(),
             evictions: Counter::new(),
+            write_errors: Counter::new(),
         }
     }
 
@@ -90,7 +111,12 @@ impl BufferPool {
                     if let Some(frame) = inner.frames.remove(&victim) {
                         self.evictions.inc();
                         if frame.dirty {
-                            self.disk.write_page(victim, &frame.page);
+                            if let Err(err) = self.disk.write_page(victim, &frame.page) {
+                                self.write_errors.inc();
+                                inner
+                                    .deferred_error
+                                    .get_or_insert(format!("write-back of page {victim}: {err}"));
+                            }
                         }
                     }
                 }
@@ -113,12 +139,15 @@ impl BufferPool {
         f(&frame.page)
     }
 
-    /// Runs `f` with write access to page `id`; the frame is marked dirty.
+    /// Runs `f` with write access to page `id`; the frame is marked dirty
+    /// and the page joins the modified set (see [`Self::take_modified`]).
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> R {
         let mut inner = self.inner.lock();
         let frame = self.load(&mut inner, id);
         frame.dirty = true;
-        f(&mut frame.page)
+        let out = f(&mut frame.page);
+        inner.modified.insert(id);
+        out
     }
 
     /// Allocates a fresh page on the backing disk.
@@ -126,15 +155,80 @@ impl BufferPool {
         self.disk.allocate()
     }
 
-    /// Writes all dirty frames back to disk.
-    pub fn flush_all(&self) {
+    /// Drains and returns the ids of every page modified since the last
+    /// call (in ascending order). This is the commit granule: the WAL
+    /// records a page image for each id returned here, whether or not the
+    /// frame is still resident.
+    pub fn take_modified(&self) -> Vec<PageId> {
         let mut inner = self.inner.lock();
-        for (&id, frame) in inner.frames.iter_mut() {
-            if frame.dirty {
-                self.disk.write_page(id, &frame.page);
-                frame.dirty = false;
-            }
+        std::mem::take(&mut inner.modified).into_iter().collect()
+    }
+
+    /// Ids of pages modified since the last [`Self::take_modified`],
+    /// without draining the set.
+    pub fn modified_pages(&self) -> Vec<PageId> {
+        self.inner.lock().modified.iter().copied().collect()
+    }
+
+    /// Removes exactly `ids` from the modified set. The commit path uses
+    /// this instead of [`Self::take_modified`] so that a failed commit
+    /// leaves the set intact (nothing is forgotten) and pages modified
+    /// concurrently with the commit stay tracked for the next one.
+    pub fn clear_modified(&self, ids: &[PageId]) {
+        let mut inner = self.inner.lock();
+        for id in ids {
+            inner.modified.remove(id);
         }
+    }
+
+    /// Surfaces (and consumes) any eviction write-back error deferred since
+    /// the last check, without flushing. Commit paths call this before
+    /// trusting read-through page images: a failed write-back means the
+    /// disk copy of an evicted page is stale and the in-pool copy is gone.
+    pub fn check_write_health(&self) -> std::io::Result<()> {
+        match self.inner.lock().deferred_error.take() {
+            Some(msg) => Err(std::io::Error::other(format!(
+                "deferred eviction error: {msg}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    /// Writes all dirty frames back to disk and returns how many pages were
+    /// written. Fails on the first write error, and also surfaces any
+    /// eviction write-back error deferred since the previous flush (the
+    /// frames flushed before the failure stay clean; the failing frame
+    /// stays dirty so a retry re-attempts it).
+    pub fn flush_all(&self) -> std::io::Result<usize> {
+        let mut inner = self.inner.lock();
+        if let Some(msg) = inner.deferred_error.take() {
+            return Err(std::io::Error::other(format!(
+                "deferred eviction error: {msg}"
+            )));
+        }
+        let mut written = 0;
+        // Deterministic order so a partial flush is reproducible in tests.
+        let mut dirty: Vec<PageId> = inner
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(&id, _)| id)
+            .collect();
+        dirty.sort_unstable();
+        for id in dirty {
+            // The id came out of `frames` under the same lock; absence is
+            // unreachable, so skipping is strictly safer than panicking.
+            let Some(frame) = inner.frames.get_mut(&id) else {
+                continue;
+            };
+            if let Err(err) = self.disk.write_page(id, &frame.page) {
+                self.write_errors.inc();
+                return Err(err);
+            }
+            frame.dirty = false;
+            written += 1;
+        }
+        Ok(written)
     }
 
     /// `(hits, misses)` since creation (kept for callers that predate
@@ -143,18 +237,19 @@ impl BufferPool {
         (self.hits.get(), self.misses.get())
     }
 
-    /// All pool counters, including LRU evictions.
+    /// All pool counters, including LRU evictions and write errors.
     pub fn pool_stats(&self) -> PoolStats {
         PoolStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
             evictions: self.evictions.get(),
+            write_errors: self.write_errors.get(),
         }
     }
 
     /// Binds the pool's live counters into `registry` as
-    /// `pagestore_pool_{hits,misses,evictions}_total` under `labels`, and
-    /// publishes the backing disk's I/O counters via
+    /// `pagestore_pool_{hits,misses,evictions,write_errors}_total` under
+    /// `labels`, and publishes the backing disk's I/O counters via
     /// [`crate::disk::DiskStats::publish`]. The counters keep accumulating
     /// in place, so later snapshots see later values.
     pub fn publish_metrics(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
@@ -162,6 +257,7 @@ impl BufferPool {
             ("pagestore_pool_hits_total", &self.hits),
             ("pagestore_pool_misses_total", &self.misses),
             ("pagestore_pool_evictions_total", &self.evictions),
+            ("pagestore_pool_write_errors_total", &self.write_errors),
         ] {
             registry.bind_counter(MetricId::with_labels(name, labels), counter);
         }
@@ -199,6 +295,18 @@ impl flixcheck::IntegrityCheck for BufferPool {
             ahead.is_none(),
             || ahead.unwrap_or_default(),
         );
+        let mut untracked = None;
+        for (&id, frame) in &inner.frames {
+            if frame.dirty && !inner.modified.contains(&id) {
+                untracked = Some(format!("page {id} is dirty but not in the modified set"));
+                break;
+            }
+        }
+        audit.check(
+            "every dirty frame is tracked in the modified set",
+            untracked.is_none(),
+            || untracked.unwrap_or_default(),
+        );
         let mut bad_page = None;
         for (&id, frame) in &inner.frames {
             if let Err(err) = frame.page.integrity_check() {
@@ -218,7 +326,7 @@ impl flixcheck::IntegrityCheck for BufferPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::disk::MemDisk;
+    use crate::disk::{DiskStats, MemDisk};
 
     fn pool(cap: usize) -> BufferPool {
         BufferPool::new(Arc::new(MemDisk::new()), cap)
@@ -284,9 +392,126 @@ mod tests {
         p.with_page_mut(id, |pg| {
             pg.insert(b"flushed").unwrap();
         });
-        p.flush_all();
+        assert_eq!(p.flush_all().unwrap(), 1);
         // Read directly from disk, bypassing the pool.
         assert_eq!(disk.read_page(id).get(0), Some(&b"flushed"[..]));
+        // Nothing dirty remains, so a second flush writes nothing.
+        assert_eq!(p.flush_all().unwrap(), 0);
+    }
+
+    #[test]
+    fn modified_set_survives_eviction_and_drains() {
+        let p = pool(2);
+        let ids: Vec<PageId> = (0..4).map(|_| p.allocate()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            p.with_page_mut(id, |pg| {
+                pg.insert(format!("m{i}").as_bytes()).unwrap();
+            });
+        }
+        // Two of the four were evicted (and written back), but all four are
+        // still reported as modified since the last drain.
+        assert_eq!(p.modified_pages(), ids);
+        assert_eq!(p.take_modified(), ids);
+        assert!(p.take_modified().is_empty(), "drain resets the set");
+        p.with_page(ids[0], |_| {});
+        assert!(p.take_modified().is_empty(), "reads do not mark pages");
+        p.with_page_mut(ids[1], |_| {});
+        assert_eq!(p.take_modified(), vec![ids[1]]);
+    }
+
+    /// A disk that fails every write after the first `ok_writes`.
+    struct FlakyDisk {
+        inner: MemDisk,
+        ok_writes: std::sync::atomic::AtomicU64,
+    }
+
+    impl DiskManager for FlakyDisk {
+        fn read_page(&self, id: PageId) -> Page {
+            self.inner.read_page(id)
+        }
+        fn write_page(&self, id: PageId, page: &Page) -> std::io::Result<()> {
+            use std::sync::atomic::Ordering;
+            let left = self
+                .ok_writes
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                .is_ok();
+            if left {
+                self.inner.write_page(id, page)
+            } else {
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+        fn allocate(&self) -> PageId {
+            self.inner.allocate()
+        }
+        fn page_count(&self) -> u64 {
+            self.inner.page_count()
+        }
+        fn stats(&self) -> DiskStats {
+            self.inner.stats()
+        }
+        fn sync(&self) -> std::io::Result<()> {
+            self.inner.sync()
+        }
+    }
+
+    #[test]
+    fn flush_all_propagates_write_errors() {
+        let disk = Arc::new(FlakyDisk {
+            inner: MemDisk::new(),
+            ok_writes: std::sync::atomic::AtomicU64::new(0),
+        });
+        let p = BufferPool::new(disk, 8);
+        let id = p.allocate();
+        p.with_page_mut(id, |pg| {
+            pg.insert(b"doomed").unwrap();
+        });
+        let err = p.flush_all().unwrap_err();
+        assert!(err.to_string().contains("disk full"), "{err}");
+        assert_eq!(p.pool_stats().write_errors, 1);
+    }
+
+    #[test]
+    fn eviction_write_errors_surface_at_next_flush() {
+        let disk = Arc::new(FlakyDisk {
+            inner: MemDisk::new(),
+            ok_writes: std::sync::atomic::AtomicU64::new(0),
+        });
+        let p = BufferPool::new(disk, 1);
+        let a = p.allocate();
+        let b = p.allocate();
+        p.with_page_mut(a, |pg| {
+            pg.insert(b"a").unwrap();
+        });
+        // Touching b evicts dirty a; the write-back fails silently at the
+        // call site but is deferred...
+        p.with_page(b, |_| {});
+        assert_eq!(p.pool_stats().write_errors, 1);
+        // ...and surfaces at the next flush.
+        let err = p.flush_all().unwrap_err();
+        assert!(err.to_string().contains("deferred eviction error"), "{err}");
+        // The deferred error was consumed; nothing dirty is resident, so a
+        // further flush succeeds (the lost page is the caller's problem —
+        // the commit layer aborts on the surfaced error).
+        assert_eq!(p.flush_all().unwrap(), 0);
+        assert!(p.check_write_health().is_ok());
+    }
+
+    #[test]
+    fn check_write_health_consumes_deferred_errors() {
+        let disk = Arc::new(FlakyDisk {
+            inner: MemDisk::new(),
+            ok_writes: std::sync::atomic::AtomicU64::new(0),
+        });
+        let p = BufferPool::new(disk, 1);
+        let a = p.allocate();
+        let b = p.allocate();
+        p.with_page_mut(a, |pg| {
+            pg.insert(b"a").unwrap();
+        });
+        p.with_page(b, |_| {}); // evicts dirty a, write fails
+        assert!(p.check_write_health().is_err());
+        assert!(p.check_write_health().is_ok(), "error is consumed");
     }
 
     #[test]
@@ -367,6 +592,18 @@ mod tests {
             let mut inner = p.inner.lock();
             let tick = inner.tick;
             inner.frames.get_mut(&a).unwrap().last_used = tick;
+        }
+        p.integrity_check().unwrap();
+
+        // A dirty frame missing from the modified set.
+        {
+            let mut inner = p.inner.lock();
+            inner.modified.remove(&a);
+        }
+        assert!(p.integrity_check().is_err());
+        {
+            let mut inner = p.inner.lock();
+            inner.modified.insert(a);
         }
         p.integrity_check().unwrap();
 

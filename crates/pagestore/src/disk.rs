@@ -2,10 +2,16 @@
 //!
 //! Two implementations: [`MemDisk`] (a `Vec` of frames, used by tests and
 //! the in-memory experiment mode) and [`FileDisk`] (one flat file, page id
-//! times page size addressing). Both count physical reads and writes so the
-//! benchmark harness can report I/O alongside wall-clock time — the paper's
-//! absolute numbers are dominated by database round trips, and the I/O
-//! counters are our substitute signal for that cost.
+//! times page size addressing). Both count physical reads, writes, and
+//! syncs so the benchmark harness can report I/O alongside wall-clock time —
+//! the paper's absolute numbers are dominated by database round trips, and
+//! the I/O counters are our substitute signal for that cost.
+//!
+//! Writes are fallible (`io::Result`) so the durability layer above
+//! ([`crate::recovery::DurableStore`]) can distinguish "durable" from
+//! "probably fine". [`DiskManager::sync`] is the barrier the checkpoint
+//! protocol leans on: a checkpoint manifest is only published after the
+//! data file has been fsynced.
 
 use crate::page::{Page, PageId, PAGE_SIZE};
 use flixobs::{Counter, MetricsRegistry};
@@ -20,6 +26,10 @@ pub struct DiskStats {
     pub reads: u64,
     /// Pages written to the backing store.
     pub writes: u64,
+    /// Durability barriers ([`DiskManager::sync`]) issued. `MemDisk` counts
+    /// them without doing anything, so tests can assert sync *ordering*
+    /// (e.g. "the data disk was synced before the WAL was truncated").
+    pub syncs: u64,
 }
 
 impl DiskStats {
@@ -33,9 +43,9 @@ impl DiskStats {
         self.writes * PAGE_SIZE as u64
     }
 
-    /// Publishes this snapshot as `pagestore_disk_*` gauges (page and byte
-    /// granularity) under `labels`. Gauges, not counters: `DiskStats` is a
-    /// point-in-time copy, so each publish overwrites the previous one.
+    /// Publishes this snapshot as `pagestore_disk_*` gauges (page, byte, and
+    /// sync granularity) under `labels`. Gauges, not counters: `DiskStats`
+    /// is a point-in-time copy, so each publish overwrites the previous one.
     pub fn publish(&self, registry: &MetricsRegistry, labels: &[(&str, &str)]) {
         registry
             .gauge_with("pagestore_disk_read_pages", labels)
@@ -49,6 +59,9 @@ impl DiskStats {
         registry
             .gauge_with("pagestore_disk_write_bytes", labels)
             .set(self.write_bytes() as f64);
+        registry
+            .gauge_with("pagestore_disk_syncs", labels)
+            .set(self.syncs as f64);
     }
 }
 
@@ -56,14 +69,19 @@ impl DiskStats {
 pub trait DiskManager: Send + Sync {
     /// Reads page `id`. Reading a never-written page yields a zero page.
     fn read_page(&self, id: PageId) -> Page;
-    /// Writes page `id`.
-    fn write_page(&self, id: PageId, page: &Page);
+    /// Writes page `id`. The write may sit in an OS cache until
+    /// [`Self::sync`]; an `Ok` here means "accepted", not "durable".
+    fn write_page(&self, id: PageId, page: &Page) -> std::io::Result<()>;
     /// Allocates a fresh page id.
     fn allocate(&self) -> PageId;
     /// Number of allocated pages.
     fn page_count(&self) -> u64;
     /// I/O counters since creation.
     fn stats(&self) -> DiskStats;
+    /// Durability barrier: all writes accepted before this call are on
+    /// stable storage when it returns `Ok`. `FileDisk` fsyncs; `MemDisk`
+    /// only counts the call (memory is its stable storage).
+    fn sync(&self) -> std::io::Result<()>;
 }
 
 /// In-memory disk: frames live in a `Vec`.
@@ -72,12 +90,28 @@ pub struct MemDisk {
     frames: Mutex<Vec<Option<Vec<u8>>>>,
     reads: Counter,
     writes: Counter,
+    syncs: Counter,
 }
 
 impl MemDisk {
     /// Creates an empty in-memory disk.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A deep copy of the current frame contents, for tests that need to
+    /// freeze "what was on disk" at a particular instant (kill-point
+    /// simulation reconstructs the crash-time disk from such a snapshot).
+    pub fn snapshot_frames(&self) -> Vec<Option<Vec<u8>>> {
+        self.frames.lock().clone()
+    }
+
+    /// Builds a disk pre-seeded with `frames` (see [`Self::snapshot_frames`]).
+    pub fn from_frames(frames: Vec<Option<Vec<u8>>>) -> Self {
+        Self {
+            frames: Mutex::new(frames),
+            ..Self::default()
+        }
     }
 }
 
@@ -91,13 +125,14 @@ impl DiskManager for MemDisk {
         }
     }
 
-    fn write_page(&self, id: PageId, page: &Page) {
+    fn write_page(&self, id: PageId, page: &Page) -> std::io::Result<()> {
         self.writes.inc();
         let mut frames = self.frames.lock();
         if frames.len() <= id as usize {
             frames.resize(id as usize + 1, None);
         }
         frames[id as usize] = Some(page.bytes().to_vec());
+        Ok(())
     }
 
     fn allocate(&self) -> PageId {
@@ -114,7 +149,13 @@ impl DiskManager for MemDisk {
         DiskStats {
             reads: self.reads.get(),
             writes: self.writes.get(),
+            syncs: self.syncs.get(),
         }
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        self.syncs.inc();
+        Ok(())
     }
 }
 
@@ -124,6 +165,7 @@ pub struct FileDisk {
     pages: AtomicU64,
     reads: Counter,
     writes: Counter,
+    syncs: Counter,
 }
 
 impl FileDisk {
@@ -141,6 +183,7 @@ impl FileDisk {
             pages: AtomicU64::new(len / PAGE_SIZE as u64),
             reads: Counter::new(),
             writes: Counter::new(),
+            syncs: Counter::new(),
         })
     }
 }
@@ -165,15 +208,15 @@ impl DiskManager for FileDisk {
         Page::from_bytes(buf)
     }
 
-    fn write_page(&self, id: PageId, page: &Page) {
+    fn write_page(&self, id: PageId, page: &Page) -> std::io::Result<()> {
         self.writes.inc();
         let mut file = self.file.lock();
         let off = id as u64 * PAGE_SIZE as u64;
-        let _ = file
-            .seek(SeekFrom::Start(off))
-            .and_then(|_| file.write_all(page.bytes()));
+        file.seek(SeekFrom::Start(off))?;
+        file.write_all(page.bytes())?;
         let needed = id as u64 + 1;
         self.pages.fetch_max(needed, Ordering::AcqRel);
+        Ok(())
     }
 
     fn allocate(&self) -> PageId {
@@ -188,7 +231,13 @@ impl DiskManager for FileDisk {
         DiskStats {
             reads: self.reads.get(),
             writes: self.writes.get(),
+            syncs: self.syncs.get(),
         }
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        self.syncs.inc();
+        self.file.lock().sync_all()
     }
 }
 
@@ -202,21 +251,54 @@ mod tests {
         assert_ne!(p0, p1);
         let mut page = Page::new();
         page.insert(b"page-one").unwrap();
-        disk.write_page(p1, &page);
+        disk.write_page(p1, &page).unwrap();
         let back = disk.read_page(p1);
         assert_eq!(back.get(0), Some(&b"page-one"[..]));
         // unwritten page reads as empty
         let empty = disk.read_page(p0);
         assert_eq!(empty.slot_count(), 0);
+        disk.sync().unwrap();
         let s = disk.stats();
         assert_eq!(s.reads, 2);
         assert_eq!(s.writes, 1);
+        assert_eq!(s.syncs, 1);
         assert!(disk.page_count() >= 2);
     }
 
     #[test]
     fn mem_disk_round_trip() {
         exercise(&MemDisk::new());
+    }
+
+    #[test]
+    fn mem_disk_frame_snapshot_round_trip() {
+        let disk = MemDisk::new();
+        let id = disk.allocate();
+        let mut page = Page::new();
+        page.insert(b"frozen").unwrap();
+        disk.write_page(id, &page).unwrap();
+        let copy = MemDisk::from_frames(disk.snapshot_frames());
+        // Mutating the original does not leak into the copy.
+        let mut page2 = Page::new();
+        page2.insert(b"mutated").unwrap();
+        disk.write_page(id, &page2).unwrap();
+        assert_eq!(copy.read_page(id).get(0), Some(&b"frozen"[..]));
+        assert_eq!(copy.page_count(), 1);
+    }
+
+    #[test]
+    fn sync_counter_is_surfaced_through_publish() {
+        let disk = MemDisk::new();
+        disk.sync().unwrap();
+        disk.sync().unwrap();
+        let registry = MetricsRegistry::new();
+        disk.stats().publish(&registry, &[("store", "t")]);
+        assert_eq!(
+            registry
+                .gauge_with("pagestore_disk_syncs", &[("store", "t")])
+                .get(),
+            2.0
+        );
     }
 
     #[test]
@@ -240,7 +322,8 @@ mod tests {
             let id = disk.allocate();
             let mut page = Page::new();
             page.insert(b"durable").unwrap();
-            disk.write_page(id, &page);
+            disk.write_page(id, &page).unwrap();
+            disk.sync().unwrap();
         }
         {
             let disk = FileDisk::open(&path).unwrap();

@@ -6,8 +6,15 @@
 //! ([`buffer`]), heap tables of variable-length records ([`table`]), and a
 //! named blob store for serialised index images ([`blob`]).
 //!
-//! Everything is synchronous and latch-based (`parking_lot`); there is no
-//! WAL or recovery because the paper's indexes are rebuilt, not mutated.
+//! Everything is synchronous and latch-based (`parking_lot`). Durability
+//! is layered on top rather than woven through: a write-ahead log with
+//! CRC-framed records and commit markers ([`wal`]), generation-numbered
+//! checkpoint manifests with atomic install ([`snapshot`]), and a
+//! recovery path that replays committed batches over the newest valid
+//! manifest and discards torn tails ([`recovery`]). Index images are
+//! bulk-built and then swapped, so the WAL carries whole page
+//! after-images — redo-only, no undo — which keeps recovery a single
+//! forward scan.
 
 #![forbid(unsafe_code)]
 #![deny(rust_2018_idioms)]
@@ -23,12 +30,23 @@ pub mod codec;
 pub mod disk;
 /// Slotted 8 KiB pages with tombstoning and compaction.
 pub mod page;
+/// Crash recovery and the durable store lifecycle (commit / checkpoint).
+pub mod recovery;
+/// Checkpoint manifests with generations and atomic install.
+pub mod snapshot;
 /// Heap tables of variable-length records.
 pub mod table;
+/// Write-ahead log: CRC-framed records with commit markers.
+pub mod wal;
 
 pub use blob::{BlobError, BlobStore};
 pub use buffer::{BufferPool, PoolStats};
 pub use codec::{from_bytes, to_bytes, CodecError};
 pub use disk::{DiskManager, DiskStats, FileDisk, MemDisk};
 pub use page::{Page, PageId, SlotId, PAGE_SIZE};
+pub use recovery::{CommitReceipt, DurableStore, RecoveryReport};
+pub use snapshot::{FileManifests, ManifestStore, MemManifests, SnapshotManifest};
 pub use table::{HeapTable, RecordId};
+pub use wal::{
+    parse_log, FileLog, LogDevice, LogTail, MemLog, ParsedLog, Wal, WalBatch, WalRecord,
+};

@@ -1,0 +1,343 @@
+//! Checkpoint snapshots: generation-numbered, CRC-protected manifests.
+//!
+//! A checkpoint publishes a **manifest** — the blob directory as of the
+//! checkpoint plus the data-disk page count — under a monotonically
+//! increasing generation number. The publication protocol is
+//! write-new-then-atomic-rename: the manifest is written to a side
+//! location, made durable, and only then installed under its final name.
+//! The WAL is truncated strictly *after* the manifest is durable, so at
+//! every instant either the old manifest + full WAL or the new manifest
+//! reconstructs the committed state. A torn manifest (crash mid-publish)
+//! simply fails its CRC and recovery falls back to the previous
+//! generation.
+
+use crate::wal::crc32;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::path::PathBuf;
+
+/// Magic prefix of an encoded manifest (`FXSN`).
+pub const MANIFEST_MAGIC: u32 = 0x4658_534E;
+/// Manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// A checkpoint manifest: everything recovery needs besides the data disk
+/// and the WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotManifest {
+    /// Checkpoint generation (1 for the first checkpoint; commits after
+    /// this checkpoint carry this value as their WAL epoch).
+    pub generation: u64,
+    /// Data-disk page count at checkpoint time (informational; the disk
+    /// itself is authoritative).
+    pub page_count: u64,
+    /// Blob directory bytes ([`crate::BlobStore::export_directory`]) of
+    /// the committed state.
+    pub directory: Vec<u8>,
+}
+
+impl SnapshotManifest {
+    /// Serialises the manifest with magic, version, and a trailing CRC
+    /// over everything before it.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(28 + self.directory.len() + 4);
+        out.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        out.extend_from_slice(&MANIFEST_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+        out.extend_from_slice(&self.page_count.to_le_bytes());
+        out.extend_from_slice(&(self.directory.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.directory);
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decodes and CRC-verifies an encoded manifest. Any truncation or
+    /// bit-flip yields `Err` — recovery treats that manifest as torn.
+    pub fn decode(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 32 {
+            return Err(format!("manifest too short ({} bytes)", bytes.len()));
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let mut crc_bytes = [0u8; 4];
+        crc_bytes.copy_from_slice(&bytes[bytes.len() - 4..]);
+        if crc32(body) != u32::from_le_bytes(crc_bytes) {
+            return Err("manifest CRC mismatch".into());
+        }
+        let magic = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+        if magic != MANIFEST_MAGIC {
+            return Err(format!("bad manifest magic {magic:#x}"));
+        }
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if version != MANIFEST_VERSION {
+            return Err(format!("unsupported manifest version {version}"));
+        }
+        let mut gen = [0u8; 8];
+        gen.copy_from_slice(&bytes[8..16]);
+        let mut pages = [0u8; 8];
+        pages.copy_from_slice(&bytes[16..24]);
+        let dir_len = u32::from_le_bytes([bytes[24], bytes[25], bytes[26], bytes[27]]) as usize;
+        if body.len() != 28 + dir_len {
+            return Err("manifest directory length mismatch".into());
+        }
+        Ok(Self {
+            generation: u64::from_le_bytes(gen),
+            page_count: u64::from_le_bytes(pages),
+            directory: bytes[28..28 + dir_len].to_vec(),
+        })
+    }
+}
+
+/// Storage for published manifests, keyed by generation.
+///
+/// `publish` must be atomic: after a crash at any point, `read` of that
+/// generation either returns the complete bytes or the generation is
+/// absent/invalid (recovery falls back). The file implementation gets
+/// this from write-tmp + fsync + rename.
+pub trait ManifestStore: Send + Sync {
+    /// Atomically installs `bytes` as generation `generation`.
+    fn publish(&self, generation: u64, bytes: &[u8]) -> io::Result<()>;
+    /// All stored generations, ascending (including invalid/torn ones —
+    /// validity is the reader's judgement via [`SnapshotManifest::decode`]).
+    fn generations(&self) -> io::Result<Vec<u64>>;
+    /// Raw bytes of generation `generation`.
+    fn read(&self, generation: u64) -> io::Result<Vec<u8>>;
+    /// Removes generation `generation` (pruning after a newer durable one).
+    fn remove(&self, generation: u64) -> io::Result<()>;
+}
+
+/// In-memory manifest store.
+#[derive(Default)]
+pub struct MemManifests {
+    slots: Mutex<BTreeMap<u64, Vec<u8>>>,
+}
+
+impl MemManifests {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A deep copy of every stored manifest (generation → raw bytes), for
+    /// crash simulations that freeze the store at an instant.
+    pub fn snapshot(&self) -> BTreeMap<u64, Vec<u8>> {
+        self.slots.lock().clone()
+    }
+
+    /// Builds a store pre-seeded with `slots` (see [`Self::snapshot`]).
+    /// Tests use this to inject torn manifests: publish a truncated copy
+    /// under the same generation.
+    pub fn from_snapshot(slots: BTreeMap<u64, Vec<u8>>) -> Self {
+        Self {
+            slots: Mutex::new(slots),
+        }
+    }
+}
+
+impl ManifestStore for MemManifests {
+    fn publish(&self, generation: u64, bytes: &[u8]) -> io::Result<()> {
+        self.slots.lock().insert(generation, bytes.to_vec());
+        Ok(())
+    }
+
+    fn generations(&self) -> io::Result<Vec<u64>> {
+        Ok(self.slots.lock().keys().copied().collect())
+    }
+
+    fn read(&self, generation: u64) -> io::Result<Vec<u8>> {
+        self.slots
+            .lock()
+            .get(&generation)
+            .cloned()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such generation"))
+    }
+
+    fn remove(&self, generation: u64) -> io::Result<()> {
+        self.slots.lock().remove(&generation);
+        Ok(())
+    }
+}
+
+/// Directory-backed manifest store: `MANIFEST-<generation>` files,
+/// installed by write-tmp + fsync + atomic rename (+ directory fsync).
+pub struct FileManifests {
+    dir: PathBuf,
+}
+
+impl FileManifests {
+    /// Opens (creating if needed) the manifest directory at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    fn path_of(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("MANIFEST-{generation:020}"))
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        // Renames are only durable once the directory entry is synced.
+        std::fs::File::open(&self.dir)?.sync_all()
+    }
+}
+
+impl ManifestStore for FileManifests {
+    fn publish(&self, generation: u64, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!("MANIFEST-{generation:020}.tmp"));
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.path_of(generation))?;
+        self.sync_dir()
+    }
+
+    fn generations(&self) -> io::Result<Vec<u64>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(gen) = name.strip_prefix("MANIFEST-") else {
+                continue;
+            };
+            if let Ok(gen) = gen.parse::<u64>() {
+                out.push(gen);
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    fn read(&self, generation: u64) -> io::Result<Vec<u8>> {
+        std::fs::read(self.path_of(generation))
+    }
+
+    fn remove(&self, generation: u64) -> io::Result<()> {
+        std::fs::remove_file(self.path_of(generation))
+    }
+}
+
+/// Scans `store` for the newest manifest that decodes and CRC-verifies,
+/// skipping torn ones. `Ok(None)` when no valid manifest exists (a fresh
+/// store, or every manifest is torn — recovery then replays the WAL over
+/// an empty base).
+pub fn latest_valid(store: &dyn ManifestStore) -> io::Result<Option<SnapshotManifest>> {
+    for generation in store.generations()?.into_iter().rev() {
+        let bytes = match store.read(generation) {
+            Ok(bytes) => bytes,
+            Err(_) => continue, // racing prune; the next older one decides
+        };
+        if let Ok(manifest) = SnapshotManifest::decode(&bytes) {
+            return Ok(Some(manifest));
+        }
+    }
+    Ok(None)
+}
+
+/// Removes every manifest older than `keep`. Called only after the
+/// manifest at `keep` is durable *and* the WAL has been truncated, at
+/// which point older generations can no longer reconstruct anything the
+/// newest one doesn't.
+pub fn prune_older(store: &dyn ManifestStore, keep: u64) -> io::Result<usize> {
+    let mut removed = 0;
+    for generation in store.generations()? {
+        if generation < keep {
+            store.remove(generation)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(generation: u64) -> SnapshotManifest {
+        SnapshotManifest {
+            generation,
+            page_count: 17,
+            directory: vec![generation as u8; 40],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = manifest(3);
+        assert_eq!(SnapshotManifest::decode(&m.encode()).unwrap(), m);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = manifest(5).encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                SnapshotManifest::decode(&bytes[..cut]).is_err(),
+                "truncation to {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bitflip_is_rejected() {
+        let bytes = manifest(5).encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                SnapshotManifest::decode(&bad).is_err(),
+                "bit flip at byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn latest_valid_skips_torn_manifests() {
+        let store = MemManifests::new();
+        store.publish(1, &manifest(1).encode()).unwrap();
+        store.publish(2, &manifest(2).encode()).unwrap();
+        assert_eq!(latest_valid(&store).unwrap().unwrap().generation, 2);
+        // Tear generation 3 mid-write: recovery falls back to 2.
+        let torn = &manifest(3).encode()[..20];
+        store.publish(3, torn).unwrap();
+        assert_eq!(latest_valid(&store).unwrap().unwrap().generation, 2);
+        // Repair 3: it wins again.
+        store.publish(3, &manifest(3).encode()).unwrap();
+        assert_eq!(latest_valid(&store).unwrap().unwrap().generation, 3);
+    }
+
+    #[test]
+    fn empty_store_has_no_manifest() {
+        assert!(latest_valid(&MemManifests::new()).unwrap().is_none());
+    }
+
+    #[test]
+    fn prune_keeps_the_named_generation() {
+        let store = MemManifests::new();
+        for g in 1..=4 {
+            store.publish(g, &manifest(g).encode()).unwrap();
+        }
+        assert_eq!(prune_older(&store, 3).unwrap(), 2);
+        assert_eq!(store.generations().unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn file_manifests_publish_and_fall_back() {
+        let dir = std::env::temp_dir().join(format!("pagestore-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileManifests::open(&dir).unwrap();
+        store.publish(1, &manifest(1).encode()).unwrap();
+        store.publish(2, &manifest(2).encode()).unwrap();
+        assert_eq!(store.generations().unwrap(), vec![1, 2]);
+        assert_eq!(latest_valid(&store).unwrap().unwrap().generation, 2);
+        store.publish(3, &manifest(3).encode()[..10]).unwrap();
+        assert_eq!(latest_valid(&store).unwrap().unwrap().generation, 2);
+        prune_older(&store, 2).unwrap();
+        assert_eq!(store.generations().unwrap(), vec![2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

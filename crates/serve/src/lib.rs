@@ -22,6 +22,12 @@
 //! * **Graceful drain** — [`FlixServer::shutdown`] finishes every admitted
 //!   request, rejects new ones with [`ServeError::ShuttingDown`], and
 //!   leaves the metrics and the slow-query log intact for scraping.
+//! * **Online rebuild and hot swap** — [`FlixServer::swap_backend`]
+//!   replaces the engine under live traffic (in-flight queries finish on
+//!   the old generation, new admissions see the new one), and
+//!   [`Rebuilder`] closes the paper's self-tuning loop by rebuilding the
+//!   load monitor's recommended configuration in the background and
+//!   swapping it in ([`rebuild`]).
 //!
 //! ```
 //! use flix::{Flix, FlixConfig, QueryOptions};
@@ -50,10 +56,13 @@
 
 /// Closed- and open-loop load generators for driving a server.
 pub mod loadgen;
+/// Online rebuild: background self-tuning with hot backend swaps.
+pub mod rebuild;
 /// The worker-pool server: admission, deadlines, single-flight, drain.
 pub mod server;
 
 pub use loadgen::{closed_loop, closed_loop_windowed, open_loop, ClosedLoopReport, OpenLoopReport};
+pub use rebuild::{RebuildConfig, RebuildOutcome, Rebuilder};
 pub use server::{
     AxisKind, Backend, FlixServer, Request, Response, ServeConfig, ServeError, ServeStats, Ticket,
 };

@@ -200,6 +200,14 @@ impl std::error::Error for ServeError {}
 
 /// The query engine behind a server: a plain framework, a cached one, or
 /// a sharded one.
+///
+/// Cloning is an `Arc` clone — the handle is copied, the engine is
+/// shared. The server leans on this for hot swaps: each worker clones
+/// the live backend out of a brief read lock per job, so a
+/// [`FlixServer::swap_backend`] replaces the engine for *new* admissions
+/// while every in-flight evaluation finishes on the backend it started
+/// on.
+#[derive(Clone)]
 pub enum Backend {
     /// Evaluate every query on the framework.
     Plain(Arc<Flix>),
@@ -284,7 +292,7 @@ struct Job {
 /// Component-owned metric cells for the serving path. End-to-end latency
 /// (`flixserve_latency_micros`) is distinct from the evaluator-only
 /// `flix_query_latency_micros`: it includes queue wait and fan-out.
-struct ServeMetrics {
+pub(crate) struct ServeMetrics {
     latency: Histogram,
     queue_wait: Histogram,
     queue_depth: Gauge,
@@ -295,6 +303,14 @@ struct ServeMetrics {
     timeouts: Counter,
     collapsed: Counter,
     admission_limit: Gauge,
+    /// Mirrors [`Shared::generation`] (`flixserve_generation`).
+    generation: Gauge,
+    /// Rebuild decisions taken by the online rebuilder: recommendations
+    /// acted on, rebuilds that swapped in, and verdicts that kept the
+    /// current configuration (`flix_rebuild_*`).
+    pub(crate) rebuilds_started: Counter,
+    pub(crate) rebuilds_completed: Counter,
+    pub(crate) rebuilds_kept: Counter,
 }
 
 impl ServeMetrics {
@@ -310,6 +326,10 @@ impl ServeMetrics {
             timeouts: Counter::new(),
             collapsed: Counter::new(),
             admission_limit: Gauge::new(),
+            generation: Gauge::new(),
+            rebuilds_started: Counter::new(),
+            rebuilds_completed: Counter::new(),
+            rebuilds_kept: Counter::new(),
         }
     }
 }
@@ -357,7 +377,17 @@ struct Group {
 }
 
 struct Shared {
-    backend: Backend,
+    /// The live backend. Workers clone it (an `Arc` clone) out of a brief
+    /// read lock per job, so [`FlixServer::swap_backend`] retargets new
+    /// admissions while in-flight work finishes on the old generation.
+    backend: RwLock<Backend>,
+    /// Backend generation: `1` for the backend the server started with,
+    /// bumped by every swap. Mirrored by the `flixserve_generation` gauge.
+    generation: AtomicU64,
+    /// The load-monitor baseline the online rebuilder diffs against
+    /// (see [`FlixServer::maybe_rebuild`]): a rebuild decision looks only
+    /// at traffic that arrived since the last swap.
+    rebuild_baseline: Mutex<flix::LoadMonitor>,
     config: ServeConfig,
     draining: AtomicBool,
     in_flight: AtomicUsize,
@@ -400,11 +430,15 @@ impl Shared {
         }
     }
 
-    /// The group a request for `start` is routed to.
+    /// The group a request for `start` is routed to. For an unsharded
+    /// backend the modulo spreads requests over however many groups exist
+    /// (one, unless a swap replaced a sharded backend with an unsharded
+    /// one — the group topology is fixed at start, and any group answers
+    /// correctly either way).
     fn group_of(&self, start: NodeId) -> usize {
-        match &self.backend {
+        match &*self.backend.read() {
             Backend::Sharded(sharded) => sharded.shard_of(start) as usize % self.groups.len(),
-            _ => 0,
+            _ => start as usize % self.groups.len(),
         }
     }
 
@@ -523,7 +557,9 @@ impl FlixServer {
             start += len;
         }
         let shared = Arc::new(Shared {
-            backend,
+            backend: RwLock::new(backend),
+            generation: AtomicU64::new(1),
+            rebuild_baseline: Mutex::new(flix::LoadMonitor::new()),
             config,
             draining: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
@@ -543,6 +579,7 @@ impl FlixServer {
             .metrics
             .admission_limit
             .set(config.effective_max_in_flight() as f64);
+        shared.metrics.generation.set(1.0);
         let mut senders = Vec::new();
         let mut handles = Vec::new();
         for w in 0..workers {
@@ -822,6 +859,62 @@ impl FlixServer {
         self.shared.load.snapshot()
     }
 
+    /// The live backend — an `Arc`-cheap clone of the handle, sharing the
+    /// engine. Queries evaluated on the clone answer identically to
+    /// queries served through the server (until a swap retargets it).
+    pub fn backend(&self) -> Backend {
+        self.shared.backend.read().clone()
+    }
+
+    /// The backend generation: `1` for the backend the server started
+    /// with, bumped by every [`Self::swap_backend`].
+    pub fn generation(&self) -> u64 {
+        self.shared.generation.load(SeqCst)
+    }
+
+    /// Atomically replaces the serving backend under live traffic and
+    /// returns the new generation.
+    ///
+    /// The swap is a write-lock store: requests admitted after it see the
+    /// new backend; evaluations already running hold their own clone and
+    /// finish — correctly — on the generation they started on. No request
+    /// is dropped, paused, or re-queued. The worker-group topology is
+    /// fixed at start, which stays correct across swaps (a [`ShardedFlix`]
+    /// evaluates shards internally, so routing to any group only affects
+    /// locality, never answers). The `flixserve_generation` gauge moves
+    /// with the swap, and a traced server journals it as
+    /// [`EventKind::Swap`].
+    pub fn swap_backend(&self, backend: impl Into<Backend>) -> u64 {
+        *self.shared.backend.write() = backend.into();
+        let generation = self.shared.generation.fetch_add(1, SeqCst) + 1;
+        self.shared.metrics.generation.set(generation as f64);
+        self.shared
+            .journal(SUBMIT_LANE, RequestId::NONE, EventKind::Swap { generation });
+        generation
+    }
+
+    /// The serve-path metric cells (rebuild counters included) for
+    /// crate-internal components that feed them.
+    pub(crate) fn serve_metrics(&self) -> &ServeMetrics {
+        &self.shared.metrics
+    }
+
+    /// Journals a control-plane event (no owning request) on the submit
+    /// lane of a traced server; a no-op otherwise.
+    pub(crate) fn journal_control(&self, kind: EventKind) {
+        self.shared.journal(SUBMIT_LANE, RequestId::NONE, kind);
+    }
+
+    /// The load-monitor baseline the online rebuilder diffs against.
+    pub(crate) fn rebuild_baseline(&self) -> &Mutex<flix::LoadMonitor> {
+        &self.shared.rebuild_baseline
+    }
+
+    /// Whether the server is draining (shutdown has begun).
+    pub(crate) fn is_draining(&self) -> bool {
+        self.shared.draining.load(SeqCst)
+    }
+
     /// Binds the server's live metric cells into `registry` under
     /// `flixserve_*` names tagged with `labels`: queue-depth and in-flight
     /// gauges, shed/timeout/collapse/submitted/completed counters, and the
@@ -874,6 +967,11 @@ impl FlixServer {
                 "Live in-flight ceiling; moves only when adaptive admission is on.",
                 &m.admission_limit,
             ),
+            (
+                "flixserve_generation",
+                "Backend generation: 1 at start, bumped by every hot swap.",
+                &m.generation,
+            ),
         ] {
             registry.describe(name, help);
             registry.bind_gauge(MetricId::with_labels(name, labels), gauge);
@@ -924,7 +1022,31 @@ impl FlixServer {
                 );
             }
         }
-        if let Backend::Sharded(sharded) = &self.shared.backend {
+        for (name, help, counter) in [
+            (
+                "flix_rebuild_started_total",
+                "Rebuild recommendations the online rebuilder acted on.",
+                &m.rebuilds_started,
+            ),
+            (
+                "flix_rebuild_completed_total",
+                "Rebuilds that finished and hot-swapped into the server.",
+                &m.rebuilds_completed,
+            ),
+            (
+                "flix_rebuild_kept_total",
+                "Rebuild checks that kept the current configuration.",
+                &m.rebuilds_kept,
+            ),
+        ] {
+            registry.describe(name, help);
+            registry.bind_counter(MetricId::with_labels(name, labels), counter);
+        }
+        // Bind the *current* backend's cells. The binding captures the
+        // backend live at publish time — after a hot swap, publish again
+        // to bind the new generation's shard metrics.
+        let backend = self.shared.backend.read().clone();
+        if let Backend::Sharded(sharded) = &backend {
             sharded.publish_metrics(registry, labels);
         }
     }
@@ -1031,7 +1153,11 @@ fn worker_loop(
         // The handle pins (lane, request) so every event the evaluator
         // journals below stitches into this request's causal trace.
         let handle = shared.recorder.as_ref().map(|r| r.handle(lane, job.id));
-        let (results, timed_out, stats) = compute(&shared.backend, &job.request, handle.as_ref());
+        // Clone the live backend out of a brief read lock: the job runs
+        // entirely on the generation it picked up here, so a concurrent
+        // swap never changes an evaluation mid-flight.
+        let backend = shared.backend.read().clone();
+        let (results, timed_out, stats) = compute(&backend, &job.request, handle.as_ref());
         let total_micros = job.admitted.elapsed_micros();
 
         shared.metrics.queue_wait.record(queue_micros);

@@ -61,8 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut store = BlobStore::new(pool.clone());
         save_flix(&flix, &mut store, "portal")?;
         // persist the blob directory itself as the catalogue
+        // flixcheck: allow(unsynced-write): example scratch file; real deployments keep the directory in a WAL-backed DurableStore
         std::fs::write(dir.join("catalogue"), store.export_directory())?;
-        pool.flush_all();
+        pool.flush_all()?;
         println!(
             "\npersisted framework to {:?} ({} pages written)",
             path,
